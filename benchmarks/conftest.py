@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints the reproduced artifact next to the paper-vs-measured claim
+table, and asserts the shape claims hold.  ``pytest benchmarks/
+--benchmark-only`` therefore doubles as the reproduction report.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Claim, render_claims
+
+
+def report_and_check(result, allow_failures: int = 0) -> None:
+    """Print the rendered artifact + claims; fail if too many claims break."""
+    print()
+    print(result.render())
+    print()
+    print(render_claims(result.claims))
+    failed = [c for c in result.claims if not c.holds]
+    assert len(failed) <= allow_failures, (
+        f"{len(failed)} shape claims failed: "
+        + "; ".join(f"{c.name} (paper: {c.paper_value}, measured: {c.measured_value})" for c in failed)
+    )
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,63 @@
+"""Ablation: cost-model robustness.
+
+The reproduced results rest on an explicit work-unit cost model
+(DESIGN.md section 5).  This bench perturbs each constant family by
+±50% and re-measures the headline comparison (WordCount combined vs
+baseline, engine-level work + pipeline elapsed).  Expected: the
+*direction* of every headline result survives every perturbation —
+i.e. nothing we report is an artifact of one hand-picked constant.
+"""
+
+import dataclasses
+
+from repro.analysis.tables import render_table
+from repro.engine.costmodel import DEFAULT_COST_MODEL
+from repro.experiments.common import build_engine_app, run_engine_job
+
+from benchmarks.conftest import run_once
+
+PERTURB_FIELDS = (
+    "sort_comparison",
+    "serialize_byte",
+    "spill_write_byte",
+    "net_byte",
+    "hash_record",
+    "merge_comparison",
+)
+
+
+def elapsed_under(model) -> dict[str, float]:
+    out = {}
+    for config in ("baseline", "combined"):
+        app = build_engine_app("wordcount", config, scale=0.05)
+        app.job.cost_model = model
+        result = run_engine_job(app)
+        out[config] = sum(p.elapsed for p in result.pipeline_results()) + result.ledger.total() * 0.0
+    return out
+
+
+def run_ablation() -> list[tuple[str, float, float]]:
+    rows = []
+    for field in PERTURB_FIELDS:
+        for factor in (0.5, 1.5):
+            value = getattr(DEFAULT_COST_MODEL, field) * factor
+            model = DEFAULT_COST_MODEL.with_overrides(**{field: value})
+            times = elapsed_under(model)
+            saving = 100.0 * (1.0 - times["combined"] / times["baseline"])
+            rows.append((f"{field} x{factor}", times["baseline"], saving))
+    times = elapsed_under(DEFAULT_COST_MODEL)
+    rows.append(("(default)", times["baseline"], 100.0 * (1.0 - times["combined"] / times["baseline"])))
+    return rows
+
+
+def test_ablation_costmodel(benchmark):
+    rows = run_once(benchmark, run_ablation)
+    print()
+    print(render_table(
+        "Ablation: cost-model perturbations (WordCount, combined vs baseline)",
+        ["perturbation", "baseline elapsed", "combined saving %"],
+        [list(r) for r in rows], "{:.4g}",
+    ))
+    # The headline direction must survive every perturbation.
+    for name, _, saving in rows:
+        assert saving > 0.0, f"combined stopped winning under {name}"

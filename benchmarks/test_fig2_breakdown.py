@@ -1,0 +1,17 @@
+"""Bench: Figure 2 — serialized work breakdown of the six applications.
+
+Regenerates the normalized per-operation work shares under the baseline
+configuration and checks the paper's qualitative findings: user code is
+a minority share except for WordPOSTag (and AccessLogJoin approaches
+half), and the post-map framework operations that frequency-buffering
+targets carry a major share for the text apps.
+"""
+
+from repro.experiments import fig2_breakdown
+
+from benchmarks.conftest import report_and_check, run_once
+
+
+def test_fig2_breakdown(benchmark):
+    result = run_once(benchmark, fig2_breakdown.run, scale=0.08)
+    report_and_check(result)

@@ -1,0 +1,16 @@
+"""Bench: Figure 3 — rank-frequency curve of the text corpus.
+
+Regenerates the corpus word-frequency distribution and verifies it is
+Zipfian with exponent near 1 (the property frequency-buffering's
+analysis rests on) and that a small head of frequent words covers a
+large share of the token stream.
+"""
+
+from repro.experiments import fig3_zipf
+
+from benchmarks.conftest import report_and_check, run_once
+
+
+def test_fig3_zipf(benchmark):
+    result = run_once(benchmark, fig3_zipf.run, scale=0.15)
+    report_and_check(result)

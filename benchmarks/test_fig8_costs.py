@@ -1,0 +1,15 @@
+"""Bench: Figure 8 — abstraction cost, baseline vs frequency-buffering.
+
+Regenerates the absolute framework-work comparison per application and
+checks the ordering the paper reports: large reductions for the text
+apps, small ones for the relational apps, PageRank in between.
+"""
+
+from repro.experiments import fig8_costs
+
+from benchmarks.conftest import report_and_check, run_once
+
+
+def test_fig8_costs(benchmark):
+    result = run_once(benchmark, fig8_costs.run, scale=0.08)
+    report_and_check(result)

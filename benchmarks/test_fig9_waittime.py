@@ -1,0 +1,16 @@
+"""Bench: Figure 9 — per-thread busy/wait time under the four configs.
+
+Checks the spill-matcher results of Section V-C: most of the slower
+thread's wait time is removed for WordCount/InvertedIndex/AccessLog*,
+WordPOSTag has nothing to remove, PageRank (p ≈ c) benefits least, and
+frequency-buffering alone already reduces the map thread's wait.
+"""
+
+from repro.experiments import fig9_waittime
+
+from benchmarks.conftest import report_and_check, run_once
+
+
+def test_fig9_waittime(benchmark):
+    result = run_once(benchmark, fig9_waittime.run, scale=0.08)
+    report_and_check(result)

@@ -1,0 +1,16 @@
+"""Bench: Table II — map/support thread idle percentages (baseline).
+
+Checks the paper's shape: WordPOSTag idles its support thread ~95% and
+its map thread ~0%; the relational apps idle the support thread far
+more than the map thread; WordCount/InvertedIndex idle both threads
+substantially under Hadoop's static x=0.8.
+"""
+
+from repro.experiments import table2_idle
+
+from benchmarks.conftest import report_and_check, run_once
+
+
+def test_table2_idle(benchmark):
+    result = run_once(benchmark, table2_idle.run, scale=0.08)
+    report_and_check(result)

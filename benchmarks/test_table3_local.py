@@ -1,0 +1,17 @@
+"""Bench: Table III — local-cluster job runtimes, 6 apps x 4 configs.
+
+The headline table: runs every application under baseline / freq /
+spill / combined on the simulated 6-node cluster and checks the
+paper's shape — combined saves 20-40% on WordCount/InvertedIndex,
+~2% on WordPOSTag, little on the relational apps, ~10% on PageRank,
+each single optimization helps the text apps, and combined beats both.
+"""
+
+from repro.experiments import table3_local
+
+from benchmarks.conftest import report_and_check, run_once
+
+
+def test_table3_local(benchmark):
+    result = run_once(benchmark, table3_local.run, scale=0.12)
+    report_and_check(result)

@@ -1,0 +1,16 @@
+"""Bench: Table IV — EC2-cluster runtimes (WordCount, InvertedIndex,
+PageRank) at the paper's scaled-up data sizes.
+
+Checks: WordCount and PageRank keep their local-cluster savings on the
+20-node cluster; InvertedIndex's saving shrinks because its larger
+shuffle volume pays the slower EC2 fabric.
+"""
+
+from repro.experiments import table4_ec2
+
+from benchmarks.conftest import report_and_check, run_once
+
+
+def test_table4_ec2(benchmark):
+    result = run_once(benchmark, table4_ec2.run, local_scale=0.12)
+    report_and_check(result)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The primary metadata lives in ``pyproject.toml``; this file exists so the
+package remains installable in offline environments whose setuptools
+lacks the ``wheel`` package needed for PEP 660 editable installs
+(``python setup.py develop`` works without it).
+"""
+
+from setuptools import setup
+
+setup()

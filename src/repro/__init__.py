@@ -1,0 +1,51 @@
+"""repro — reproduction of "Reducing MapReduce Abstraction Costs for
+Text-Centric Applications" (Hsiao, Cafarella, Narayanasamy; ICPP 2014).
+
+A fully instrumented pure-Python MapReduce framework (engine + simulated
+DFS + discrete-event cluster) with the paper's two optimizations:
+
+* **frequency-buffering** (`repro.core.freqbuf`) — frequent map-output
+  keys are combined eagerly in a bounded hash table, bypassing the
+  serialize/sort/spill/merge path;
+* **spill-matcher** (`repro.core.spillmatcher`) — the spill threshold is
+  adapted per spill from measured produce/consume rates so the slower of
+  the map/support threads never waits.
+
+Quickstart::
+
+    from repro.apps import build_application
+    from repro.experiments.common import OPTIMIZATION_CONFIGS, run_app_job
+
+    app = build_application("wordcount", scale=0.05)
+    result = run_app_job(app, OPTIMIZATION_CONFIGS["combined"])
+"""
+
+from .config import JobConf, Keys
+from .errors import (
+    ConfigError,
+    DfsError,
+    DiskError,
+    JobFailedError,
+    ReproError,
+    SchedulerError,
+    SerdeError,
+    SpillBufferError,
+    UserCodeError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigError",
+    "DfsError",
+    "DiskError",
+    "JobConf",
+    "JobFailedError",
+    "Keys",
+    "ReproError",
+    "SchedulerError",
+    "SerdeError",
+    "SpillBufferError",
+    "UserCodeError",
+    "__version__",
+]

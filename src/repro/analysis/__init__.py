@@ -1,0 +1,34 @@
+"""Result aggregation and reporting: work breakdowns, idle-time reports,
+ASCII tables, and paper-vs-measured claims."""
+
+from .breakdown import (
+    OP_ORDER,
+    Breakdown,
+    abstraction_cost_reduction,
+    breakdown_from_ledger,
+)
+from .gantt import export_trace, render_gantt
+from .idle import IdleReport, aggregate_idle, wait_removed_pct
+from .plots import render_bars, render_scatter
+from .report import Claim, check, render_claims
+from .tables import render_grid, render_series, render_table
+
+__all__ = [
+    "Breakdown",
+    "Claim",
+    "IdleReport",
+    "OP_ORDER",
+    "abstraction_cost_reduction",
+    "aggregate_idle",
+    "breakdown_from_ledger",
+    "check",
+    "export_trace",
+    "render_gantt",
+    "render_bars",
+    "render_claims",
+    "render_scatter",
+    "render_grid",
+    "render_series",
+    "render_table",
+    "wait_removed_pct",
+]

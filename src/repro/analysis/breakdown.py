@@ -1,0 +1,75 @@
+"""Work-breakdown aggregation (Figures 2 and 8).
+
+Figure 2 is "a 'serialized' view of the work performed ... measuring
+all the CPU cycles used by any thread on any machine during the job,
+then grouping by phase, then summing and normalizing".  Our equivalent:
+sum every task ledger of a job and normalize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.instrumentation import OP_PHASE, USER_OPS, Ledger, Op, Phase
+
+#: Display order for breakdown rows (map-phase ops first, as in Fig. 2).
+OP_ORDER: tuple[Op, ...] = (
+    Op.READ,
+    Op.MAP,
+    Op.EMIT,
+    Op.PROFILE,
+    Op.HASHBUF,
+    Op.SORT,
+    Op.COMBINE,
+    Op.SPILL_IO,
+    Op.MERGE,
+    Op.SHUFFLE,
+    Op.REDUCE,
+    Op.OUTPUT,
+)
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """Normalized work shares of one job run."""
+
+    job_name: str
+    total_work: float
+    shares: dict[Op, float]  # op -> fraction of total work
+
+    @property
+    def user_share(self) -> float:
+        return sum(share for op, share in self.shares.items() if op in USER_OPS)
+
+    @property
+    def framework_share(self) -> float:
+        return 1.0 - self.user_share if self.total_work > 0 else 0.0
+
+    def phase_share(self, phase: Phase) -> float:
+        return sum(share for op, share in self.shares.items() if OP_PHASE[op] is phase)
+
+    def share(self, op: Op) -> float:
+        return self.shares.get(op, 0.0)
+
+    def framework_work(self) -> float:
+        """Absolute abstraction cost (the Figure 8 y-axis)."""
+        return self.total_work * self.framework_share
+
+
+def breakdown_from_ledger(job_name: str, ledger: Ledger) -> Breakdown:
+    """Normalize a summed job ledger into a :class:`Breakdown`."""
+    total = ledger.total()
+    if total <= 0:
+        return Breakdown(job_name, 0.0, {})
+    shares = {op: ledger.get(op) / total for op in OP_ORDER if ledger.get(op) > 0}
+    return Breakdown(job_name, total, shares)
+
+
+def abstraction_cost_reduction(baseline: Breakdown, optimized: Breakdown) -> float:
+    """Fractional reduction in absolute framework work, baseline -> optimized
+    (the quantity the paper quotes as '40% of the abstraction costs are
+    reduced for WordCount')."""
+    base = baseline.framework_work()
+    if base <= 0:
+        return 0.0
+    return 1.0 - optimized.framework_work() / base

@@ -1,0 +1,94 @@
+"""Task-timeline (Gantt) rendering and trace export for cluster runs.
+
+Turns a :class:`~repro.cluster.jobtracker.ClusterJobResult` into
+(a) a plain-dict trace suitable for JSON export or further analysis and
+(b) an ASCII Gantt chart of task placements per node — the quickest way
+to see scheduling waves, stragglers, and the map->reduce barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..cluster.jobtracker import ClusterJobResult
+from ..cluster.scheduler import Placement
+
+
+def export_trace(result: ClusterJobResult) -> dict[str, Any]:
+    """A JSON-ready trace of one cluster job."""
+
+    def placement_row(placement: Placement, kind: str) -> dict[str, Any]:
+        return {
+            "task": placement.task_id,
+            "kind": kind,
+            "host": placement.host,
+            "start": placement.start,
+            "end": placement.end,
+            "duration": placement.end - placement.start,
+            "data_local": placement.data_local,
+        }
+
+    return {
+        "job": result.job_name,
+        "cluster": result.cluster_name,
+        "runtime_seconds": result.runtime_seconds,
+        "map_phase_seconds": result.map_phase_seconds,
+        "reduce_phase_seconds": result.reduce_phase_seconds,
+        "tasks": (
+            [placement_row(p, "map") for p in result.map_placements]
+            + [placement_row(p, "reduce") for p in result.reduce_placements]
+        ),
+        "counters": result.counters.as_dict(),
+        "work_by_op": result.ledger.as_dict(),
+    }
+
+
+def render_gantt(result: ClusterJobResult, width: int = 72) -> str:
+    """ASCII Gantt chart: one row per node, ``m``/``R`` blocks per task.
+
+    Each character column is ``runtime / width`` seconds; overlapping
+    tasks on a node's multiple slots stack into uppercase markers.
+    """
+    if width < 10:
+        raise ValueError(f"width must be at least 10, got {width}")
+    total = max(result.runtime_seconds, 1e-9)
+    scale = width / total
+
+    hosts = sorted(
+        {p.host for p in result.map_placements}
+        | {p.host for p in result.reduce_placements}
+    )
+    rows: list[str] = [
+        f"{result.job_name} on {result.cluster_name}: "
+        f"{result.runtime_seconds:.3f}s "
+        f"(map {result.map_phase_seconds:.3f}s | reduce {result.reduce_phase_seconds:.3f}s)"
+    ]
+    barrier = int(result.map_phase_seconds * scale)
+
+    for host in hosts:
+        lane = [0] * width  # occupancy count per column
+        kinds = [" "] * width
+        for placement, mark in (
+            [(p, "m") for p in result.map_placements if p.host == host]
+            + [(p, "r") for p in result.reduce_placements if p.host == host]
+        ):
+            lo = int(placement.start * scale)
+            hi = max(lo + 1, int(placement.end * scale))
+            for col in range(lo, min(hi, width)):
+                lane[col] += 1
+                kinds[col] = mark
+        cells = []
+        for col in range(width):
+            if lane[col] == 0:
+                cells.append("|" if col == barrier else ".")
+            elif lane[col] == 1:
+                cells.append(kinds[col])
+            else:
+                cells.append(kinds[col].upper())
+        rows.append(f"{host:>10s} {''.join(cells)}")
+
+    rows.append(
+        f"{'':>10s} {'.' * width}   (m/r = one task, M/R = stacked slots, "
+        "| = map barrier)"
+    )
+    return "\n".join(rows)

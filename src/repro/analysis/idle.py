@@ -1,0 +1,96 @@
+"""Map/support thread idle-time aggregation (Table II, Figure 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..engine.pipeline import PipelineResult
+
+
+@dataclass(frozen=True)
+class IdleReport:
+    """Aggregated two-thread timing over all map tasks of a job.
+
+    ``map_wait`` includes the terminal drain (the map thread joining the
+    support thread after the last spill), which Table II's idle
+    percentages count; ``map_block_wait`` excludes it — that is the
+    steady-state blocking the spill-matcher's control law addresses, and
+    what Figure 9's wait-removal percentages are computed over (the
+    drain exists in every configuration and merely scales with the final
+    partial spill's size).
+    """
+
+    map_busy: float
+    map_wait: float
+    support_busy: float
+    support_wait: float
+    elapsed: float
+    map_block_wait: float = 0.0
+
+    @property
+    def map_idle_pct(self) -> float:
+        """Table II's 'Map, Idle' column."""
+        return 100.0 * self.map_wait / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def support_idle_pct(self) -> float:
+        """Table II's 'Support, Idle' column."""
+        return 100.0 * self.support_wait / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def slower_thread_wait(self) -> float:
+        """Wait accrued by the busier (slower) thread, drain included."""
+        if self.map_busy >= self.support_busy:
+            return self.map_wait
+        return self.support_wait
+
+    @property
+    def slower_thread_block_wait(self) -> float:
+        """Steady-state wait of the slower thread — what spill-matcher
+        eliminates (Figure 9's headline percentages)."""
+        if self.map_busy >= self.support_busy:
+            return self.map_block_wait
+        return self.support_wait
+
+    @property
+    def total_wait(self) -> float:
+        return self.map_wait + self.support_wait
+
+
+def aggregate_idle(pipelines: Iterable[PipelineResult]) -> IdleReport:
+    """Sum per-task pipeline results into one job-level report.
+
+    The map thread's terminal join on the support thread
+    (``final_drain_wait``) counts as map wait, as it does in Hadoop's
+    task accounting.
+    """
+    map_busy = map_wait = support_busy = support_wait = elapsed = 0.0
+    map_block_wait = 0.0
+    for pipeline in pipelines:
+        map_busy += pipeline.map_busy
+        map_wait += pipeline.map_wait + pipeline.final_drain_wait
+        map_block_wait += pipeline.map_wait
+        support_busy += pipeline.support_busy
+        support_wait += pipeline.support_wait
+        elapsed += pipeline.elapsed
+    return IdleReport(
+        map_busy, map_wait, support_busy, support_wait, elapsed, map_block_wait
+    )
+
+
+def wait_removed_pct(baseline: IdleReport, optimized: IdleReport) -> float:
+    """Percentage of the slower thread's steady-state wait removed by an
+    optimization ('about 90% of wait time has been removed for
+    WordCount', Section V-C).
+
+    Returns ``nan`` when the baseline has no meaningful wait to remove
+    (< 1% of its busy work) — e.g. a calibration where the slower thread
+    already never blocks; callers report that case explicitly rather
+    than as a fake 0% or 100%.
+    """
+    base = baseline.slower_thread_block_wait
+    busy = max(baseline.map_busy, baseline.support_busy)
+    if base <= 0.01 * busy:
+        return float("nan")
+    return 100.0 * (1.0 - optimized.slower_thread_block_wait / base)

@@ -1,0 +1,94 @@
+"""ASCII plotting for figure series — dependency-free visuals.
+
+The experiment harness reports figures as tables; these helpers add
+quick-look scatter/line plots in plain text for terminals and for
+EXPERIMENTS.md, including the log-log view Figure 3 needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def _scale(value: float, lo: float, hi: float, size: int) -> int:
+    if hi <= lo:
+        return 0
+    return min(size - 1, max(0, int((value - lo) / (hi - lo) * (size - 1))))
+
+
+def render_scatter(
+    title: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Plot one or more y-series against shared x values.
+
+    Each series gets a marker (``*``, ``o``, ``+`` ...); collisions show
+    the later series' marker.  Log axes drop non-positive points.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("plot must be at least 10x4")
+    markers = "*o+x#@"
+
+    def tx(value: float) -> float:
+        return math.log10(value) if logx else value
+
+    def ty(value: float) -> float:
+        return math.log10(value) if logy else value
+
+    points: list[tuple[float, float, str]] = []
+    for index, (name, ys) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, ys):
+            if (logx and x <= 0) or (logy and y <= 0):
+                continue
+            points.append((tx(x), ty(y), marker))
+    if not points:
+        return f"{title}\n(no plottable points)"
+
+    x_lo = min(p[0] for p in points)
+    x_hi = max(p[0] for p in points)
+    y_lo = min(p[1] for p in points)
+    y_hi = max(p[1] for p in points)
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = _scale(x, x_lo, x_hi, width)
+        row = height - 1 - _scale(y, y_lo, y_hi, height)
+        grid[row][col] = marker
+
+    def fmt(value: float, log: bool) -> str:
+        return f"1e{value:.1f}" if log else f"{value:.3g}"
+
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines = [title, f"y: {fmt(y_lo, logy)} .. {fmt(y_hi, logy)}   {legend}"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {fmt(x_lo, logx)} .. {fmt(x_hi, logx)}")
+    return "\n".join(lines)
+
+
+def render_bars(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max((v for v in values if v > 0), default=1.0)
+    label_width = max((len(l) for l in labels), default=0)
+    lines = [title]
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(value / peak * width))
+        lines.append(f"{label:>{label_width}s} {bar} {value:.4g}{unit}")
+    return "\n".join(lines)

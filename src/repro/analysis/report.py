@@ -1,0 +1,65 @@
+"""Paper-vs-measured comparison records.
+
+Every experiment emits :class:`Claim` rows — a named quantity from the
+paper, the measured value, and a qualitative *shape* check (direction /
+rough magnitude, never absolute seconds).  EXPERIMENTS.md is assembled
+from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One comparable quantity of one experiment."""
+
+    experiment: str
+    name: str
+    paper_value: str
+    measured_value: str
+    holds: bool
+    note: str = ""
+
+    def row(self) -> list[str]:
+        return [
+            self.name,
+            self.paper_value,
+            self.measured_value,
+            "yes" if self.holds else "NO",
+            self.note,
+        ]
+
+
+def check(
+    experiment: str,
+    name: str,
+    paper_value: str,
+    measured: float,
+    predicate: Callable[[float], bool],
+    fmt: str = "{:.1f}",
+    note: str = "",
+) -> Claim:
+    """Build a claim from a measured float and a shape predicate."""
+    return Claim(
+        experiment=experiment,
+        name=name,
+        paper_value=paper_value,
+        measured_value=fmt.format(measured),
+        holds=bool(predicate(measured)),
+        note=note,
+    )
+
+
+def render_claims(claims: list[Claim]) -> str:
+    from .tables import render_table
+
+    if not claims:
+        return "(no claims)"
+    return render_table(
+        f"paper-vs-measured: {claims[0].experiment}",
+        ["quantity", "paper", "measured", "shape holds", "note"],
+        [c.row() for c in claims],
+    )

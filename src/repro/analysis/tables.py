@@ -1,0 +1,73 @@
+"""Plain-text table and figure-series rendering.
+
+Experiment harnesses print their reproduced tables/figures as aligned
+ASCII — no plotting dependencies; series data is also returned as plain
+structures so callers (or notebooks) can plot if they wish.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render an aligned table with a title rule."""
+
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [title, rule, line(list(headers)), rule]
+    out.extend(line(row) for row in text_rows)
+    out.append(rule)
+    return "\n".join(out)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[Any],
+    series: dict[str, Sequence[float]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render figure data as one row per x value, one column per series."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(xs)
+    ]
+    return render_table(title, headers, rows, float_format)
+
+
+def render_grid(
+    title: str,
+    row_label: str,
+    row_values: Sequence[Any],
+    col_label: str,
+    col_values: Sequence[Any],
+    cells: Sequence[Sequence[float]],
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render a 2-D sweep (the Figure 10 heatmap) as a matrix table."""
+    headers = [f"{row_label}\\{col_label}"] + [str(c) for c in col_values]
+    rows = [
+        [str(row_values[i])] + list(cells[i])
+        for i in range(len(row_values))
+    ]
+    return render_table(title, headers, rows, float_format)

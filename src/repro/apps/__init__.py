@@ -1,0 +1,97 @@
+"""The paper's benchmark applications (Section II-B) plus SynText."""
+
+from .accesslog import (
+    AccessLogJoinMapper,
+    AccessLogJoinReducer,
+    AccessLogSumCombiner,
+    AccessLogSumMapper,
+    AccessLogSumReducer,
+    build_accesslogjoin,
+    build_accesslogsum,
+)
+from .base import AppJob, make_conf
+from .invertedindex import (
+    InvertedIndexCombiner,
+    InvertedIndexMapper,
+    InvertedIndexReducer,
+    build_invertedindex,
+)
+from .pagerank import (
+    PageRankCombiner,
+    PageRankMapper,
+    PageRankReducer,
+    build_pagerank,
+)
+from .extras import (
+    RangePartitioner,
+    build_distributedsort,
+    build_selection,
+    generate_sort_records,
+)
+from .registry import (
+    APP_NAMES,
+    EXTRA_APP_NAMES,
+    EXTRA_REGISTRY,
+    REGISTRY,
+    TEXT_CENTRIC_APPS,
+    AppEntry,
+    build_application,
+)
+from .syntext import SynTextCombiner, SynTextMapper, SynTextReducer, build_syntext
+from .wordcount import (
+    WordCountCombiner,
+    WordCountMapper,
+    WordCountReducer,
+    build_wordcount,
+    wordcount_oracle,
+)
+from .wordpostag import (
+    WordPosTagCombiner,
+    WordPosTagMapper,
+    WordPosTagReducer,
+    build_wordpostag,
+)
+
+__all__ = [
+    "APP_NAMES",
+    "AccessLogJoinMapper",
+    "AccessLogJoinReducer",
+    "AccessLogSumCombiner",
+    "AccessLogSumMapper",
+    "AccessLogSumReducer",
+    "AppEntry",
+    "AppJob",
+    "EXTRA_APP_NAMES",
+    "EXTRA_REGISTRY",
+    "RangePartitioner",
+    "InvertedIndexCombiner",
+    "InvertedIndexMapper",
+    "InvertedIndexReducer",
+    "PageRankCombiner",
+    "PageRankMapper",
+    "PageRankReducer",
+    "REGISTRY",
+    "SynTextCombiner",
+    "SynTextMapper",
+    "SynTextReducer",
+    "TEXT_CENTRIC_APPS",
+    "WordCountCombiner",
+    "WordCountMapper",
+    "WordCountReducer",
+    "WordPosTagCombiner",
+    "WordPosTagMapper",
+    "WordPosTagReducer",
+    "build_accesslogjoin",
+    "build_accesslogsum",
+    "build_application",
+    "build_distributedsort",
+    "build_selection",
+    "generate_sort_records",
+    "build_invertedindex",
+    "build_pagerank",
+    "build_syntext",
+    "build_wordcount",
+    "build_wordpostag",
+    "make_conf",
+    "wordcount_oracle",
+]

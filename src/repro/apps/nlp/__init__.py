@@ -1,0 +1,18 @@
+"""Self-contained NLP substrate (the OpenNLP stand-in): tokenizer,
+lexical emission model, and an HMM Viterbi POS tagger."""
+
+from .hmm import START_LOG, TRANSITION_LOG, HmmTagger
+from .lexicon import NUM_TAGS, TAG_INDEX, TAGS, emission_log_probs
+from .tokenizer import tokenize, tokenize_with_offsets
+
+__all__ = [
+    "HmmTagger",
+    "NUM_TAGS",
+    "START_LOG",
+    "TAGS",
+    "TAG_INDEX",
+    "TRANSITION_LOG",
+    "emission_log_probs",
+    "tokenize",
+    "tokenize_with_offsets",
+]

@@ -1,0 +1,111 @@
+"""First-order HMM part-of-speech tagger with Viterbi decoding.
+
+The transition matrix encodes coarse English-like tag bigram structure
+(determiners precede nouns/adjectives, adverbs precede verbs, ...).
+Decoding a sentence of ``n`` tokens over ``T`` tags costs ``O(n·T²)``
+real multiply-adds — the genuine CPU work that makes WordPOSTag the
+map-dominated application of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .lexicon import NUM_TAGS, TAG_INDEX, TAGS, emission_log_probs
+
+_RAW_TRANSITIONS: dict[str, dict[str, float]] = {
+    "NOUN": {"VERB": 4, "PREP": 3, "CONJ": 2, "NOUN": 2, "OTHER": 1},
+    "VERB": {"DET": 4, "NOUN": 3, "ADV": 2, "PREP": 2, "PRON": 1},
+    "ADJ": {"NOUN": 6, "ADJ": 1, "CONJ": 1},
+    "ADV": {"VERB": 5, "ADJ": 2, "ADV": 1},
+    "DET": {"NOUN": 6, "ADJ": 3},
+    "PREP": {"DET": 4, "NOUN": 3, "PRON": 1, "NUM": 1},
+    "PRON": {"VERB": 6, "OTHER": 1},
+    "CONJ": {"NOUN": 3, "VERB": 2, "DET": 2, "PRON": 1},
+    "NUM": {"NOUN": 5, "OTHER": 1},
+    "OTHER": {"NOUN": 2, "VERB": 2, "DET": 1, "OTHER": 1},
+}
+
+_START: dict[str, float] = {
+    "DET": 4, "NOUN": 3, "PRON": 2, "ADV": 1, "PREP": 1, "VERB": 1, "OTHER": 1,
+}
+
+_SMOOTHING = 0.1
+
+
+def _normalize_log(weights: dict[str, float]) -> list[float]:
+    dense = [weights.get(tag, 0.0) + _SMOOTHING for tag in TAGS]
+    total = sum(dense)
+    return [math.log(w / total) for w in dense]
+
+
+TRANSITION_LOG: list[list[float]] = [_normalize_log(_RAW_TRANSITIONS[tag]) for tag in TAGS]
+START_LOG: list[float] = _normalize_log(_START)
+
+
+class HmmTagger:
+    """Viterbi decoder over the fixed tagset.
+
+    An emission cache keeps repeated words (the corpus is Zipfian, so
+    most tokens repeat) from re-deriving their lexicon vector; the
+    trellis itself is recomputed per sentence, as a real tagger's would
+    be, because transitions couple neighbouring words.
+    """
+
+    def __init__(self, cache_size: int = 50_000) -> None:
+        self.cache_size = cache_size
+        self._emission_cache: dict[str, list[float]] = {}
+        self.sentences_tagged = 0
+        self.tokens_tagged = 0
+
+    def _emissions(self, word: str) -> list[float]:
+        cached = self._emission_cache.get(word)
+        if cached is None:
+            cached = emission_log_probs(word)
+            if len(self._emission_cache) < self.cache_size:
+                self._emission_cache[word] = cached
+        return cached
+
+    def tag(self, tokens: list[str]) -> list[str]:
+        """Most likely tag sequence for *tokens* (empty in, empty out)."""
+        if not tokens:
+            return []
+        n = len(tokens)
+
+        emissions = [self._emissions(token) for token in tokens]
+
+        # Viterbi trellis.
+        trellis = [[0.0] * NUM_TAGS for _ in range(n)]
+        backptr = [[0] * NUM_TAGS for _ in range(n)]
+        first = emissions[0]
+        for t in range(NUM_TAGS):
+            trellis[0][t] = START_LOG[t] + first[t]
+
+        for i in range(1, n):
+            prev_row = trellis[i - 1]
+            row = trellis[i]
+            back_row = backptr[i]
+            emission = emissions[i]
+            for t in range(NUM_TAGS):
+                best_score = -math.inf
+                best_prev = 0
+                for s in range(NUM_TAGS):
+                    score = prev_row[s] + TRANSITION_LOG[s][t]
+                    if score > best_score:
+                        best_score = score
+                        best_prev = s
+                row[t] = best_score + emission[t]
+                back_row[t] = best_prev
+
+        # Backtrace.
+        last = trellis[n - 1]
+        state = max(range(NUM_TAGS), key=last.__getitem__)
+        path = [state]
+        for i in range(n - 1, 0, -1):
+            state = backptr[i][state]
+            path.append(state)
+        path.reverse()
+
+        self.sentences_tagged += 1
+        self.tokens_tagged += n
+        return [TAGS[t] for t in path]

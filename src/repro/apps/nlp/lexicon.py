@@ -1,0 +1,81 @@
+"""Part-of-speech tagset and lexical emission model.
+
+The paper's WordPOSTag uses Apache OpenNLP; our stand-in is a
+self-contained HMM tagger.  This module supplies the *emission* side:
+for any word it produces a log-probability vector over the tagset,
+derived from suffix/shape features plus a deterministic per-word prior
+(so the same word always prefers the same tags, like a real lexicon,
+while unknown shapes still get sensible distributions).
+
+The tagger is a CPU substrate: what the experiments need from it is
+that (a) it performs genuine per-sentence dynamic programming and (b)
+it is deterministic.  Linguistic accuracy on synthetic words is not a
+goal — matching the paper's *workload shape* (heavily CPU-bound map) is.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+
+TAGS: tuple[str, ...] = (
+    "NOUN", "VERB", "ADJ", "ADV", "DET", "PREP", "PRON", "CONJ", "NUM", "OTHER",
+)
+TAG_INDEX: dict[str, int] = {tag: i for i, tag in enumerate(TAGS)}
+NUM_TAGS = len(TAGS)
+
+# Suffix cues loosely modelled on English morphology; synthetic corpus
+# words end in consonant codas that map onto these buckets too.
+_SUFFIX_CUES: list[tuple[str, str, float]] = [
+    ("ing", "VERB", 2.0),
+    ("ed", "VERB", 1.6),
+    ("es", "VERB", 0.8),
+    ("ly", "ADV", 2.2),
+    ("er", "ADJ", 1.0),
+    ("st", "ADJ", 1.2),
+    ("nd", "NOUN", 0.8),
+    ("ck", "NOUN", 1.0),
+    ("s", "NOUN", 0.6),
+    ("n", "NOUN", 0.5),
+    ("r", "VERB", 0.4),
+    ("t", "VERB", 0.3),
+]
+
+_CLOSED_CLASS: dict[str, str] = {
+    "the": "DET", "a": "DET", "an": "DET",
+    "of": "PREP", "in": "PREP", "on": "PREP", "to": "PREP", "at": "PREP",
+    "he": "PRON", "she": "PRON", "it": "PRON", "they": "PRON", "we": "PRON",
+    "and": "CONJ", "or": "CONJ", "but": "CONJ",
+}
+
+
+def emission_log_probs(word: str) -> list[float]:
+    """Log P(word | tag) up to a constant, as a dense vector over TAGS."""
+    scores = [0.0] * NUM_TAGS
+
+    closed = _CLOSED_CLASS.get(word)
+    if closed is not None:
+        scores[TAG_INDEX[closed]] += 6.0
+
+    if word and word[0].isdigit():
+        scores[TAG_INDEX["NUM"]] += 6.0
+
+    for suffix, tag, weight in _SUFFIX_CUES:
+        if word.endswith(suffix):
+            scores[TAG_INDEX[tag]] += weight
+            break
+
+    # Deterministic per-word prior: a stable hash spreads lexical
+    # preference over the open classes, so each word has a consistent
+    # "dictionary entry" without shipping a dictionary.
+    digest = zlib.crc32(word.encode("utf-8"))
+    for i, tag in enumerate(TAGS):
+        bucket = (digest >> (3 * i)) & 0x7
+        open_class = tag in ("NOUN", "VERB", "ADJ", "ADV")
+        scores[i] += (bucket / 7.0) * (1.5 if open_class else 0.3)
+
+    # Convert scores to normalized log-probabilities.
+    max_score = max(scores)
+    exp = [math.exp(score - max_score) for score in scores]
+    total = sum(exp)
+    return [math.log(e / total) for e in exp]

@@ -1,0 +1,39 @@
+"""Tokenization for the text-centric applications.
+
+A small, dependency-free tokenizer: lowercases, strips surrounding
+punctuation, splits on whitespace.  Deliberately cheap — WordCount and
+InvertedIndex are *not* supposed to be CPU-bound (Figure 2); the
+CPU-heavy text app is WordPOSTag, whose cost lives in the Viterbi
+decoder, not here.
+"""
+
+from __future__ import annotations
+
+_PUNCT = ".,;:!?\"'()[]{}<>-—"
+
+
+def tokenize(line: str) -> list[str]:
+    """Split *line* into normalized word tokens (empty tokens dropped)."""
+    tokens: list[str] = []
+    for raw in line.split():
+        token = raw.strip(_PUNCT).lower()
+        if token:
+            tokens.append(token)
+    return tokens
+
+
+def tokenize_with_offsets(line: str, line_offset: int = 0) -> list[tuple[str, int]]:
+    """Tokens with their byte-ish offsets within the file.
+
+    Offsets are character positions relative to the line start plus
+    *line_offset*; InvertedIndex uses them as posting positions.
+    """
+    out: list[tuple[str, int]] = []
+    pos = 0
+    for raw in line.split():
+        start = line.index(raw, pos)
+        pos = start + len(raw)
+        token = raw.strip(_PUNCT).lower()
+        if token:
+            out.append((token, line_offset + start))
+    return out

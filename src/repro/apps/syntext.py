@@ -1,0 +1,130 @@
+"""SynText — the parameterizable synthetic text benchmark (Figure 10).
+
+Section V-D: "SynText is a parameterizable benchmark that allows us to
+explore different points in the possible space of text-centric
+applications.  We can vary SynText in terms of CPU-intensity as well as
+storage-intensity.  CPU-intensity is the volume of computation
+performed in map(), as a multiplicative factor over what WordCount
+performs.  Storage-intensity is measured by the average growth in
+output size when two records are aggregated in combine() or reduce()."
+
+Concretely:
+
+* **CPU-intensity** ``f_cpu`` multiplies the map() cost (both the cost
+  model's per-record charge and real busy-work so actual and modelled
+  work stay in step).  ``f_cpu = 1`` is WordCount.
+* **Storage-intensity** ``f_sto`` in [0, 1] controls how much combined
+  values grow: combining values of total payload ``P`` yields a value
+  of size ``base + f_sto · (P − base)``.  ``f_sto = 0`` behaves like a
+  counter (WordCount), ``f_sto = 1`` like posting-list concatenation
+  (InvertedIndex).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from ..data.textcorpus import CorpusSpec, generate_corpus
+from ..engine.api import Combiner, Emitter, Mapper, Reducer
+from ..engine.inputformat import TextInput
+from ..engine.job import JobSpec
+from ..serde.text import Text
+from ..serde.writable import Writable
+from .base import AppJob, make_conf
+from .nlp.tokenizer import tokenize
+from .wordcount import WORDCOUNT_COSTS
+
+_BASE_PAYLOAD = 4  # bytes of payload a fresh emit carries
+
+
+def _shrink(values: list[Writable], storage_intensity: float) -> str:
+    """Aggregate payloads with controlled growth.
+
+    The combined payload keeps the first ``base + f·(P−base)`` payload
+    characters — associative enough for differential testing (final
+    reduce output depends only on total original payload, which tests
+    assert) while letting intermediate volume scale with ``f``.
+    """
+    payload = "".join(v.value for v in values)  # type: ignore[attr-defined]
+    keep = int(_BASE_PAYLOAD + storage_intensity * max(0, len(payload) - _BASE_PAYLOAD))
+    return payload[: max(_BASE_PAYLOAD, keep)]
+
+
+class SynTextMapper(Mapper):
+    """Tokenize-and-emit with tunable artificial CPU work."""
+
+    def __init__(self, cpu_intensity: float) -> None:
+        self.cpu_intensity = cpu_intensity
+
+    def map(self, key: Writable, value: Writable, emit: Emitter) -> None:
+        line = value.value  # type: ignore[attr-defined]
+        # Real busy-work proportional to the CPU-intensity factor: a
+        # small deterministic hash loop per token, so actual CPU burned
+        # tracks the cost model's charge.
+        spins = max(0, int(4 * (self.cpu_intensity - 1.0)))
+        for word in tokenize(line):
+            if spins:
+                acc = 0
+                for i in range(spins):
+                    acc = (acc * 31 + len(word) + i) & 0xFFFFFFFF
+            emit(Text(word), Text("x" * _BASE_PAYLOAD))
+
+
+class SynTextCombiner(Combiner):
+    def __init__(self, storage_intensity: float) -> None:
+        self.storage_intensity = storage_intensity
+
+    def combine(self, key: Writable, values: list[Writable], emit: Emitter) -> None:
+        emit(key, Text(_shrink(values, self.storage_intensity)))
+
+
+class SynTextReducer(Reducer):
+    """Output each key's total aggregated payload length."""
+
+    def reduce(self, key: Writable, values: Iterator[Writable], emit: Emitter) -> None:
+        total = sum(len(v.value) for v in values)  # type: ignore[attr-defined]
+        emit(key, Text(str(total)))
+
+
+def build_syntext(
+    cpu_intensity: float = 1.0,
+    storage_intensity: float = 0.0,
+    scale: float = 0.08,
+    conf_overrides: Mapping[str, Any] | None = None,
+    num_splits: int = 3,
+    seed: int = 0,
+) -> AppJob:
+    """Assemble a SynText point in the (CPU, storage) intensity plane."""
+    if cpu_intensity < 0:
+        raise ValueError(f"cpu_intensity must be non-negative, got {cpu_intensity}")
+    if not 0.0 <= storage_intensity <= 1.0:
+        raise ValueError(
+            f"storage_intensity must be in [0, 1], got {storage_intensity}"
+        )
+    spec = CorpusSpec(seed=seed).scaled(scale)
+    data = generate_corpus(spec)
+    conf = make_conf(conf_overrides)
+    split_size = max(1, len(data) // num_splits)
+
+    job = JobSpec(
+        name=f"syntext_c{cpu_intensity:g}_s{storage_intensity:g}",
+        input_format=TextInput(data, split_size=split_size, path="corpus.txt"),
+        mapper_factory=lambda: SynTextMapper(cpu_intensity),
+        reducer_factory=SynTextReducer,
+        combiner_factory=lambda: SynTextCombiner(storage_intensity),
+        map_output_key_cls=Text,
+        map_output_value_cls=Text,
+        conf=conf,
+        user_costs=WORDCOUNT_COSTS.with_cpu_intensity(cpu_intensity),
+    )
+    return AppJob(
+        app_name="syntext",
+        text_centric=True,
+        job=job,
+        oracle=None,
+        info={
+            "cpu_intensity": cpu_intensity,
+            "storage_intensity": storage_intensity,
+            "corpus": spec,
+        },
+    )

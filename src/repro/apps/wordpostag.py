@@ -1,0 +1,142 @@
+"""WordPOSTag — part-of-speech statistics over a corpus.
+
+"WordPOSTag performs a part-of-speech (POS) tagging, which is a
+computation-intensive process ... For each word, map() emits an array
+of counters, each counts the times this word is of a certain type, and
+reduce() sums the counters up to get the final POS statistics of all
+words" (Section II-B).
+
+The paper used Apache OpenNLP; our substitute is the self-contained
+HMM Viterbi tagger of :mod:`repro.apps.nlp` — real ``O(n·T²)`` dynamic
+programming per sentence, making this by far the most CPU-intensive
+map of the suite (the paper's POS job runs 20,170s vs WordCount's
+571s; we calibrate the map cost to the same ~35x ratio).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from ..data.textcorpus import CorpusSpec, generate_corpus
+from ..engine.api import Combiner, Emitter, Mapper, Reducer
+from ..engine.costmodel import UserCodeCosts
+from ..engine.inputformat import TextInput
+from ..engine.job import JobSpec
+from ..serde.composite import array_writable_type
+from ..serde.numeric import VIntWritable
+from ..serde.text import Text
+from ..serde.writable import Writable
+from .base import AppJob, make_conf
+from .nlp.hmm import HmmTagger
+from .nlp.lexicon import NUM_TAGS, TAG_INDEX
+from .nlp.tokenizer import tokenize
+
+TagCountsWritable = array_writable_type(VIntWritable)
+
+#: The Viterbi decode is ~35x WordCount's per-record map work (matching
+#: the paper's 20170s/571s runtime ratio on identical input).
+WORDPOSTAG_COSTS = UserCodeCosts(
+    map_record=20_000.0, map_byte=260.0, combine_record=30.0, reduce_record=30.0
+)
+
+
+def _vector(counts: dict[int, int]) -> TagCountsWritable:
+    dense = [0] * NUM_TAGS
+    for index, count in counts.items():
+        dense[index] = count
+    return TagCountsWritable([VIntWritable(c) for c in dense])
+
+
+def _add_vectors(values: list[Writable]) -> TagCountsWritable:
+    total = [0] * NUM_TAGS
+    for value in values:
+        for i, counter in enumerate(value):  # type: ignore[arg-type]
+            total[i] += counter.value
+    return TagCountsWritable([VIntWritable(c) for c in total])
+
+
+class WordPosTagMapper(Mapper):
+    """Viterbi-tag each line; emit one per-word tag-count vector."""
+
+    def setup(self) -> None:
+        self.tagger = HmmTagger()
+
+    def map(self, key: Writable, value: Writable, emit: Emitter) -> None:
+        tokens = tokenize(value.value)  # type: ignore[attr-defined]
+        tags = self.tagger.tag(tokens)
+        per_word: dict[str, dict[int, int]] = {}
+        for token, tag in zip(tokens, tags):
+            counts = per_word.setdefault(token, {})
+            index = TAG_INDEX[tag]
+            counts[index] = counts.get(index, 0) + 1
+        for token, counts in per_word.items():
+            emit(Text(token), _vector(counts))
+
+
+class WordPosTagCombiner(Combiner):
+    """Element-wise vector sum (safe: vector addition is associative)."""
+
+    def combine(self, key: Writable, values: list[Writable], emit: Emitter) -> None:
+        emit(key, _add_vectors(values))
+
+
+class WordPosTagReducer(Reducer):
+    """Final POS statistics per word: the summed tag-count vector."""
+
+    def reduce(self, key: Writable, values: Iterator[Writable], emit: Emitter) -> None:
+        emit(key, _add_vectors(list(values)))
+
+
+def wordpostag_oracle(data: bytes) -> dict[str, tuple[int, ...]]:
+    """Reference tag statistics via a fresh tagger over whole lines.
+
+    Valid oracle because tagging is per-line deterministic: the same
+    line yields the same tags regardless of which map task saw it.
+    """
+    tagger = HmmTagger()
+    stats: dict[str, list[int]] = {}
+    for line in data.decode("utf-8").splitlines():
+        tokens = tokenize(line)
+        for token, tag in zip(tokens, tagger.tag(tokens)):
+            vector = stats.setdefault(token, [0] * NUM_TAGS)
+            vector[TAG_INDEX[tag]] += 1
+    return {word: tuple(v) for word, v in stats.items()}
+
+
+def build_wordpostag(
+    scale: float = 0.1,
+    conf_overrides: Mapping[str, Any] | None = None,
+    num_splits: int = 4,
+    seed: int = 0,
+    corpus_shrink: float = 0.35,
+) -> AppJob:
+    """Assemble a WordPOSTag job.
+
+    ``corpus_shrink`` keeps wall-clock runs practical: the Viterbi map is
+    ~30x more *actual* Python work per line than WordCount's, so POS runs
+    on a proportionally smaller corpus by default (the cost model, not
+    the corpus size, carries the CPU-intensity into the results).
+    """
+    spec = CorpusSpec(seed=seed).scaled(scale * corpus_shrink)
+    data = generate_corpus(spec)
+    conf = make_conf(conf_overrides)
+    split_size = max(1, len(data) // num_splits)
+
+    job = JobSpec(
+        name="wordpostag",
+        input_format=TextInput(data, split_size=split_size, path="corpus.txt"),
+        mapper_factory=WordPosTagMapper,
+        reducer_factory=WordPosTagReducer,
+        combiner_factory=WordPosTagCombiner,
+        map_output_key_cls=Text,
+        map_output_value_cls=TagCountsWritable,
+        conf=conf,
+        user_costs=WORDPOSTAG_COSTS,
+    )
+    return AppJob(
+        app_name="wordpostag",
+        text_centric=True,
+        job=job,
+        oracle=lambda: wordpostag_oracle(data),
+        info={"corpus": spec, "bytes": len(data)},
+    )

@@ -1,0 +1,149 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro.cli run wordcount --config combined --scale 0.1
+    python -m repro.cli cluster invertedindex --cluster local --config freq --gantt
+    python -m repro.cli experiment table3
+    python -m repro.cli list
+
+``run`` executes an application on the single-node engine and prints
+output stats plus the work breakdown; ``cluster`` runs it on a simulated
+cluster with optional Gantt chart; ``experiment`` regenerates one of the
+paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .analysis.breakdown import OP_ORDER, breakdown_from_ledger
+from .analysis.gantt import export_trace, render_gantt
+from .analysis.report import render_claims
+from .apps.registry import APP_NAMES, EXTRA_APP_NAMES, EXTRA_REGISTRY, REGISTRY
+from .cluster.jobtracker import ClusterJobRunner
+from .cluster.specs import PRESET_CLUSTERS
+from .config import Keys
+from .engine.runner import LocalJobRunner
+from .experiments import runall
+from .experiments.common import OPTIMIZATION_CONFIGS, build_app
+
+
+def _add_common_app_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("app", choices=APP_NAMES + EXTRA_APP_NAMES)
+    parser.add_argument("--config", choices=OPTIMIZATION_CONFIGS, default="baseline")
+    parser.add_argument("--scale", type=float, default=0.05, help="dataset scale knob")
+    parser.add_argument("--splits", type=int, default=4, help="number of map tasks")
+    parser.add_argument("--reducers", type=int, default=None)
+    parser.add_argument(
+        "--grouping", choices=("sort", "hash"), default="sort",
+        help="post-map grouping procedure (hash = the §VII extension)",
+    )
+    parser.add_argument(
+        "--compression", choices=("identity", "zlib", "rle+zlib"), default="identity",
+        help="spill/shuffle segment codec",
+    )
+
+
+def _build(args: argparse.Namespace, extra: dict | None = None):
+    conf = {
+        Keys.GROUPING: args.grouping,
+        Keys.SPILL_COMPRESSION: args.compression,
+    }
+    if args.reducers:
+        conf[Keys.NUM_REDUCERS] = args.reducers
+    if extra:
+        conf.update(extra)
+    return build_app(
+        args.app, args.config, scale=args.scale,
+        extra_conf=conf, num_splits=args.splits,
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    app = _build(args)
+    result = LocalJobRunner().run(app.job)
+    print(f"{app.job.describe()}: {len(result.output_pairs())} output records")
+    breakdown = breakdown_from_ledger(app.name, result.ledger)
+    print(f"total work: {breakdown.total_work:.0f} units "
+          f"(user {breakdown.user_share:.1%}, framework {breakdown.framework_share:.1%})")
+    for op in OP_ORDER:
+        share = breakdown.share(op)
+        if share > 0:
+            print(f"  {op.value:10s} {share:7.2%}  {'#' * int(share * 60)}")
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    cluster = PRESET_CLUSTERS[args.cluster]()
+    app = _build(args, extra={Keys.NUM_REDUCERS: args.reducers or cluster.total_reduce_slots})
+    result = ClusterJobRunner(cluster).run(app)
+    print(render_gantt(result) if args.gantt else
+          f"{app.job.describe()} on {cluster.name}: {result.runtime_seconds:.3f}s "
+          f"(map {result.map_phase_seconds:.3f}s, locality {result.data_local_fraction:.0%})")
+    if args.trace:
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            json.dump(export_trace(result), fh, indent=2)
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    modules = {exp_id: module for exp_id, _, module in runall.EXPERIMENTS}
+    module = modules.get(args.name)
+    if module is None:
+        print(f"unknown experiment {args.name!r}; have {sorted(modules)}", file=sys.stderr)
+        return 2
+    result = module.run()
+    print(result.render())
+    print()
+    print(render_claims(result.claims))
+    return 0 if all(c.holds for c in result.claims) else 1
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("applications (the paper's suite):")
+    for name, entry in REGISTRY.items():
+        kind = "text-centric" if entry.text_centric else "relational "
+        print(f"  {name:15s} [{kind}] {entry.description}")
+    print()
+    print("extra applications:")
+    for name, entry in EXTRA_REGISTRY.items():
+        print(f"  {name:15s} {entry.description}")
+    print()
+    print("experiments:")
+    for exp_id, title, _ in runall.EXPERIMENTS:
+        print(f"  {exp_id:8s} {title}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run an app on the single-node engine")
+    _add_common_app_args(run_parser)
+    run_parser.set_defaults(fn=cmd_run)
+
+    cluster_parser = sub.add_parser("cluster", help="run an app on a simulated cluster")
+    _add_common_app_args(cluster_parser)
+    cluster_parser.add_argument("--cluster", choices=sorted(PRESET_CLUSTERS), default="local")
+    cluster_parser.add_argument("--gantt", action="store_true", help="render task Gantt chart")
+    cluster_parser.add_argument("--trace", default=None, help="write JSON trace to this path")
+    cluster_parser.set_defaults(fn=cmd_cluster)
+
+    exp_parser = sub.add_parser("experiment", help="regenerate one paper table/figure")
+    exp_parser.add_argument("name")
+    exp_parser.set_defaults(fn=cmd_experiment)
+
+    list_parser = sub.add_parser("list", help="list applications and experiments")
+    list_parser.set_defaults(fn=cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Discrete-event cluster simulation: node/network specs, locality-aware
+slot scheduling, and the cluster-level JobTracker."""
+
+from .jobtracker import ClusterJobResult, ClusterJobRunner
+from .scheduler import Placement, TaskRequest, schedule_wave
+from .simclock import EventQueue
+from .speculation import (
+    SpeculationConfig,
+    SpeculativeOutcome,
+    apply_speculation,
+    heterogeneous_cluster,
+)
+from .specs import (
+    PRESET_CLUSTERS,
+    ClusterSpec,
+    NetworkSpec,
+    NodeSpec,
+    ec2_cluster,
+    local_cluster,
+)
+
+__all__ = [
+    "ClusterJobResult",
+    "ClusterJobRunner",
+    "ClusterSpec",
+    "EventQueue",
+    "NetworkSpec",
+    "NodeSpec",
+    "PRESET_CLUSTERS",
+    "Placement",
+    "SpeculationConfig",
+    "SpeculativeOutcome",
+    "apply_speculation",
+    "heterogeneous_cluster",
+    "TaskRequest",
+    "ec2_cluster",
+    "local_cluster",
+    "schedule_wave",
+]

@@ -1,0 +1,46 @@
+"""A minimal discrete-event core: a stable priority queue of timed events."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator
+
+
+class EventQueue:
+    """Time-ordered event queue with deterministic tie-breaking.
+
+    Events scheduled for the same instant fire in insertion order, so
+    simulations are reproducible regardless of payload types (payloads
+    are never compared).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any]] = []
+        self._sequence = 0
+        self.now = 0.0
+
+    def schedule(self, time: float, payload: Any) -> None:
+        """Enqueue *payload* to fire at absolute *time* (>= now)."""
+        if time < self.now - 1e-12:
+            raise ValueError(f"cannot schedule into the past: {time} < now={self.now}")
+        heapq.heappush(self._heap, (time, self._sequence, payload))
+        self._sequence += 1
+
+    def pop(self) -> tuple[float, Any]:
+        """Advance the clock to the earliest event and return it."""
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        time, _seq, payload = heapq.heappop(self._heap)
+        self.now = time
+        return time, payload
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[tuple[float, Any]]:
+        """Pop every event in time order."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,93 @@
+"""Cluster hardware descriptions and the paper's two testbeds.
+
+Section V-A1: a local cluster "running a total of 12 mappers and 12
+reducers on 6 machines, with each one equipped with two quad-core
+1.86GHz Xeon processors, 16GB of RAM", and a 20-node Amazon EC2
+cluster.
+
+Node ``speed`` is in work units per second; its absolute value only
+sets where modelled job times land (we calibrate so the local baseline
+WordCount runs in the paper's hundreds-of-seconds range at the paper's
+data scale), while all reproduced comparisons are ratios and therefore
+speed-invariant.  EC2 nodes get a lower network bandwidth relative to
+compute — the property behind the paper's Table IV observation that
+InvertedIndex's improvement shrinks on EC2 "due to the larger overhead
+of transmitting more data between nodes in the shuffle phase".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One worker machine."""
+
+    host: str
+    speed: float = 5.0e6  # work units per second
+    map_slots: int = 2
+    reduce_slots: int = 2
+    disk_bandwidth: float = 80e6  # bytes/second
+    net_bandwidth: float = 100e6  # bytes/second (NIC)
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Cluster fabric shared by all flows."""
+
+    bandwidth_per_flow: float = 60e6  # bytes/second for one fetch stream
+    latency: float = 0.002  # seconds per fetch setup
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A named set of nodes plus a network."""
+
+    name: str
+    nodes: tuple[NodeSpec, ...]
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+
+    @property
+    def hosts(self) -> tuple[str, ...]:
+        return tuple(node.host for node in self.nodes)
+
+    @property
+    def total_map_slots(self) -> int:
+        return sum(node.map_slots for node in self.nodes)
+
+    @property
+    def total_reduce_slots(self) -> int:
+        return sum(node.reduce_slots for node in self.nodes)
+
+    def node(self, host: str) -> NodeSpec:
+        for node in self.nodes:
+            if node.host == host:
+                return node
+        raise KeyError(f"no such host {host!r} in cluster {self.name!r}")
+
+
+def local_cluster() -> ClusterSpec:
+    """The paper's 6-machine local cluster: 12 map + 12 reduce slots."""
+    nodes = tuple(
+        NodeSpec(host=f"local{i:02d}", speed=5.0e6, map_slots=2, reduce_slots=2)
+        for i in range(6)
+    )
+    return ClusterSpec(name="local", nodes=nodes, network=NetworkSpec(60e6, 0.002))
+
+
+def ec2_cluster() -> ClusterSpec:
+    """The paper's 20-node EC2 cluster.
+
+    Per-node compute comparable to the local machines, but a shared,
+    oversubscribed fabric: less bandwidth per flow and higher latency,
+    making shuffle relatively more expensive.
+    """
+    nodes = tuple(
+        NodeSpec(host=f"ec2-{i:02d}", speed=4.5e6, map_slots=2, reduce_slots=2)
+        for i in range(20)
+    )
+    return ClusterSpec(name="ec2", nodes=nodes, network=NetworkSpec(8e6, 0.001))
+
+
+PRESET_CLUSTERS = {"local": local_cluster, "ec2": ec2_cluster}

@@ -1,0 +1,14 @@
+"""The paper's primary contribution: frequency-buffering and spill-matcher.
+
+Both optimizations require no user code changes — they are wired into
+the engine by :func:`repro.engine.runner.build_collector` /
+:func:`repro.engine.runner.build_spill_policy` based on two JobConf
+flags::
+
+    conf.set(Keys.FREQBUF_ENABLED, True)
+    conf.set(Keys.SPILLMATCHER_ENABLED, True)
+"""
+
+from . import freqbuf, spillmatcher
+
+__all__ = ["freqbuf", "spillmatcher"]

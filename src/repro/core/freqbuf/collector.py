@@ -1,0 +1,278 @@
+"""The frequency-buffering map-output collector (Sections III-A to III-C).
+
+Wraps a :class:`~repro.engine.collector.StandardCollector` and runs the
+paper's two-stage dataflow:
+
+1. *(optional)* **pre-profiling** — exact-count a ~1% prefix, fit the
+   Zipf exponent α, derive the sampling fraction ``s``
+   (:mod:`repro.core.freqbuf.autotune`);
+2. **profiling** — for the first ``s`` of the task's input, all output
+   takes the standard path while a Space-Saving summary tracks key
+   frequencies;
+3. **optimization** — the summary's top-k become the frozen frequent
+   set; tuples with frequent keys go to the in-memory
+   :class:`~repro.core.freqbuf.hashbuffer.FrequentKeyBuffer` (combined
+   eagerly, bypassing serialize/sort/spill), everything else takes the
+   standard path.  At flush the buffer drains its aggregates into the
+   standard path so the final map output is complete and sorted.
+
+Per Section III-B the discovered frequent-key set is shared across the
+map tasks of one node through *shared_state*: the first task profiles,
+the rest skip straight to the optimization stage.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any
+
+from ...config import Keys
+from ...engine.collector import MapOutputCollector, StandardCollector
+from ...engine.combiner import CombinerRunner
+from ...engine.counters import Counter, Counters
+from ...engine.instrumentation import Op, TaskInstruments
+from ...engine.job import JobSpec
+from ...io.spillfile import SpillIndex
+from ...serde.writable import Writable
+from .autotune import PreProfiler
+from .hashbuffer import FrequentKeyBuffer
+from .spacesaving import SpaceSaving
+
+SHARED_FREQUENT_KEYS = "freqbuf.frequent_keys"
+SHARED_ALPHA = "freqbuf.alpha"
+SHARED_SAMPLE_FRACTION = "freqbuf.sample_fraction"
+
+
+class Stage(Enum):
+    PREPROFILE = "preprofile"
+    PROFILE = "profile"
+    OPTIMIZE = "optimize"
+
+
+class FrequencyBufferingCollector(MapOutputCollector):
+    """Two-stage frequent-key-aware collector."""
+
+    def __init__(
+        self,
+        inner: StandardCollector,
+        *,
+        k: int,
+        sample_fraction: float,
+        autotune: bool,
+        preprofile_fraction: float,
+        hash_budget_bytes: int,
+        values_per_key_limit: int,
+        instruments: TaskInstruments,
+        counters: Counters,
+        combiner_runner: CombinerRunner | None,
+        shared_state: dict[str, Any] | None = None,
+        share_across_tasks: bool = True,
+    ) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError(f"sample fraction must be in (0, 1], got {sample_fraction}")
+        self.inner = inner
+        self.k = k
+        self.sample_fraction = sample_fraction
+        self.autotune = autotune
+        self.preprofile_fraction = preprofile_fraction
+        self.hash_budget_bytes = max(1, hash_budget_bytes)
+        self.values_per_key_limit = values_per_key_limit
+        self.instruments = instruments
+        self.counters = counters
+        self.combiner_runner = combiner_runner
+        self.shared_state = shared_state if shared_state is not None else {}
+        self.share_across_tasks = share_across_tasks
+
+        self._input_fraction = 0.0
+        self._emitted = 0
+        self._summary: SpaceSaving[Writable] = SpaceSaving(max(2 * k, 16))
+        self._preprofiler: PreProfiler | None = None
+        self._buffer: FrequentKeyBuffer | None = None
+        self.alpha: float | None = None
+
+        shared_keys = (
+            self.shared_state.get(SHARED_FREQUENT_KEYS) if share_across_tasks else None
+        )
+        if shared_keys is not None:
+            # A sibling task on this node already profiled: skip straight
+            # to the optimization stage (Section III-B).
+            self.stage = Stage.OPTIMIZE
+            self.alpha = self.shared_state.get(SHARED_ALPHA)
+            self._activate(set(shared_keys))
+        elif autotune:
+            self.stage = Stage.PREPROFILE
+        else:
+            self.stage = Stage.PROFILE
+
+    # ------------------------------------------------------------------
+    # factory
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_conf(
+        cls,
+        inner: StandardCollector,
+        job: JobSpec,
+        hash_budget_bytes: int,
+        instruments: TaskInstruments,
+        counters: Counters,
+        combiner_runner: CombinerRunner | None,
+        shared_state: dict[str, Any] | None = None,
+    ) -> "FrequencyBufferingCollector":
+        conf = job.conf
+        return cls(
+            inner,
+            k=conf.get_positive_int(Keys.FREQBUF_K),
+            sample_fraction=conf.get_fraction(Keys.FREQBUF_SAMPLE_FRACTION),
+            autotune=conf.get_bool(Keys.FREQBUF_AUTOTUNE),
+            preprofile_fraction=conf.get_fraction(Keys.FREQBUF_PREPROFILE_FRACTION),
+            hash_budget_bytes=hash_budget_bytes,
+            values_per_key_limit=conf.get_positive_int(Keys.FREQBUF_VALUES_PER_KEY),
+            instruments=instruments,
+            counters=counters,
+            combiner_runner=combiner_runner,
+            shared_state=shared_state,
+            share_across_tasks=conf.get_bool(Keys.FREQBUF_SHARE_ACROSS_TASKS),
+        )
+
+    # ------------------------------------------------------------------
+    # MapOutputCollector interface
+    # ------------------------------------------------------------------
+    @property
+    def timeline(self):
+        """The pipeline timeline lives with the standard (spill) path."""
+        return self.inner.timeline
+
+    @property
+    def spill_indices(self) -> list[SpillIndex]:
+        return self.inner.spill_indices
+
+    def note_input_progress(self, fraction: float) -> None:
+        self._input_fraction = fraction
+        if self.stage is Stage.PREPROFILE and fraction >= self.preprofile_fraction:
+            self._finish_preprofile()
+        if self.stage is Stage.PROFILE and fraction >= self.sample_fraction:
+            self._finish_profile()
+
+    def collect(self, key: Writable, value: Writable) -> None:
+        self._emitted += 1
+        model = self.inner.cost_model
+
+        if self.stage is Stage.OPTIMIZE:
+            assert self._buffer is not None
+            self.instruments.charge_map_thread(Op.HASHBUF, model.hash_record)
+            if self._buffer.accepts(key):
+                self.counters.incr(Counter.FREQBUF_HITS)
+                self.counters.incr(Counter.MAP_OUTPUT_RECORDS)
+                self.counters.incr(
+                    Counter.MAP_OUTPUT_BYTES,
+                    key.serialized_size() + value.serialized_size(),
+                )
+                before = self._buffer.stats.eager_combines
+                combine_mark = (
+                    self.combiner_runner.work_done if self.combiner_runner else 0.0
+                )
+                self._buffer.insert(key, value)
+                combines = self._buffer.stats.eager_combines - before
+                if combines:
+                    self.instruments.charge_map_thread(
+                        Op.HASHBUF,
+                        model.hash_combine_record * self.values_per_key_limit * combines,
+                    )
+                if self.combiner_runner is not None:
+                    # The user combine() bodies run eagerly on the map thread.
+                    user_work = self.combiner_runner.work_done - combine_mark
+                    if user_work > 0:
+                        self.instruments.charge_map_thread(Op.COMBINE, user_work)
+                return
+            self.counters.incr(Counter.FREQBUF_MISSES)
+            self.inner.collect(key, value)
+            return
+
+        # Profiling stages: standard dataflow + frequency observation.
+        if self.stage is Stage.PREPROFILE:
+            if self._preprofiler is None:
+                self._init_preprofiler()
+            self._preprofiler.observe(key)  # type: ignore[union-attr]
+            self.instruments.charge_map_thread(Op.PROFILE, model.profile_record)
+        else:  # Stage.PROFILE
+            self._summary.observe(key)
+            self.instruments.charge_map_thread(Op.PROFILE, model.profile_record)
+            self.counters.incr(Counter.FREQBUF_PROFILED_RECORDS)
+        self.inner.collect(key, value)
+
+    def flush(self) -> SpillIndex:
+        if self._buffer is not None:
+            combine_mark = self.combiner_runner.work_done if self.combiner_runner else 0.0
+            drained = self._buffer.drain()
+            if self.combiner_runner is not None:
+                user_work = self.combiner_runner.work_done - combine_mark
+                if user_work > 0:
+                    self.instruments.charge_map_thread(Op.COMBINE, user_work)
+            # The aggregates re-enter the standard dataflow: they are
+            # serialized (EMIT), buffered, sorted, spilled and merged like
+            # any other record — just far fewer of them.
+            for key, value in drained:
+                self.inner.collect_serialized(
+                    key.to_bytes(), value.to_bytes(), count_output=False
+                )
+            self.counters.incr(Counter.FREQBUF_EVICTIONS, self._buffer.stats.overflow_records)
+        return self.inner.flush()
+
+    # ------------------------------------------------------------------
+    # stage transitions
+    # ------------------------------------------------------------------
+    def _init_preprofiler(self) -> None:
+        expected = self._expected_total_output()
+        self._preprofiler = PreProfiler(self.k, expected)
+
+    def _expected_total_output(self) -> int:
+        """Extrapolate the task's total output records from progress so far."""
+        fraction = max(self._input_fraction, 1e-6)
+        return max(self.k + 1, int(self._emitted / fraction))
+
+    def _finish_preprofile(self) -> None:
+        assert self.stage is Stage.PREPROFILE
+        if self._preprofiler is None or self._preprofiler.records_seen == 0:
+            # No output yet; keep pre-profiling until we see records.
+            return
+        # Re-estimate total with the freshest progress information.
+        self._preprofiler.expected_total_records = self._expected_total_output()
+        decision = self._preprofiler.decide()
+        self.alpha = decision.alpha
+        self.sample_fraction = max(
+            decision.sampling_fraction, self.preprofile_fraction
+        )
+        if self.share_across_tasks:
+            self.shared_state[SHARED_ALPHA] = decision.alpha
+            self.shared_state[SHARED_SAMPLE_FRACTION] = self.sample_fraction
+        # Seed the main profiler with what pre-profiling already counted.
+        for key, count in self._preprofiler._counts.items():  # noqa: SLF001
+            self._summary.observe(key, count)
+        self._preprofiler = None
+        self.stage = Stage.PROFILE
+
+    def _finish_profile(self) -> None:
+        assert self.stage is Stage.PROFILE
+        if self._summary.items_seen == 0:
+            return  # nothing observed yet; extend profiling
+        frequent = self._summary.frequent_keys(self.k)
+        if self.share_across_tasks:
+            self.shared_state[SHARED_FREQUENT_KEYS] = frozenset(frequent)
+        self._activate(frequent)
+
+    def _activate(self, frequent: set[Writable]) -> None:
+        self._buffer = FrequentKeyBuffer(
+            frequent_keys=frequent,
+            budget_bytes=self.hash_budget_bytes,
+            combiner_runner=self.combiner_runner,
+            overflow_sink=self._overflow,
+            values_per_key_limit=self.values_per_key_limit,
+        )
+        self.stage = Stage.OPTIMIZE
+
+    def _overflow(self, key: Writable, value: Writable) -> None:
+        """Aggregated records evicted for space rejoin the spill path.
+        They were already counted as map output on insertion."""
+        self.inner.collect_serialized(key.to_bytes(), value.to_bytes(), count_output=False)

@@ -1,0 +1,156 @@
+"""The frequent-key hash table (Section III-A's optimized dataflow).
+
+Tuples whose keys are in the predicted frequent set are stored here
+instead of entering the spill buffer.  Per key we accumulate values
+until a per-key limit, then apply the user's ``combine()`` eagerly,
+"which generally yields a single much-smaller tuple".  If even after
+combining the table exceeds its byte budget, the aggregated record
+overflows to the standard dataflow.  At end of input the table is
+drained: each key is combined once more and the results rejoin the
+standard dataflow — so correctness never depends on the buffer (only
+byte volumes change), which the differential tests exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ...engine.combiner import CombinerRunner
+from ...serde.writable import Writable
+
+OverflowSink = Callable[[Writable, Writable], None]
+"""Receives records the buffer cannot hold (routed to the spill path)."""
+
+
+@dataclass
+class HashBufferStats:
+    """Traffic through the frequent-key buffer."""
+
+    inserts: int = 0
+    eager_combines: int = 0
+    overflow_records: int = 0
+    drained_records: int = 0
+
+
+class FrequentKeyBuffer:
+    """Bounded in-memory accumulator for frequent-key tuples."""
+
+    def __init__(
+        self,
+        frequent_keys: set[Writable],
+        budget_bytes: int,
+        combiner_runner: CombinerRunner | None,
+        overflow_sink: OverflowSink,
+        values_per_key_limit: int = 8,
+    ) -> None:
+        if budget_bytes <= 0:
+            raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+        if values_per_key_limit < 2:
+            raise ValueError(
+                f"values_per_key_limit must be at least 2, got {values_per_key_limit}"
+            )
+        self.frequent_keys = frequent_keys
+        self.budget_bytes = budget_bytes
+        self.combiner_runner = combiner_runner
+        self.overflow_sink = overflow_sink
+        self.values_per_key_limit = values_per_key_limit
+        self.stats = HashBufferStats()
+        self._table: dict[Writable, list[Writable]] = {}
+        self._occupancy = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy_bytes(self) -> int:
+        return self._occupancy
+
+    @property
+    def tracked_keys(self) -> int:
+        return len(self._table)
+
+    def accepts(self, key: Writable) -> bool:
+        """Is *key* in the predicted frequent set?"""
+        return key in self.frequent_keys
+
+    # ------------------------------------------------------------------
+    def insert(self, key: Writable, value: Writable) -> None:
+        """Buffer one frequent-key tuple, combining/overflowing as needed."""
+        values = self._table.get(key)
+        if values is None:
+            values = []
+            self._table[key] = values
+            self._occupancy += key.serialized_size()
+        values.append(value)
+        self._occupancy += value.serialized_size()
+        self.stats.inserts += 1
+
+        if len(values) >= self.values_per_key_limit:
+            self._combine_key(key)
+        if self._occupancy > self.budget_bytes:
+            self._overflow_largest()
+
+    def _combine_key(self, key: Writable) -> None:
+        """Apply the user's combine() to one key's buffered values."""
+        if self.combiner_runner is None:
+            return
+        values = self._table[key]
+        before = sum(v.serialized_size() for v in values)
+        combined = self.combiner_runner.combine_writables(key, values)
+        self.stats.eager_combines += 1
+        new_values = [value for out_key, value in combined if out_key == key]
+        # A combiner may legally emit under a different key (rare); such
+        # records cannot stay in this key's slot and go to the spill path.
+        for out_key, out_value in combined:
+            if out_key != key:
+                self.overflow_sink(out_key, out_value)
+                self.stats.overflow_records += 1
+        after = sum(v.serialized_size() for v in new_values)
+        self._table[key] = new_values
+        self._occupancy += after - before
+
+    def _overflow_largest(self) -> None:
+        """Evict aggregated records until back under budget.
+
+        Evicts the keys currently holding the most bytes — the cheapest
+        way to reclaim space while keeping the table's key set intact
+        for future hits (only the accumulated values leave).
+        """
+        by_size = sorted(
+            self._table.items(),
+            key=lambda item: (-sum(v.serialized_size() for v in item[1]), item[0].to_bytes()),
+        )
+        for key, values in by_size:
+            if self._occupancy <= self.budget_bytes:
+                break
+            if not values:
+                continue
+            self._combine_key(key)
+            values = self._table[key]
+            for value in values:
+                self.overflow_sink(key, value)
+                self.stats.overflow_records += 1
+                self._occupancy -= value.serialized_size()
+            self._table[key] = []
+
+    # ------------------------------------------------------------------
+    def drain(self) -> list[tuple[Writable, Writable]]:
+        """End of input: combine every key once more and empty the table.
+
+        Returns the aggregated records in deterministic (serialized-key)
+        order; the caller sends them down the standard dataflow.
+        """
+        out: list[tuple[Writable, Writable]] = []
+        for key in sorted(self._table, key=lambda k: k.to_bytes()):
+            values = self._table[key]
+            if not values:
+                continue
+            if self.combiner_runner is not None and len(values) > 1:
+                combined = self.combiner_runner.combine_writables(key, values)
+                self.stats.eager_combines += 1
+                out.extend(combined)
+            else:
+                out.extend((key, value) for value in values)
+        self.stats.drained_records += len(out)
+        self._table.clear()
+        self._occupancy = 0
+        return out

@@ -1,0 +1,116 @@
+"""Frequent-key prediction strategies, including the Figure 7 baselines.
+
+Figure 7 of the paper compares three ways of deciding which tuples the
+in-memory buffer absorbs:
+
+* **SpaceSaving** — the paper's approach: profile a prefix of the stream
+  with the Space-Saving summary, freeze the top-k as the frequent set.
+* **Ideal** — an oracle with perfect knowledge of the whole stream's key
+  distribution; upper-bounds what any predictor can remove.
+* **LRU** — "always adds each new tuple to the buffer, expelling the
+  least-recently-used key"; no profiling stage at all.
+
+:func:`simulate_removal` measures, for a given strategy and buffer
+capacity, the fraction of intermediate values a frequency buffer would
+absorb (and hence remove from the spill/sort/merge path) — the y-axis
+of Figure 7.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter as PyCounter
+from collections import OrderedDict
+from typing import Hashable, Iterable, Sequence
+
+from .spacesaving import SpaceSaving
+
+
+class BufferStrategy(ABC):
+    """Decides, record by record, whether the buffer absorbs a tuple."""
+
+    @abstractmethod
+    def absorbs(self, key: Hashable, position: int) -> bool:
+        """Would the tuple at stream *position* with *key* be buffered
+        (and therefore removed from the intermediate data)?"""
+
+
+class ProfiledTopKStrategy(BufferStrategy):
+    """Two-stage behaviour shared by SpaceSaving and Ideal.
+
+    During the profiling prefix (``profile_records`` tuples) everything
+    takes the standard path (absorbs nothing); afterwards tuples whose
+    key is in the frozen frequent set are absorbed.
+    """
+
+    def __init__(self, frequent_keys: set[Hashable], profile_records: int) -> None:
+        self.frequent_keys = frequent_keys
+        self.profile_records = profile_records
+
+    def absorbs(self, key: Hashable, position: int) -> bool:
+        return position >= self.profile_records and key in self.frequent_keys
+
+
+class LRUStrategy(BufferStrategy):
+    """The Figure 7 LRU baseline: an always-insert, LRU-evicting buffer.
+
+    A tuple is "removed" when its key is already resident (it folds into
+    the buffered aggregate).  A miss inserts the key, evicting the least
+    recently used one — so cold keys continuously pollute the buffer,
+    which is exactly why the paper finds LRU markedly worse on skewed
+    streams with long random tails.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._resident: OrderedDict[Hashable, None] = OrderedDict()
+        self.evictions = 0
+
+    def absorbs(self, key: Hashable, position: int) -> bool:
+        if key in self._resident:
+            self._resident.move_to_end(key)
+            return True
+        self._resident[key] = None
+        if len(self._resident) > self.capacity:
+            self._resident.popitem(last=False)
+            self.evictions += 1
+        return False
+
+
+def spacesaving_strategy(
+    stream: Sequence[Hashable],
+    k: int,
+    sample_fraction: float,
+    summary_capacity: int | None = None,
+) -> ProfiledTopKStrategy:
+    """Build the paper's strategy for *stream*: profile the first
+    ``sample_fraction`` of tuples with a Space-Saving summary of
+    ``summary_capacity`` entries (default ``2k`` — deliberately below
+    the exactness guarantee, per Section V-B1), freeze the top-k."""
+    if not 0.0 < sample_fraction <= 1.0:
+        raise ValueError(f"sample_fraction must be in (0, 1], got {sample_fraction}")
+    profile_records = max(1, int(len(stream) * sample_fraction))
+    summary = SpaceSaving(summary_capacity or max(2 * k, 16))
+    for key in stream[:profile_records]:
+        summary.observe(key)
+    return ProfiledTopKStrategy(summary.frequent_keys(k), profile_records)
+
+
+def ideal_strategy(stream: Sequence[Hashable], k: int) -> ProfiledTopKStrategy:
+    """The oracle: true top-k over the whole stream, no profiling prefix."""
+    counts = PyCounter(stream)
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], repr(item[0])))
+    return ProfiledTopKStrategy({key for key, _ in ranked[:k]}, profile_records=0)
+
+
+def simulate_removal(stream: Iterable[Hashable], strategy: BufferStrategy) -> float:
+    """Fraction of the stream's tuples the buffer absorbs (Figure 7 y-axis)."""
+    absorbed = 0
+    total = 0
+    for position, key in enumerate(stream):
+        total += 1
+        if strategy.absorbs(key, position):
+            absorbed += 1
+    return absorbed / total if total else 0.0

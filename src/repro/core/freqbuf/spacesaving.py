@@ -1,0 +1,215 @@
+"""The Space-Saving top-k algorithm (Metwally, Agrawal & El Abbadi).
+
+Section III-B of the paper: "it keeps track of key frequencies using the
+algorithm proposed by Metwally, et al.  This algorithm uses a table
+where each entry contains a frequency value and a linked list of keys
+that have been observed for that number of times.  When a new key is
+encountered, and the table is not full, the new key is simply added.
+If the table is full, one victim key with the lowest frequency is
+evicted from the table; the new key is inserted with a frequency
+slightly higher than the lowest frequency in the table to avoid
+thrashing."
+
+This is the classic *stream-summary* structure.  We implement it with
+the standard frequency-bucket doubly-linked list so every update is
+O(1), and keep per-entry overestimation error so accuracy guarantees
+can be tested (for any tracked key, ``count - error <= true count <=
+count``).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class _Bucket(Generic[K]):
+    """All keys currently sharing one frequency value."""
+
+    __slots__ = ("count", "keys", "prev", "next")
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+        self.keys: dict[K, None] = {}  # insertion-ordered set
+        self.prev: "_Bucket[K] | None" = None
+        self.next: "_Bucket[K] | None" = None
+
+
+class SpaceSaving(Generic[K]):
+    """Bounded-memory frequent-item summary over a key stream.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of keys tracked (the paper's table size).  For a
+        top-k query the capacity should comfortably exceed k; the paper
+        notes that "a realistic space budget is likely smaller than what
+        that technique requires to *guarantee* that it finds the true
+        top-k keys" — imperfect prediction is part of the evaluation
+        (Figure 7).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._counts: dict[K, int] = {}
+        self._errors: dict[K, int] = {}
+        self._buckets: dict[int, _Bucket[K]] = {}
+        self._min_bucket: _Bucket[K] | None = None
+        self.items_seen = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # stream updates
+    # ------------------------------------------------------------------
+    def observe(self, key: K, weight: int = 1) -> None:
+        """Account one occurrence (or *weight* occurrences) of *key*."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self.items_seen += weight
+        current = self._counts.get(key)
+        if current is not None:
+            self._move(key, current, current + weight)
+            self._counts[key] = current + weight
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[key] = weight
+            self._errors[key] = 0
+            self._link(key, weight)
+            return
+        # Evict the minimum key; the newcomer inherits min+weight with
+        # error = min (the standard Space-Saving rule — this is the
+        # "slightly higher than the lowest frequency" of the paper).
+        victim, min_count = self._pop_min()
+        self.evictions += 1
+        del self._counts[victim]
+        del self._errors[victim]
+        new_count = min_count + weight
+        self._counts[key] = new_count
+        self._errors[key] = min_count
+        self._link(key, new_count)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def count(self, key: K) -> int:
+        """Estimated count of *key* (0 if untracked)."""
+        return self._counts.get(key, 0)
+
+    def error(self, key: K) -> int:
+        """Overestimation bound for *key*'s count."""
+        return self._errors.get(key, 0)
+
+    def guaranteed_count(self, key: K) -> int:
+        """A lower bound on the true count of *key*."""
+        return self._counts.get(key, 0) - self._errors.get(key, 0)
+
+    def top_k(self, k: int) -> list[tuple[K, int]]:
+        """The *k* keys with the highest estimated counts, descending.
+
+        Ties break on lower error (more reliable) then on key repr for
+        determinism.
+        """
+        if k <= 0:
+            return []
+        ranked = sorted(
+            self._counts.items(),
+            key=lambda item: (-item[1], self._errors[item[0]], repr(item[0])),
+        )
+        return ranked[:k]
+
+    def frequent_keys(self, k: int) -> set[K]:
+        return {key for key, _ in self.top_k(k)}
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._counts
+
+    def items(self) -> Iterator[tuple[K, int]]:
+        return iter(self._counts.items())
+
+    # ------------------------------------------------------------------
+    # bucket list maintenance (O(1) updates)
+    # ------------------------------------------------------------------
+    def _link(self, key: K, count: int) -> None:
+        bucket = self._buckets.get(count)
+        if bucket is None:
+            bucket = _Bucket(count)
+            self._buckets[count] = bucket
+            self._insert_bucket(bucket)
+        bucket.keys[key] = None
+
+    def _unlink(self, key: K, count: int) -> None:
+        bucket = self._buckets[count]
+        del bucket.keys[key]
+        if not bucket.keys:
+            self._remove_bucket(bucket)
+            del self._buckets[count]
+
+    def _move(self, key: K, old: int, new: int) -> None:
+        """Move *key* from the *old*-count bucket to the *new*-count bucket.
+
+        Increments are by small weights, so the destination bucket is at
+        or immediately after the source bucket — we splice locally
+        instead of walking from the minimum, keeping updates O(1) for
+        the common ``weight == 1`` case.
+        """
+        old_bucket = self._buckets[old]
+        target = self._buckets.get(new)
+        if target is None:
+            target = _Bucket(new)
+            self._buckets[new] = target
+            # Find the insertion point scanning forward from old_bucket:
+            # amortized O(1) because new == old + weight is adjacent.
+            node = old_bucket
+            while node.next is not None and node.next.count < new:
+                node = node.next
+            target.next = node.next
+            target.prev = node
+            if node.next is not None:
+                node.next.prev = target
+            node.next = target
+        target.keys[key] = None
+        del old_bucket.keys[key]
+        if not old_bucket.keys:
+            self._remove_bucket(old_bucket)
+            del self._buckets[old]
+
+    def _insert_bucket(self, bucket: _Bucket[K]) -> None:
+        """Insert into the ascending-count doubly-linked bucket list."""
+        if self._min_bucket is None:
+            self._min_bucket = bucket
+            return
+        if bucket.count < self._min_bucket.count:
+            bucket.next = self._min_bucket
+            self._min_bucket.prev = bucket
+            self._min_bucket = bucket
+            return
+        node = self._min_bucket
+        while node.next is not None and node.next.count < bucket.count:
+            node = node.next
+        bucket.next = node.next
+        bucket.prev = node
+        if node.next is not None:
+            node.next.prev = bucket
+        node.next = bucket
+
+    def _remove_bucket(self, bucket: _Bucket[K]) -> None:
+        if bucket.prev is not None:
+            bucket.prev.next = bucket.next
+        if bucket.next is not None:
+            bucket.next.prev = bucket.prev
+        if self._min_bucket is bucket:
+            self._min_bucket = bucket.next
+        bucket.prev = bucket.next = None
+
+    def _pop_min(self) -> tuple[K, int]:
+        assert self._min_bucket is not None, "pop from empty summary"
+        bucket = self._min_bucket
+        key = next(iter(bucket.keys))
+        self._unlink(key, bucket.count)
+        return key, bucket.count

@@ -1,0 +1,17 @@
+"""Spill-matcher (the paper's Section IV): per-spill adaptive control of
+the spill percentage from measured produce/consume rates."""
+
+from .analysis import SteadyStateReport, evolve_pipeline
+from .controller import SpillMatcherPolicy
+from .policy import optimal_from_times, optimal_spill_percent
+from .rates import RateEstimator, RateObservation
+
+__all__ = [
+    "RateEstimator",
+    "RateObservation",
+    "SpillMatcherPolicy",
+    "SteadyStateReport",
+    "evolve_pipeline",
+    "optimal_from_times",
+    "optimal_spill_percent",
+]

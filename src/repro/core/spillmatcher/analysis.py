@@ -1,0 +1,135 @@
+"""Closed-form analysis of the spill pipeline (the paper's Section IV-C).
+
+Independent of the engine, this module evolves the spill-size recurrence
+and the two-thread timeline for *constant* rates ``p`` and ``c`` and a
+fixed spill percentage ``x``.  It exists to machine-check the paper's
+Section IV-C claims:
+
+* the recurrence ``m_i = max{xM, min{(p/c)·m_{i-1}, M − m_{i-1}}}``
+  converges,
+* at ``x = x* = max{c/(p+c), 1/2}`` (Eq. 1) the slower thread accrues
+  no wait,
+* ``x*`` is maximal with that property (any larger x makes the slower
+  thread wait).
+
+The engine's :class:`~repro.engine.pipeline.PipelineTimeline` performs
+the same accounting spill by spill with *measured* work; here rates are
+analytic inputs, so properties can be tested over the whole (p, c, x)
+space with hypothesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SteadyStateReport:
+    """Outcome of evolving the pipeline for a fixed number of spills."""
+
+    spill_sizes: tuple[float, ...]
+    map_wait: float
+    support_wait: float
+    map_busy: float
+    support_busy: float
+    elapsed: float
+
+    @property
+    def slower_is_map(self) -> bool:
+        return self.map_busy >= self.support_busy
+
+    @property
+    def slower_thread_wait(self) -> float:
+        return self.map_wait if self.slower_is_map else self.support_wait
+
+    @property
+    def total_wait(self) -> float:
+        return self.map_wait + self.support_wait
+
+
+def evolve_pipeline(
+    produce_rate: float,
+    consume_rate: float,
+    spill_percent: float,
+    capacity: float,
+    total_bytes: float,
+    include_ramp_up: bool = False,
+) -> SteadyStateReport:
+    """Evolve the two-thread pipeline analytically.
+
+    The map thread produces ``total_bytes`` at ``produce_rate``; each
+    spill of ``m`` bytes costs the support thread ``m / consume_rate``.
+    Spill sizes follow Eq. (2) with the *true* rates (perfect
+    prediction) — this isolates the control law from estimator error.
+
+    ``include_ramp_up=False`` excludes the unavoidable first-spill
+    effects (the support thread cannot start before the first spill
+    exists; the map thread's final join on the last spill) so that the
+    wait numbers reflect steady-state behaviour — the regime the
+    paper's first-order constraint speaks about.
+    """
+    if produce_rate <= 0 or consume_rate <= 0:
+        raise ValueError("rates must be positive")
+    if not 0.0 < spill_percent <= 1.0:
+        raise ValueError(f"spill percent must be in (0, 1], got {spill_percent}")
+    if capacity <= 0 or total_bytes <= 0:
+        raise ValueError("capacity and total_bytes must be positive")
+
+    p, c, x, M = produce_rate, consume_rate, spill_percent, capacity
+    ratio = p / c
+
+    sizes: list[float] = []
+    map_wait = 0.0
+    support_wait = 0.0
+    map_clock = 0.0
+    support_free = 0.0
+    prev_size: float | None = None
+    remaining = total_bytes
+    first_handoff = 0.0
+
+    while remaining > 1e-12:
+        if prev_size is None:
+            size = min(x * M, remaining)
+        else:
+            size = max(x * M, min(ratio * prev_size, M - prev_size))
+            size = min(size, remaining)
+        produce_time = size / p
+
+        # --- production, possibly blocking on buffer space ---
+        if prev_size is None or support_free <= map_clock:
+            produce_end = map_clock + produce_time
+        else:
+            free_space = M - prev_size
+            if size <= free_space:
+                produce_end = map_clock + produce_time
+            else:
+                block_at = map_clock + free_space / p
+                resume = max(block_at, support_free)
+                map_wait += resume - block_at
+                produce_end = resume + (size - free_space) / p
+
+        # --- handoff ---
+        consume_start = max(produce_end, support_free)
+        if prev_size is None:
+            first_handoff = produce_end
+        else:
+            support_wait += max(0.0, produce_end - support_free)
+        support_free = consume_start + size / c
+        map_clock = produce_end
+        prev_size = size
+        sizes.append(size)
+        remaining -= size
+
+    final_join = max(0.0, support_free - map_clock)
+    if include_ramp_up:
+        support_wait += first_handoff
+        map_wait += final_join
+
+    return SteadyStateReport(
+        spill_sizes=tuple(sizes),
+        map_wait=map_wait,
+        support_wait=support_wait,
+        map_busy=total_bytes / p,
+        support_busy=total_bytes / c,
+        elapsed=max(support_free, map_clock),
+    )

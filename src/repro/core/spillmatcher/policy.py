@@ -1,0 +1,76 @@
+"""The spill-matcher control law (the paper's Eq. (1), Section IV-C).
+
+Given the produce rate ``p`` of the map threads and the consume rate
+``c`` of the support threads, the optimal spill percentage is
+
+    x* = max{ c/(p+c) , 1/2 }
+
+Derivation (the paper's, restated).  The buffer holds ``M`` bytes; the
+support thread consumes spill ``i-1`` of size ``m_{i-1}`` while the map
+thread produces spill ``i``; spill sizes follow Eq. (2):
+``m_i = max{xM, min{(p/c)·m_{i-1}, M − m_{i-1}}}``.  The first-order
+constraint is that the *slower* thread never waits; the second-order
+one is to maximize the spill size (bigger spills combine better).
+
+* If ``p < c`` (map thread slower): the map thread must never block on
+  buffer space.  In steady state ``m_{i-1} = xM``; during the consume
+  (which takes ``xM/c``) the map thread produces ``(p/c)·xM`` bytes,
+  and blocking is avoided while that fits the free space ``(1−x)M``:
+  ``(p/c)·xM ≤ (1−x)M  ⇔  x ≤ c/(p+c)``.  Note ``c/(p+c) > 1/2`` here,
+  so the optimum uses *larger* spills than Hadoop's naive half-buffer
+  split — the fast support thread tolerates them, and combining
+  improves.
+* If ``p > c`` (support thread slower): the support thread must find
+  spill ``i`` already at threshold the moment it finishes ``i-1``.
+  The map thread can produce at most ``M − m_{i-1}`` before blocking,
+  and in steady state the recurrence drives ``m → M/2``, so readiness
+  requires ``xM ≤ M − m_{i-1} = M/2  ⇔  x ≤ 1/2``.
+
+Since ``c/(p+c) ≥ 1/2  ⇔  p ≤ c``, the two cases combine into
+``x* = max{c/(p+c), 1/2}`` — and the property tests in
+``tests/core/test_spillmatcher_analysis.py`` machine-check both that
+``x*`` is wait-free for the slower thread and that it is *maximal*
+(any larger x makes the slower thread wait).
+"""
+
+from __future__ import annotations
+
+
+def optimal_spill_percent(
+    produce_rate: float,
+    consume_rate: float,
+    min_percent: float = 0.0,
+    max_percent: float = 1.0,
+) -> float:
+    """The wait-free-maximal spill percentage ``x*`` for rates (p, c).
+
+    Clamped into ``[min_percent, max_percent]``; engines keep the cap
+    slightly below 1.0 so a single record of headroom always exists.
+    """
+    if produce_rate <= 0 or consume_rate <= 0:
+        raise ValueError(
+            f"rates must be positive, got p={produce_rate}, c={consume_rate}"
+        )
+    if not 0.0 <= min_percent <= max_percent <= 1.0:
+        raise ValueError(f"bad clamp range [{min_percent}, {max_percent}]")
+    x = max(consume_rate / (produce_rate + consume_rate), 0.5)
+    return min(max(x, min_percent), max_percent)
+
+
+def optimal_from_times(
+    produce_time: float,
+    consume_time: float,
+    min_percent: float = 0.0,
+    max_percent: float = 1.0,
+) -> float:
+    """Same control law from measured per-spill times ``T_p``/``T_c``.
+
+    Rates are inversely proportional to times for a fixed spill size,
+    so ``c/(p+c) = T_p/(T_p+T_c)``.
+    """
+    if produce_time <= 0 or consume_time <= 0:
+        raise ValueError(
+            f"times must be positive, got T_p={produce_time}, T_c={consume_time}"
+        )
+    x = max(produce_time / (produce_time + consume_time), 0.5)
+    return min(max(x, min_percent), max_percent)

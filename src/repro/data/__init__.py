@@ -1,0 +1,48 @@
+"""Deterministic dataset generators with the paper's shape parameters:
+Zipf(1) text corpus, Zipf(0.8) access logs, Zipf(1) web graph."""
+
+from .accesslog import (
+    AccessLogSpec,
+    expected_revenue_by_url,
+    generate_rankings,
+    generate_user_visits,
+    url_for_rank,
+)
+from .rng import rng_for, stable_seed
+from .scaling import EC2, LOCAL, PRESETS, SMALL, TINY, ScalePreset, preset
+from .textcorpus import CorpusSpec, corpus_word_frequencies, generate_corpus, synth_word
+from .webgraph import (
+    WebGraphSpec,
+    generate_webgraph,
+    page_url,
+    parse_webgraph,
+    reference_pagerank_iteration,
+)
+from .zipfian import ZipfSampler
+
+__all__ = [
+    "AccessLogSpec",
+    "CorpusSpec",
+    "EC2",
+    "LOCAL",
+    "PRESETS",
+    "SMALL",
+    "ScalePreset",
+    "TINY",
+    "WebGraphSpec",
+    "ZipfSampler",
+    "corpus_word_frequencies",
+    "expected_revenue_by_url",
+    "generate_corpus",
+    "generate_rankings",
+    "generate_user_visits",
+    "generate_webgraph",
+    "page_url",
+    "parse_webgraph",
+    "preset",
+    "reference_pagerank_iteration",
+    "rng_for",
+    "stable_seed",
+    "synth_word",
+    "url_for_rank",
+]

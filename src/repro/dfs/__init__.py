@@ -1,0 +1,18 @@
+"""Simulated distributed filesystem (HDFS-shaped): namenode metadata,
+datanode block storage, replicated client I/O and locality-aware splits."""
+
+from .blocks import BlockId, BlockInfo, place_replicas
+from .client import DfsClient, DfsCluster
+from .datanode import DataNode
+from .namenode import FileMeta, NameNode
+
+__all__ = [
+    "BlockId",
+    "BlockInfo",
+    "DataNode",
+    "DfsClient",
+    "DfsCluster",
+    "FileMeta",
+    "NameNode",
+    "place_replicas",
+]

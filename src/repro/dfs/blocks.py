@@ -1,0 +1,65 @@
+"""Block identity and placement policy for the simulated DFS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import DfsError
+
+
+@dataclass(frozen=True)
+class BlockId:
+    """Globally unique identifier of one block of one file."""
+
+    file_path: str
+    index: int
+
+    def __repr__(self) -> str:
+        return f"BlockId({self.file_path!r}#{self.index})"
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """One block's byte range within its file and its replica locations."""
+
+    block_id: BlockId
+    offset: int
+    length: int
+    replicas: tuple[str, ...]  # datanode host names
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+def place_replicas(
+    hosts: Sequence[str],
+    replication: int,
+    block_index: int,
+    preferred_host: str | None = None,
+) -> tuple[str, ...]:
+    """Choose replica hosts for a block.
+
+    Placement follows HDFS's spirit deterministically: the first replica
+    goes to the writer's host when given (write locality), the remaining
+    replicas round-robin over the other hosts starting at a rotation
+    derived from the block index, spreading load evenly.
+    """
+    if not hosts:
+        raise DfsError("cannot place replicas: no datanodes registered")
+    replication = min(replication, len(hosts))
+    if replication <= 0:
+        raise DfsError(f"replication must be positive, got {replication}")
+
+    chosen: list[str] = []
+    if preferred_host is not None and preferred_host in hosts:
+        chosen.append(preferred_host)
+    rotation = block_index % len(hosts)
+    for step in range(len(hosts)):
+        if len(chosen) >= replication:
+            break
+        host = hosts[(rotation + step) % len(hosts)]
+        if host not in chosen:
+            chosen.append(host)
+    return tuple(chosen[:replication])

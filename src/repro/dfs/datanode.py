@@ -1,0 +1,49 @@
+"""Block storage servers for the simulated DFS."""
+
+from __future__ import annotations
+
+from ..errors import DfsError
+from .blocks import BlockId
+
+
+class DataNode:
+    """Stores block payloads for one host and counts its traffic."""
+
+    def __init__(self, host: str) -> None:
+        self.host = host
+        self._blocks: dict[BlockId, bytes] = {}
+        self.bytes_served = 0
+        self.bytes_received = 0
+
+    def store_block(self, block_id: BlockId, payload: bytes) -> None:
+        if block_id in self._blocks:
+            raise DfsError(f"{self.host}: block {block_id!r} already stored")
+        self._blocks[block_id] = payload
+        self.bytes_received += len(payload)
+
+    def read_block(self, block_id: BlockId) -> bytes:
+        try:
+            payload = self._blocks[block_id]
+        except KeyError as exc:
+            raise DfsError(f"{self.host}: no such block {block_id!r}") from exc
+        self.bytes_served += len(payload)
+        return payload
+
+    def has_block(self, block_id: BlockId) -> bool:
+        return block_id in self._blocks
+
+    def drop_block(self, block_id: BlockId) -> None:
+        if block_id not in self._blocks:
+            raise DfsError(f"{self.host}: no such block {block_id!r}")
+        del self._blocks[block_id]
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(len(p) for p in self._blocks.values())
+
+    def __repr__(self) -> str:
+        return f"DataNode({self.host!r}, blocks={len(self._blocks)})"

@@ -1,0 +1,135 @@
+"""The DFS namespace and block-map authority.
+
+The :class:`NameNode` owns file metadata: which blocks a file has, how
+long they are, and where the replicas live.  Actual block payloads live
+on :class:`~repro.dfs.datanode.DataNode` objects; the namenode never
+touches data bytes, mirroring the HDFS control/data-path separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import DfsError
+from .blocks import BlockId, BlockInfo, place_replicas
+
+
+@dataclass
+class FileMeta:
+    """Namespace entry for one file."""
+
+    path: str
+    size: int
+    block_size: int
+    blocks: list[BlockInfo] = field(default_factory=list)
+
+
+class NameNode:
+    """Metadata server: namespace tree (flat here) plus block map."""
+
+    def __init__(self, default_block_size: int, default_replication: int = 3) -> None:
+        if default_block_size <= 0:
+            raise DfsError(f"block size must be positive, got {default_block_size}")
+        self.default_block_size = default_block_size
+        self.default_replication = default_replication
+        self._files: dict[str, FileMeta] = {}
+        self._datanodes: list[str] = []
+
+    # ------------------------------------------------------------------
+    # cluster membership
+    # ------------------------------------------------------------------
+    def register_datanode(self, host: str) -> None:
+        if host in self._datanodes:
+            raise DfsError(f"datanode {host!r} already registered")
+        self._datanodes.append(host)
+
+    @property
+    def datanodes(self) -> tuple[str, ...]:
+        return tuple(self._datanodes)
+
+    # ------------------------------------------------------------------
+    # namespace operations
+    # ------------------------------------------------------------------
+    def create_file(
+        self,
+        path: str,
+        size: int,
+        block_size: int | None = None,
+        replication: int | None = None,
+        writer_host: str | None = None,
+    ) -> FileMeta:
+        """Allocate namespace + block placements for a file of *size* bytes.
+
+        Returns the :class:`FileMeta`; the client then pushes the block
+        payloads to the chosen datanodes.
+        """
+        if path in self._files:
+            raise DfsError(f"file exists: {path!r}")
+        if size < 0:
+            raise DfsError(f"file size must be non-negative, got {size}")
+        block_size = block_size or self.default_block_size
+        replication = replication or self.default_replication
+
+        meta = FileMeta(path=path, size=size, block_size=block_size)
+        offset = 0
+        index = 0
+        while offset < size or (size == 0 and index == 0):
+            length = min(block_size, size - offset) if size else 0
+            replicas = place_replicas(self._datanodes, replication, index, writer_host)
+            meta.blocks.append(
+                BlockInfo(
+                    block_id=BlockId(path, index),
+                    offset=offset,
+                    length=length,
+                    replicas=replicas,
+                )
+            )
+            offset += length
+            index += 1
+            if size == 0:
+                break
+        self._files[path] = meta
+        return meta
+
+    def delete_file(self, path: str) -> FileMeta:
+        try:
+            return self._files.pop(path)
+        except KeyError as exc:
+            raise DfsError(f"no such file: {path!r}") from exc
+
+    def stat(self, path: str) -> FileMeta:
+        try:
+            return self._files[path]
+        except KeyError as exc:
+            raise DfsError(f"no such file: {path!r}") from exc
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def list_files(self) -> Iterator[str]:
+        return iter(sorted(self._files))
+
+    # ------------------------------------------------------------------
+    # block lookups
+    # ------------------------------------------------------------------
+    def blocks_for_range(self, path: str, offset: int, length: int) -> list[BlockInfo]:
+        """Blocks overlapping ``[offset, offset + length)`` of *path*."""
+        meta = self.stat(path)
+        end = offset + length
+        return [b for b in meta.blocks if b.offset < end and b.end > offset]
+
+    def hosts_for_range(self, path: str, offset: int, length: int) -> tuple[str, ...]:
+        """Hosts holding the most bytes of the range — split locality hints.
+
+        Ordered by descending byte overlap, ties broken by host name for
+        determinism.
+        """
+        overlap: dict[str, int] = {}
+        end = offset + length
+        for block in self.blocks_for_range(path, offset, length):
+            covered = min(end, block.end) - max(offset, block.offset)
+            for host in block.replicas:
+                overlap[host] = overlap.get(host, 0) + covered
+        ranked = sorted(overlap.items(), key=lambda item: (-item[1], item[0]))
+        return tuple(host for host, _ in ranked)

@@ -1,0 +1,298 @@
+"""Map-output collectors: the standard spill path.
+
+A *collector* receives the (key, value) pairs the user's ``map()``
+emits and is responsible for everything between ``map()`` and the final
+map-output file.  :class:`StandardCollector` reproduces Hadoop's
+``MapOutputBuffer`` dataflow:
+
+    serialize -> partition -> buffer -> [threshold] -> sort -> combine
+    -> spill to disk -> ... -> final merge of all spills
+
+The frequency-buffering optimization wraps this class (see
+:mod:`repro.core.freqbuf.collector`), diverting frequent keys before
+they enter the buffer; spill-matcher plugs in as the
+:class:`~repro.engine.spillpolicy.SpillPolicy`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Type
+
+from ..errors import SpillBufferError
+from ..io.blockdisk import LocalDisk
+from ..io.merger import MergeStats, merge_and_combine
+from ..io.spillfile import SpillIndex, read_segment, write_spill
+from ..serde.writable import SerdePair, Writable
+from .api import Partitioner
+from .combiner import CombinerRunner
+from .costmodel import CostModel
+from .counters import Counter, Counters
+from .instrumentation import Op, TaskInstruments
+from .pipeline import PipelineTimeline
+from .sorter import cut_partitions, sort_spill
+from .spillbuffer import SpillBuffer
+from .spillpolicy import SpillPolicy
+
+
+class MapOutputCollector(ABC):
+    """Sink for user map() output; owns the path to the final map file."""
+
+    @abstractmethod
+    def collect(self, key: Writable, value: Writable) -> None:
+        """Accept one emitted record."""
+
+    @abstractmethod
+    def flush(self) -> "SpillIndex":
+        """End of input: drain buffers, merge spills, return the final
+        map-output index (one sorted segment per reduce partition)."""
+
+    def note_input_progress(self, fraction: float) -> None:
+        """Hint from the task runner: *fraction* of the split's input has
+        been consumed.  The frequency-buffering collector uses this to
+        time its profiling stage (the paper's sampling fraction ``s`` is
+        a percentage of the map task's input records); the standard
+        collector ignores it."""
+
+
+class StandardCollector(MapOutputCollector):
+    """Hadoop's store-sort-combine-spill-merge dataflow, instrumented."""
+
+    def __init__(
+        self,
+        *,
+        task_id: str,
+        disk: LocalDisk,
+        num_partitions: int,
+        partitioner: Partitioner,
+        policy: SpillPolicy,
+        capacity_bytes: int,
+        cost_model: CostModel,
+        instruments: TaskInstruments,
+        counters: Counters,
+        combiner_runner: CombinerRunner | None = None,
+        exact_comparisons: bool = False,
+        sort_factor: int = 10,
+        codec=None,
+    ) -> None:
+        if num_partitions <= 0:
+            raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+        self.task_id = task_id
+        self.disk = disk
+        self.num_partitions = num_partitions
+        self.partitioner = partitioner
+        self.policy = policy
+        self.cost_model = cost_model
+        self.instruments = instruments
+        self.counters = counters
+        self.combiner_runner = combiner_runner
+        self.exact_comparisons = exact_comparisons
+        self.sort_factor = max(2, sort_factor)
+        self.codec = codec  # optional spill/shuffle compression (§VII extension)
+
+        self.buffer = SpillBuffer(capacity_bytes)
+        self.timeline = PipelineTimeline(capacity_bytes)
+        self.spill_indices: list[SpillIndex] = []
+        self._spill_target = self.timeline.expected_next_size(
+            policy.spill_percent(), None
+        )
+        self._produce_mark = instruments.map_thread_work
+        self._flushed = False
+
+    # ------------------------------------------------------------------
+    # collection path
+    # ------------------------------------------------------------------
+    def collect(self, key: Writable, value: Writable) -> None:
+        key_bytes = key.to_bytes()
+        value_bytes = value.to_bytes()
+        self.collect_serialized(key_bytes, value_bytes)
+
+    def collect_serialized(
+        self, key_bytes: bytes, value_bytes: bytes, count_output: bool = True
+    ) -> None:
+        """Accept an already-serialized record.
+
+        The frequency buffer uses this to drain combined tuples into the
+        standard path with ``count_output=False`` — those tuples were
+        already counted as map output when the user emitted them.
+        """
+        model = self.cost_model
+        payload = len(key_bytes) + len(value_bytes)
+        self.instruments.charge_map_thread(
+            Op.EMIT, model.serialize_byte * payload + model.collect_record
+        )
+        if count_output:
+            self.counters.incr(Counter.MAP_OUTPUT_RECORDS)
+            self.counters.incr(Counter.MAP_OUTPUT_BYTES, payload)
+
+        partition = self.partitioner.partition(key_bytes, self.num_partitions)
+        if self.buffer.would_overflow(len(key_bytes), len(value_bytes)):
+            # Hard capacity: spill whatever we have before appending.
+            self._spill()
+        self.buffer.append(partition, key_bytes, value_bytes)
+        if self.buffer.occupancy_bytes >= self._spill_target:
+            self._spill()
+
+    # ------------------------------------------------------------------
+    # spilling
+    # ------------------------------------------------------------------
+    def _spill(self) -> None:
+        if self.buffer.is_empty:
+            return
+        model = self.cost_model
+        instruments = self.instruments
+        size_bytes = self.buffer.occupancy_bytes
+        records = self.buffer.drain()
+
+        consume_work = 0.0
+
+        # --- sort (support thread) ---
+        ordered, sort_stats = sort_spill(records, self.exact_comparisons)
+        consume_work += instruments.charge_support_thread(
+            Op.SORT,
+            model.sort_comparison * sort_stats.comparisons
+            + model.sort_byte_move * sort_stats.bytes_moved,
+        )
+
+        # --- combine (support thread, user code) ---
+        partitions = cut_partitions(ordered, self.num_partitions)
+        if self.combiner_runner is not None:
+            combined: list[list[SerdePair]] = []
+            for run in partitions:
+                out_run: list[SerdePair] = []
+                group_key: bytes | None = None
+                group_values: list[bytes] = []
+                for kb, vb in run:
+                    if kb != group_key:
+                        if group_key is not None:
+                            out, work = self._run_combiner(group_key, group_values)
+                            out_run.extend(out)
+                            consume_work += work
+                        group_key = kb
+                        group_values = [vb]
+                    else:
+                        group_values.append(vb)
+                if group_key is not None:
+                    out, work = self._run_combiner(group_key, group_values)
+                    out_run.extend(out)
+                    consume_work += work
+                combined.append(out_run)
+            partitions = combined
+
+        # --- write spill file (support thread) ---
+        path = f"{self.task_id}.spill{len(self.spill_indices)}"
+        index = write_spill(self.disk, path, partitions, codec=self.codec)
+        spill_io_work = model.spill_write_byte * index.total_bytes
+        if self.codec is not None:
+            spill_io_work += model.compress_byte * index.total_raw_bytes
+        consume_work += instruments.charge_support_thread(Op.SPILL_IO, spill_io_work)
+        self.spill_indices.append(index)
+        self.counters.incr(Counter.SPILLS)
+        self.counters.incr(Counter.SPILLED_RECORDS, index.total_records)
+        self.counters.incr(Counter.SPILLED_BYTES, index.total_bytes)
+
+        # --- pipeline bookkeeping ---
+        produce_work = instruments.map_thread_work - self._produce_mark
+        self._produce_mark = instruments.map_thread_work
+        self.timeline.record_spill(max(produce_work, 1e-9), max(consume_work, 1e-9), size_bytes)
+        self.policy.observe(produce_work, consume_work, size_bytes)
+        self._spill_target = self.timeline.expected_next_size(
+            self.policy.spill_percent(), self.policy.produce_consume_ratio()
+        )
+
+    def _run_combiner(
+        self, key_bytes: bytes, value_bytes: list[bytes]
+    ) -> tuple[list[SerdePair], float]:
+        """Combine one group on the support thread; returns (records, work)."""
+        assert self.combiner_runner is not None
+        model = self.cost_model
+        out = self.combiner_runner.combine_serialized(key_bytes, value_bytes)
+        work = self.instruments.charge_support_thread(
+            Op.COMBINE,
+            self.combiner_runner.last_work
+            + model.combine_record_overhead * len(value_bytes),
+        )
+        return out, work
+
+    # ------------------------------------------------------------------
+    # final merge
+    # ------------------------------------------------------------------
+    def flush(self) -> SpillIndex:
+        if self._flushed:
+            raise SpillBufferError("collector already flushed")
+        self._flushed = True
+        if not self.buffer.is_empty:
+            self._spill()
+        self.timeline.finish()
+
+        if not self.spill_indices:
+            # No output at all: write an empty final file.
+            final = write_spill(
+                self.disk,
+                f"{self.task_id}.out",
+                [[] for _ in range(self.num_partitions)],
+            )
+            return final
+
+        if len(self.spill_indices) == 1:
+            # Single spill: Hadoop promotes it to the final output without
+            # another pass — no merge work to charge.
+            return self.spill_indices[0]
+
+        return self._merge_spills(self.spill_indices)
+
+    def _merge_spills(self, indices: list[SpillIndex]) -> SpillIndex:
+        """Multi-pass k-way merge of spills into the final map output.
+
+        With more spills than ``io.sort.factor`` Hadoop performs
+        intermediate merge passes; we reproduce that so merge I/O scales
+        the same way.
+        """
+        model = self.cost_model
+        while len(indices) > self.sort_factor:
+            batch, indices = indices[: self.sort_factor], indices[self.sort_factor :]
+            merged = self._merge_batch(batch, f"{self.task_id}.m{len(self.spill_indices)}")
+            self.spill_indices.append(merged)
+            indices.append(merged)
+
+        return self._merge_batch(indices, f"{self.task_id}.out")
+
+    def _merge_batch(self, indices: list[SpillIndex], out_path: str) -> SpillIndex:
+        model = self.cost_model
+        combine = None
+        if self.combiner_runner is not None:
+            runner = self.combiner_runner
+
+            def combine(kb: bytes, vbs: list[bytes]) -> list[SerdePair]:
+                out = runner.combine_serialized(kb, vbs)
+                self.instruments.charge(
+                    Op.COMBINE,
+                    runner.last_work + model.combine_record_overhead * len(vbs),
+                )
+                return out
+
+        partitions: list[list[SerdePair]] = []
+        total_stats = MergeStats()
+        for partition in range(self.num_partitions):
+            runs = [list(read_segment(self.disk, index, partition)) for index in indices]
+            stats = MergeStats()
+            merged = list(merge_and_combine(runs, combine, stats))
+            total_stats.records_in += stats.records_in
+            total_stats.bytes_in += stats.bytes_in
+            total_stats.comparisons += stats.comparisons
+            partitions.append(merged)
+
+        final = write_spill(self.disk, out_path, partitions, codec=self.codec)
+        merge_work = (
+            model.spill_read_byte * sum(i.total_bytes for i in indices)
+            + model.merge_comparison * total_stats.comparisons
+            + model.merge_byte * (total_stats.bytes_in + final.total_raw_bytes)
+            + model.spill_write_byte * final.total_bytes
+        )
+        if self.codec is not None:
+            merge_work += model.decompress_byte * sum(
+                i.total_raw_bytes for i in indices
+            ) + model.compress_byte * final.total_raw_bytes
+        self.instruments.charge(Op.MERGE, merge_work)
+        self.counters.incr(Counter.MERGED_RECORDS, total_stats.records_in)
+        return final

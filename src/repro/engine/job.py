@@ -1,0 +1,57 @@
+"""Job specification: everything needed to run one MapReduce job."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Type
+
+from ..config import JobConf, Keys
+from ..serde.writable import Writable
+from .api import Combiner, HashPartitioner, Mapper, Partitioner, Reducer
+from .costmodel import DEFAULT_COST_MODEL, CostModel, UserCodeCosts
+from .inputformat import InputFormat
+
+GroupKeyFn = Callable[[bytes], bytes]
+"""Grouping comparator for secondary sort: maps a serialized map-output
+key to the *grouping* prefix reduce() batches on.  Records stay sorted
+by the full key, so within one reduce() call the values arrive in
+full-key order — Hadoop's secondary-sort pattern.  The job's
+partitioner must route by the same prefix (all keys of a group to one
+reducer), which the engine validates at runtime."""
+
+
+@dataclass
+class JobSpec:
+    """A complete, immutable description of one MapReduce job.
+
+    Factories (not instances) for mapper/reducer/combiner keep tasks
+    independent: each task builds its own user-code objects, exactly as
+    each Hadoop task JVM does.
+    """
+
+    name: str
+    input_format: InputFormat
+    mapper_factory: Callable[[], Mapper]
+    reducer_factory: Callable[[], Reducer]
+    map_output_key_cls: Type[Writable]
+    map_output_value_cls: Type[Writable]
+    combiner_factory: Callable[[], Combiner] | None = None
+    partitioner: Partitioner = field(default_factory=HashPartitioner)
+    conf: JobConf = field(default_factory=JobConf)
+    user_costs: UserCodeCosts = field(default_factory=UserCodeCosts)
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    #: Secondary sort: group reduce() calls by a prefix of the sorted key.
+    group_key_fn: GroupKeyFn | None = None
+
+    @property
+    def num_reducers(self) -> int:
+        return self.conf.get_positive_int(Keys.NUM_REDUCERS)
+
+    def describe(self) -> str:
+        opts = []
+        if self.conf.get_bool(Keys.FREQBUF_ENABLED):
+            opts.append("freqbuf")
+        if self.conf.get_bool(Keys.SPILLMATCHER_ENABLED):
+            opts.append("spillmatcher")
+        suffix = f" [{', '.join(opts)}]" if opts else " [baseline]"
+        return f"{self.name}{suffix}"

@@ -1,0 +1,151 @@
+"""Map task execution.
+
+A :class:`MapTaskRunner` drives one input split through the full
+map-side pipeline: read + deserialize input records, run the user's
+``map()``, hand emits to the task's collector (standard or
+frequency-buffering), and flush — which performs the final merge and
+yields the task's map-output file.
+
+All work is charged to the task's ledger as it happens; the collector's
+:class:`~repro.engine.pipeline.PipelineTimeline` captures the map/support
+thread interleaving for Table II / Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import UserCodeError
+from ..io.blockdisk import LocalDisk
+from ..io.linereader import FileSplit
+from ..io.spillfile import SpillIndex
+from ..serde.writable import Writable
+from .collector import MapOutputCollector
+from .counters import Counter, Counters
+from .instrumentation import Ledger, Op, TaskInstruments
+from .job import JobSpec
+from .pipeline import PipelineResult
+
+
+@dataclass
+class MapTaskResult:
+    """Everything a finished map task leaves behind."""
+
+    task_id: str
+    split: FileSplit
+    output_index: SpillIndex
+    disk: LocalDisk
+    ledger: Ledger
+    counters: Counters
+    pipeline: PipelineResult
+    host: str | None = None
+
+    def partition_bytes(self, partition: int) -> int:
+        return self.output_index.entry(partition).length
+
+    @property
+    def duration_work(self) -> float:
+        """Modelled wall-work of this task on one node.
+
+        The spill pipeline's two threads overlap, so their window counts
+        once (``pipeline.elapsed``, which already includes both threads'
+        waits); everything charged outside the pipeline — the final
+        merge, plus any unspilled map-thread tail — is serial and adds
+        on top.  Dividing by a node's speed gives modelled seconds.
+        """
+        serial_tail = (
+            self.ledger.total() - self.pipeline.map_busy - self.pipeline.support_busy
+        )
+        return self.pipeline.elapsed + max(0.0, serial_tail)
+
+    @property
+    def output_bytes(self) -> int:
+        return self.output_index.total_bytes
+
+    @property
+    def output_records(self) -> int:
+        return self.output_index.total_records
+
+
+class MapTaskRunner:
+    """Runs one map task over one split."""
+
+    def __init__(
+        self,
+        job: JobSpec,
+        split: FileSplit,
+        task_id: str,
+        disk: LocalDisk,
+        collector: MapOutputCollector,
+        instruments: TaskInstruments,
+        counters: Counters,
+        host: str | None = None,
+    ) -> None:
+        self.job = job
+        self.split = split
+        self.task_id = task_id
+        self.disk = disk
+        self.collector = collector
+        self.instruments = instruments
+        self.counters = counters
+        self.host = host
+
+    def run(self) -> MapTaskResult:
+        job = self.job
+        model = job.cost_model
+        costs = job.user_costs
+        instruments = self.instruments
+        counters = self.counters
+
+        mapper = job.mapper_factory()
+        emit = self.collector.collect
+
+        try:
+            mapper.setup()
+        except Exception as exc:  # noqa: BLE001 - user code boundary
+            raise UserCodeError("map", f"setup failed: {exc}") from exc
+
+        split_length = max(1, self.split.length)
+        consumed_total = 0
+        for key, value, consumed in job.input_format.record_reader(self.split):
+            instruments.charge_map_thread(
+                Op.READ, model.read_byte * consumed + model.deserialize_record
+            )
+            counters.incr(Counter.MAP_INPUT_RECORDS)
+            counters.incr(Counter.MAP_INPUT_BYTES, consumed)
+            consumed_total += consumed
+            self.collector.note_input_progress(min(1.0, consumed_total / split_length))
+            try:
+                mapper.map(key, value, emit)
+            except UserCodeError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - user code boundary
+                raise UserCodeError("map", str(exc)) from exc
+            instruments.charge_map_thread(
+                Op.MAP, costs.map_record + costs.map_byte * consumed
+            )
+
+        try:
+            mapper.cleanup(emit)
+        except UserCodeError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - user code boundary
+            raise UserCodeError("map", f"cleanup failed: {exc}") from exc
+
+        output_index = self.collector.flush()
+        counters.incr(Counter.MAP_FINAL_OUTPUT_RECORDS, output_index.total_records)
+        counters.incr(Counter.MAP_FINAL_OUTPUT_BYTES, output_index.total_bytes)
+
+        pipeline = getattr(self.collector, "timeline", None)
+        pipeline_result = pipeline.finish() if pipeline is not None else PipelineResult()
+
+        return MapTaskResult(
+            task_id=self.task_id,
+            split=self.split,
+            output_index=output_index,
+            disk=self.disk,
+            ledger=instruments.ledger,
+            counters=counters,
+            pipeline=pipeline_result,
+            host=self.host,
+        )

@@ -1,0 +1,219 @@
+"""The map/support thread pipeline timeline (the paper's Section IV-C).
+
+A map task's work splits between the **map thread** (read input, run
+``map()``, serialize into the spill buffer) and the **support thread**
+(sort + combine + write each spill).  The two pipeline over a shared
+buffer of ``M`` bytes: while the support thread consumes spill ``i-1``,
+the map thread produces spill ``i`` into the remaining ``M − m_{i-1}``
+bytes, blocking if that space fills; the support thread idles whenever
+it finishes a spill before the next one reaches the spill threshold.
+
+This module reproduces the paper's own analytical model of that
+interaction, deterministically:
+
+* :func:`expected_spill_size` — the paper's Eq. (2) recurrence
+  ``m_i = max{ xM, min{ (p/c)·m_{i-1}, M − m_{i-1} } }``, used by the
+  engine to decide how many bytes the i-th spill holds;
+* :class:`PipelineTimeline` — a two-actor wall-clock simulation that,
+  given each spill's measured produce work ``T_p`` and consume work
+  ``T_c``, computes per-thread busy and wait (idle) times.  Table II's
+  idle percentages and Figure 9's wait-time bars come from this.
+
+Times here are in work units (divide by node speed for seconds); only
+ratios ever appear in the reproduced artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def expected_spill_size(
+    spill_percent: float,
+    capacity: int,
+    prev_size: int | None,
+    produce_consume_ratio: float | None,
+) -> int:
+    """The paper's Eq. (2): how many bytes spill *i* will hold.
+
+    ``prev_size`` is ``m_{i-1}`` (``None`` for the first spill, which is
+    simply ``x·M``) and ``produce_consume_ratio`` is ``p/c``, the ratio
+    of produce to consume *rates* — equivalently ``T_c / T_p`` of the
+    previous spill, since rates are inversely proportional to the times.
+
+    The three terms: the spill is cut no earlier than the threshold
+    ``x·M``; while the support thread is still busy the map thread can
+    keep producing, adding up to ``(p/c)·m_{i-1}`` bytes (what it
+    produces during the consume of the previous spill) but never more
+    than the free space ``M − m_{i-1}``.
+    """
+    if not 0.0 < spill_percent <= 1.0:
+        raise ValueError(f"spill percent must be in (0, 1], got {spill_percent}")
+    threshold = spill_percent * capacity
+    if prev_size is None or produce_consume_ratio is None:
+        return max(1, int(threshold))
+    overrun = min(produce_consume_ratio * prev_size, capacity - prev_size)
+    return max(1, int(max(threshold, overrun)))
+
+
+@dataclass
+class SpillTiming:
+    """Timeline facts for one spill."""
+
+    index: int
+    produce_work: float  # T_p: map-thread work to produce this spill
+    consume_work: float  # T_c: support-thread work to sort+combine+write it
+    size_bytes: int
+    map_wait: float = 0.0  # map thread blocked on buffer space during production
+    support_wait: float = 0.0  # support thread idle before picking this spill up
+    produce_start: float = 0.0
+    produce_end: float = 0.0
+    consume_start: float = 0.0
+    consume_end: float = 0.0
+
+
+@dataclass
+class PipelineResult:
+    """Aggregated two-thread timeline for one map task."""
+
+    spills: list[SpillTiming] = field(default_factory=list)
+    map_busy: float = 0.0
+    map_wait: float = 0.0
+    support_busy: float = 0.0
+    support_wait: float = 0.0
+    final_drain_wait: float = 0.0  # map thread waiting for the last spill's consume
+    elapsed: float = 0.0  # wall time until the support thread finishes
+
+    @property
+    def map_idle_fraction(self) -> float:
+        """Fraction of the pipeline window the map thread spent idle
+        (Table II, column 'Map, Idle')."""
+        if self.elapsed <= 0:
+            return 0.0
+        return (self.map_wait + self.final_drain_wait) / self.elapsed
+
+    @property
+    def support_idle_fraction(self) -> float:
+        """Fraction of the pipeline window the support thread spent idle
+        (Table II, column 'Support, Idle')."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.support_wait / self.elapsed
+
+    @property
+    def total_wait(self) -> float:
+        return self.map_wait + self.final_drain_wait + self.support_wait
+
+    @property
+    def slower_thread_wait(self) -> float:
+        """Wait time of whichever thread did more busy work — the wait the
+        spill-matcher's first-order constraint aims to eliminate."""
+        if self.map_busy >= self.support_busy:
+            return self.map_wait + self.final_drain_wait
+        return self.support_wait
+
+
+class PipelineTimeline:
+    """Incremental two-actor simulation of the map/support pipeline.
+
+    The engine calls :meth:`record_spill` once per spill, after it has
+    measured the spill's actual produce and consume work; the timeline
+    advances both actor clocks and accrues waits:
+
+    * the map thread, producing spill *i*, blocks once it has filled
+      ``M − m_{i-1}`` bytes while the support thread is still consuming
+      spill *i-1*;
+    * the support thread picks spill *i* up at
+      ``max(produce_end_i, consume_end_{i-1})``, idling for the gap.
+
+    After the last spill, :meth:`finish` charges the map thread the time
+    it spends waiting for the support thread to drain (Hadoop's map task
+    joins the spill thread before the final merge).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity = capacity_bytes
+        self._result = PipelineResult()
+        self._map_clock = 0.0  # when the map thread is next free to produce
+        self._support_free = 0.0  # when the support thread finishes its backlog
+        self._prev_size: int | None = None
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def record_spill(self, produce_work: float, consume_work: float, size_bytes: int) -> SpillTiming:
+        """Advance the timeline over one (produce, consume) spill cycle."""
+        if self._finished:
+            raise RuntimeError("timeline already finished")
+        if produce_work < 0 or consume_work < 0 or size_bytes <= 0:
+            raise ValueError(
+                f"invalid spill timing: T_p={produce_work}, T_c={consume_work}, "
+                f"size={size_bytes}"
+            )
+        timing = SpillTiming(
+            index=len(self._result.spills),
+            produce_work=produce_work,
+            consume_work=consume_work,
+            size_bytes=size_bytes,
+        )
+        timing.produce_start = self._map_clock
+
+        # --- production, with possible blocking on buffer space ---
+        if self._prev_size is None or self._support_free <= self._map_clock:
+            # Previous spill's space already reclaimed: produce unhindered.
+            timing.produce_end = self._map_clock + produce_work
+        else:
+            free_space = self.capacity - self._prev_size
+            if size_bytes <= free_space:
+                timing.produce_end = self._map_clock + produce_work
+            else:
+                # Fill the free space, block until the support thread
+                # reclaims the previous spill, then produce the rest.
+                fraction_before_block = free_space / size_bytes
+                block_at = self._map_clock + produce_work * fraction_before_block
+                resume = max(block_at, self._support_free)
+                timing.map_wait = resume - block_at
+                timing.produce_end = resume + produce_work * (1.0 - fraction_before_block)
+
+        # --- handoff to the support thread ---
+        timing.consume_start = max(timing.produce_end, self._support_free)
+        timing.support_wait = max(0.0, timing.produce_end - self._support_free)
+        if timing.index == 0:
+            # Before the first spill exists the support thread has nothing
+            # to do; that ramp-up gap is genuine idle time (Hadoop's spill
+            # thread is started with the task) and Table II counts it.
+            timing.support_wait = timing.produce_end
+        timing.consume_end = timing.consume_start + consume_work
+
+        # --- advance state ---
+        self._map_clock = timing.produce_end
+        self._support_free = timing.consume_end
+        self._prev_size = size_bytes
+
+        result = self._result
+        result.spills.append(timing)
+        result.map_busy += produce_work
+        result.map_wait += timing.map_wait
+        result.support_busy += consume_work
+        result.support_wait += timing.support_wait
+        return timing
+
+    def expected_next_size(self, spill_percent: float, prev_ratio: float | None) -> int:
+        """Eq. (2) prediction for the next spill's size, from this timeline's
+        state and the measured ``p/c`` ratio of the previous spill."""
+        return expected_spill_size(spill_percent, self.capacity, self._prev_size, prev_ratio)
+
+    def finish(self) -> PipelineResult:
+        """Close the timeline: the map thread joins the support thread."""
+        if self._finished:
+            return self._result
+        self._finished = True
+        result = self._result
+        result.final_drain_wait = max(0.0, self._support_free - self._map_clock)
+        result.elapsed = max(self._support_free, self._map_clock)
+        return result
+
+    @property
+    def result(self) -> PipelineResult:
+        return self._result

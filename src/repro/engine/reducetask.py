@@ -1,0 +1,147 @@
+"""Reduce task execution: shuffle-fetch, merge, group, reduce, output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import UserCodeError
+from ..io.merger import group_sorted, group_sorted_by
+from ..serde.writable import SerdePair, Writable
+from .counters import Counter, Counters
+from .instrumentation import Ledger, Op, TaskInstruments
+from .job import JobSpec
+from .maptask import MapTaskResult
+from .shuffle import ShuffleService
+
+
+@dataclass
+class ReduceTaskResult:
+    """A finished reduce task: its final output plus accounting."""
+
+    task_id: str
+    partition: int
+    output: list[tuple[Writable, Writable]]
+    ledger: Ledger
+    counters: Counters
+    shuffle_bytes: int
+    remote_shuffle_bytes: int
+    host: str | None = None
+
+    @property
+    def output_records(self) -> int:
+        return len(self.output)
+
+    @property
+    def duration_work(self) -> float:
+        """Modelled wall-work of this single-threaded task (the network
+        transfer itself is timed by the cluster simulator's bandwidth
+        model, on top of the CPU work accounted here)."""
+        return self.ledger.total()
+
+
+class ReduceTaskRunner:
+    """Runs one reduce partition against a set of finished map tasks."""
+
+    def __init__(
+        self,
+        job: JobSpec,
+        partition: int,
+        map_results: list[MapTaskResult],
+        task_id: str,
+        instruments: TaskInstruments,
+        counters: Counters,
+        host: str | None = None,
+    ) -> None:
+        self.job = job
+        self.partition = partition
+        self.map_results = map_results
+        self.task_id = task_id
+        self.instruments = instruments
+        self.counters = counters
+        self.host = host
+
+    def run(self) -> ReduceTaskResult:
+        job = self.job
+        model = job.cost_model
+        costs = job.user_costs
+        instruments = self.instruments
+        counters = self.counters
+
+        from ..config import Keys
+        from ..io.blockdisk import LocalDisk
+
+        shuffle = ShuffleService(
+            model,
+            instruments,
+            counters,
+            self.host,
+            memory_budget_bytes=job.conf.get_positive_int(Keys.REDUCE_MEMORY_BYTES),
+            staging_disk=LocalDisk(f"{self.task_id}.disk"),
+        )
+        merged = shuffle.fetch_and_merge(self.map_results, self.partition)
+
+        reducer = job.reducer_factory()
+        key_cls = job.map_output_key_cls
+        value_cls = job.map_output_value_cls
+
+        output: list[tuple[Writable, Writable]] = []
+        output_bytes = 0
+
+        def emit(out_key: Writable, out_value: Writable) -> None:
+            nonlocal output_bytes
+            output.append((out_key, out_value))
+            output_bytes += out_key.serialized_size() + out_value.serialized_size()
+
+        try:
+            reducer.setup()
+        except Exception as exc:  # noqa: BLE001 - user code boundary
+            raise UserCodeError("reduce", f"setup failed: {exc}") from exc
+
+        if job.group_key_fn is not None:
+            # Secondary sort: batch reduce() calls by the grouping prefix,
+            # keeping values in full-key order within the group.
+            groups = (
+                (first_key, [vb for _, vb in pairs])
+                for first_key, pairs in group_sorted_by(merged, job.group_key_fn)
+            )
+        else:
+            groups = group_sorted(merged)
+
+        for key_bytes, value_bytes_list in groups:
+            # Deserialization of the group is framework (shuffle) work.
+            group_payload = len(key_bytes) + sum(len(vb) for vb in value_bytes_list)
+            instruments.charge(Op.SHUFFLE, model.serialize_byte * group_payload)
+            key = key_cls.from_bytes(key_bytes)
+            values = [value_cls.from_bytes(vb) for vb in value_bytes_list]
+            counters.incr(Counter.REDUCE_INPUT_GROUPS)
+            counters.incr(Counter.REDUCE_INPUT_RECORDS, len(values))
+            try:
+                reducer.reduce(key, iter(values), emit)
+            except UserCodeError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - user code boundary
+                raise UserCodeError("reduce", str(exc)) from exc
+            instruments.charge(Op.REDUCE, costs.reduce_record * len(values))
+
+        try:
+            reducer.cleanup(emit)
+        except UserCodeError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - user code boundary
+            raise UserCodeError("reduce", f"cleanup failed: {exc}") from exc
+
+        instruments.charge(Op.OUTPUT, model.output_byte * output_bytes)
+        counters.incr(Counter.REDUCE_OUTPUT_RECORDS, len(output))
+        counters.incr(Counter.REDUCE_OUTPUT_BYTES, output_bytes)
+
+        return ReduceTaskResult(
+            task_id=self.task_id,
+            partition=self.partition,
+            output=output,
+            ledger=instruments.ledger,
+            counters=counters,
+            shuffle_bytes=shuffle.bytes_fetched,
+            remote_shuffle_bytes=shuffle.remote_bytes_fetched,
+            host=self.host,
+        )

@@ -1,0 +1,241 @@
+"""The local job runner: executes a whole job in-process.
+
+This is the engine's front door.  It computes splits, assembles the
+per-task machinery according to the job's configuration — standard or
+frequency-buffering collector, static or spill-matcher policy — runs
+every map task and every reduce task, and returns a :class:`JobResult`
+with outputs and full accounting.
+
+The two optimizations are wired here and *only* here, which is the
+paper's headline property: no user code changes, only a small amount of
+framework plumbing.  (The imports of :mod:`repro.core` are lazy because
+core builds on the engine.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import JobConf, Keys
+from ..errors import JobFailedError, UserCodeError
+from ..io.blockdisk import LocalDisk
+from ..serde.writable import Writable
+from .collector import MapOutputCollector, StandardCollector
+from .combiner import CombinerRunner
+from .counters import Counters
+from .instrumentation import Ledger, TaskInstruments
+from .job import JobSpec
+from .maptask import MapTaskResult, MapTaskRunner
+from .pipeline import PipelineResult
+from .reducetask import ReduceTaskResult, ReduceTaskRunner
+from .spillpolicy import SpillPolicy, StaticSpillPolicy
+
+
+@dataclass
+class JobResult:
+    """The outcome of one job run: outputs plus merged accounting."""
+
+    job_name: str
+    map_results: list[MapTaskResult]
+    reduce_results: list[ReduceTaskResult]
+    ledger: Ledger
+    counters: Counters
+
+    def output_pairs(self) -> list[tuple[Writable, Writable]]:
+        """All reduce outputs, in partition order then key order."""
+        out: list[tuple[Writable, Writable]] = []
+        for result in sorted(self.reduce_results, key=lambda r: r.partition):
+            out.extend(result.output)
+        return out
+
+    def pipeline_results(self) -> list[PipelineResult]:
+        return [r.pipeline for r in self.map_results]
+
+    @property
+    def total_work(self) -> float:
+        return self.ledger.total()
+
+
+def build_spill_policy(conf: JobConf) -> SpillPolicy:
+    """Static Hadoop policy, or the paper's adaptive spill-matcher."""
+    if conf.get_bool(Keys.SPILLMATCHER_ENABLED):
+        from ..core.spillmatcher.controller import SpillMatcherPolicy
+
+        return SpillMatcherPolicy(
+            initial_percent=conf.get_fraction(Keys.SPILL_PERCENT),
+            min_percent=conf.get_fraction(Keys.SPILLMATCHER_MIN_PERCENT),
+            max_percent=conf.get_fraction(Keys.SPILLMATCHER_MAX_PERCENT),
+        )
+    return StaticSpillPolicy(conf.get_fraction(Keys.SPILL_PERCENT))
+
+
+def build_collector(
+    job: JobSpec,
+    task_id: str,
+    disk: LocalDisk,
+    instruments: TaskInstruments,
+    counters: Counters,
+    shared_state: dict | None = None,
+) -> MapOutputCollector:
+    """Assemble the collector stack for one map task.
+
+    *shared_state* is a per-node scratch dict; the frequency-buffering
+    collector uses it to share the discovered frequent-key set across
+    tasks on the same node (Section III-B: "our system finds the top-k
+    frequent-key set just once for all the tasks that run on a single
+    node").
+    """
+    conf = job.conf
+    freqbuf_enabled = conf.get_bool(Keys.FREQBUF_ENABLED)
+    capacity = conf.get_positive_int(Keys.SPILL_BUFFER_BYTES)
+    spill_capacity = capacity
+    if freqbuf_enabled:
+        # Section V-B2: a fixed total memory budget — the frequent-key
+        # hash table takes its share out of the spill buffer.
+        fraction = conf.get_fraction(Keys.FREQBUF_BUFFER_FRACTION)
+        spill_capacity = max(1, int(capacity * (1.0 - fraction)))
+
+    combiner_runner = None
+    if job.combiner_factory is not None:
+        combiner_runner = CombinerRunner(
+            job.combiner_factory(),
+            job.map_output_key_cls,
+            job.map_output_value_cls,
+            job.user_costs,
+            counters,
+        )
+
+    codec = None
+    codec_name = conf.get_str(Keys.SPILL_COMPRESSION)
+    if codec_name != "identity":
+        from ..io.compression import codec_by_name
+
+        codec = codec_by_name(codec_name)
+
+    grouping = conf.get_str(Keys.GROUPING)
+    if grouping == "hash":
+        from .hashgroup import HashGroupingCollector
+
+        collector_cls = HashGroupingCollector
+    elif grouping == "sort":
+        collector_cls = StandardCollector
+    else:
+        raise ValueError(f"unknown grouping mode {grouping!r}; use 'sort' or 'hash'")
+
+    standard = collector_cls(
+        task_id=task_id,
+        disk=disk,
+        num_partitions=job.num_reducers,
+        partitioner=job.partitioner,
+        policy=build_spill_policy(conf),
+        capacity_bytes=spill_capacity,
+        cost_model=job.cost_model,
+        instruments=instruments,
+        counters=counters,
+        combiner_runner=combiner_runner,
+        exact_comparisons=conf.get_bool(Keys.EXACT_COMPARISON_COUNTING),
+        sort_factor=conf.get_positive_int(Keys.SORT_FACTOR),
+        codec=codec,
+    )
+    if not freqbuf_enabled:
+        return standard
+
+    from ..core.freqbuf.collector import FrequencyBufferingCollector
+
+    return FrequencyBufferingCollector.from_conf(
+        inner=standard,
+        job=job,
+        hash_budget_bytes=capacity - spill_capacity,
+        instruments=instruments,
+        counters=counters,
+        combiner_runner=combiner_runner,
+        shared_state=shared_state,
+    )
+
+
+class LocalJobRunner:
+    """Runs jobs sequentially in-process (one simulated node).
+
+    The cluster simulator (:mod:`repro.cluster`) reuses the same task
+    runners but schedules them over many nodes and a network model; this
+    runner is the single-node reference implementation and the substrate
+    for the engine-level experiments (Figures 2, 8, 9; Table II).
+
+    Failed tasks (user-code exceptions) are retried with a fresh task
+    attempt — fresh mapper/reducer objects, fresh disk, fresh collector —
+    up to ``repro.task.max.attempts`` times, Hadoop's task-attempt
+    semantics; a task that exhausts its attempts fails the job with
+    :class:`~repro.errors.JobFailedError`.
+    """
+
+    def __init__(self, host: str = "localhost") -> None:
+        self.host = host
+        self.task_attempts: dict[str, int] = {}
+
+    def _attempt(self, task_id: str, max_attempts: int, make_attempt):
+        """Run one task with retry-on-user-failure semantics."""
+        last_error: UserCodeError | None = None
+        for attempt in range(max_attempts):
+            self.task_attempts[task_id] = attempt + 1
+            try:
+                return make_attempt()
+            except UserCodeError as exc:
+                last_error = exc
+        raise JobFailedError(
+            f"task {task_id} failed {max_attempts} attempts; last error: {last_error}"
+        ) from last_error
+
+    def run(self, job: JobSpec) -> JobResult:
+        splits = job.input_format.splits()
+        if not splits:
+            raise ValueError(f"job {job.name!r} has no input splits")
+        max_attempts = job.conf.get_positive_int(Keys.TASK_MAX_ATTEMPTS)
+
+        shared_state: dict = {}
+        map_results: list[MapTaskResult] = []
+        for index, split in enumerate(splits):
+            task_id = f"{job.name}.m{index:04d}"
+
+            def map_attempt(split=split, task_id=task_id) -> MapTaskResult:
+                disk = LocalDisk(f"{task_id}.disk")
+                instruments = TaskInstruments(Ledger())
+                counters = Counters()
+                collector = build_collector(
+                    job, task_id, disk, instruments, counters, shared_state
+                )
+                runner = MapTaskRunner(
+                    job, split, task_id, disk, collector, instruments, counters,
+                    self.host,
+                )
+                return runner.run()
+
+            map_results.append(self._attempt(task_id, max_attempts, map_attempt))
+
+        reduce_results: list[ReduceTaskResult] = []
+        for partition in range(job.num_reducers):
+            task_id = f"{job.name}.r{partition:04d}"
+
+            def reduce_attempt(partition=partition, task_id=task_id) -> ReduceTaskResult:
+                instruments = TaskInstruments(Ledger())
+                counters = Counters()
+                runner = ReduceTaskRunner(
+                    job, partition, map_results, task_id, instruments, counters,
+                    self.host,
+                )
+                return runner.run()
+
+            reduce_results.append(self._attempt(task_id, max_attempts, reduce_attempt))
+
+        ledger = Ledger.summed(
+            [r.ledger for r in map_results] + [r.ledger for r in reduce_results]
+        )
+        counters = Counters.summed(
+            [r.counters for r in map_results] + [r.counters for r in reduce_results]
+        )
+        return JobResult(
+            job_name=job.name,
+            map_results=map_results,
+            reduce_results=reduce_results,
+            ledger=ledger,
+            counters=counters,
+        )

@@ -1,0 +1,109 @@
+"""The in-memory map-output spill buffer.
+
+Models Hadoop's ``MapOutputBuffer``: serialized map-output records
+accumulate in a bounded byte budget ``M`` (``repro.io.sort.buffer.bytes``);
+when occupancy crosses the current *spill threshold* ``x·M`` a spill is
+cut — the buffered records are sorted by (partition, key bytes),
+combined, and written to local disk, freeing the space.
+
+We track occupancy exactly as Hadoop does: serialized payload bytes plus
+a fixed per-record metadata overhead (Hadoop's 16-byte kvindex entry).
+Circularity is irrelevant to dataflow and cost (only to pointer
+arithmetic), so records are held in a plain list; what matters — and is
+faithfully modelled — is the byte budget, the threshold, and the
+content of each spill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import SpillBufferError
+
+RECORD_METADATA_BYTES = 16
+"""Accounting overhead per buffered record (Hadoop's kvindex entry)."""
+
+
+@dataclass(frozen=True)
+class BufferedRecord:
+    """One serialized record awaiting spill, tagged with its partition."""
+
+    partition: int
+    key: bytes
+    value: bytes
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.key) + len(self.value)
+
+    @property
+    def accounted_bytes(self) -> int:
+        return self.payload_bytes + RECORD_METADATA_BYTES
+
+
+class SpillBuffer:
+    """Bounded accumulation buffer for serialized map output."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise SpillBufferError(f"buffer capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._records: list[BufferedRecord] = []
+        self._occupancy = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy_bytes(self) -> int:
+        return self._occupancy
+
+    @property
+    def record_count(self) -> int:
+        return len(self._records)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._records
+
+    def occupancy_fraction(self) -> float:
+        return self._occupancy / self.capacity_bytes
+
+    # ------------------------------------------------------------------
+    def append(self, partition: int, key: bytes, value: bytes) -> BufferedRecord:
+        """Buffer one record.
+
+        A single record larger than the whole buffer can never be
+        spilled and is rejected (Hadoop raises ``MapBufferTooSmall``
+        and falls back to a direct spill; we surface the error).
+        """
+        record = BufferedRecord(partition, key, value)
+        if record.accounted_bytes > self.capacity_bytes:
+            raise SpillBufferError(
+                f"record of {record.accounted_bytes} bytes exceeds buffer "
+                f"capacity {self.capacity_bytes}"
+            )
+        self._records.append(record)
+        self._occupancy += record.accounted_bytes
+        return record
+
+    def would_overflow(self, key_len: int, value_len: int) -> bool:
+        """Would appending a record of this size exceed capacity?"""
+        return (
+            self._occupancy + key_len + value_len + RECORD_METADATA_BYTES
+            > self.capacity_bytes
+        )
+
+    def drain(self) -> list[BufferedRecord]:
+        """Remove and return all buffered records (a spill's content)."""
+        records, self._records = self._records, []
+        self._occupancy = 0
+        return records
+
+    def __iter__(self) -> Iterator[BufferedRecord]:
+        return iter(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpillBuffer({self._occupancy}/{self.capacity_bytes} bytes, "
+            f"{len(self._records)} records)"
+        )

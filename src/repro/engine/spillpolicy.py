@@ -1,0 +1,58 @@
+"""Spill-threshold policies.
+
+The *spill percentage* ``x`` decides how full the spill buffer gets
+before a spill is cut.  Hadoop uses a static ``io.sort.spill.percent``
+(default 0.8); the paper's spill-matcher (Section IV) replaces it with a
+per-spill adaptive rule.  Both implement :class:`SpillPolicy`; the
+adaptive controller lives with the contribution code in
+:mod:`repro.core.spillmatcher`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class SpillPolicy(ABC):
+    """Chooses the spill percentage for each upcoming spill."""
+
+    @abstractmethod
+    def spill_percent(self) -> float:
+        """Threshold fraction ``x`` in (0, 1] for the next spill."""
+
+    def observe(self, produce_work: float, consume_work: float, size_bytes: int) -> None:
+        """Feed back the measured ``T_p``/``T_c``/size of the spill just cut.
+
+        The static policy ignores this; adaptive policies update their
+        estimate of the produce/consume rates.
+        """
+
+    def produce_consume_ratio(self) -> float | None:
+        """Latest estimate of ``p/c`` (byte-rate ratio), or ``None`` if the
+        policy has no observation yet.  Used by the engine's Eq. (2)
+        spill-size prediction."""
+        return None
+
+
+class StaticSpillPolicy(SpillPolicy):
+    """Hadoop's behaviour: a constant spill percentage."""
+
+    def __init__(self, spill_percent: float = 0.8) -> None:
+        if not 0.0 < spill_percent <= 1.0:
+            raise ValueError(f"spill percent must be in (0, 1], got {spill_percent}")
+        self._spill_percent = spill_percent
+        self._last_ratio: float | None = None
+
+    def spill_percent(self) -> float:
+        return self._spill_percent
+
+    def observe(self, produce_work: float, consume_work: float, size_bytes: int) -> None:
+        if produce_work > 0:
+            self._last_ratio = consume_work / produce_work
+
+    def produce_consume_ratio(self) -> float | None:
+        # p/c = (size/T_p) / (size/T_c) = T_c / T_p
+        return self._last_ratio
+
+    def __repr__(self) -> str:
+        return f"StaticSpillPolicy(x={self._spill_percent})"

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ``repro`` MapReduce framework.
+
+Every error raised by the framework derives from :class:`ReproError` so
+applications can catch framework failures separately from bugs in user
+map/reduce code (which are wrapped in :class:`UserCodeError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+class ConfigError(ReproError):
+    """A job configuration value is missing, malformed, or out of range."""
+
+
+class SerdeError(ReproError):
+    """Serialization or deserialization of a record failed."""
+
+
+class DiskError(ReproError):
+    """The simulated local disk rejected an operation (e.g. unknown file)."""
+
+
+class DfsError(ReproError):
+    """The simulated distributed filesystem rejected an operation."""
+
+
+class SpillBufferError(ReproError):
+    """The in-memory spill buffer was misused (e.g. record larger than buffer)."""
+
+
+class SchedulerError(ReproError):
+    """The cluster scheduler could not place or progress a task."""
+
+
+class JobFailedError(ReproError):
+    """A MapReduce job terminated without producing complete output."""
+
+
+class UserCodeError(ReproError):
+    """User-supplied map/combine/reduce code raised an exception.
+
+    The original exception is available as ``__cause__``.
+    """
+
+    def __init__(self, stage: str, message: str) -> None:
+        super().__init__(f"user {stage}() failed: {message}")
+        self.stage = stage

@@ -1,0 +1,10 @@
+"""Experiment harnesses, one module per reproduced table/figure.
+
+Each module exposes ``run(...)`` returning a structured result with a
+``render()`` (the reproduced table/figure as text) and ``claims`` (the
+paper-vs-measured shape checks).  ``runall`` regenerates EXPERIMENTS.md.
+"""
+
+from . import common
+
+__all__ = ["common"]

@@ -1,0 +1,62 @@
+"""Node-local I/O substrate: simulated disk, record framing, text splits,
+spill files and k-way merging."""
+
+from .blockdisk import DiskReader, DiskStats, DiskWriter, LocalDisk
+from .linereader import FileSplit, LineRecordReader, compute_splits
+from .merger import MergeStats, group_sorted, merge_and_combine, merge_runs
+from .records import (
+    count_records,
+    decode_records,
+    encode_record,
+    encode_records,
+    record_frame_size,
+)
+from .compression import (
+    Codec,
+    IdentityCodec,
+    RlePlusZlibCodec,
+    ZlibCodec,
+    codec_by_name,
+    decode_segment,
+    encode_segment,
+)
+from .spillfile import (
+    SegmentIndexEntry,
+    SpillIndex,
+    read_segment,
+    segment_bytes,
+    segment_payload,
+    write_spill,
+)
+
+__all__ = [
+    "Codec",
+    "DiskReader",
+    "DiskStats",
+    "DiskWriter",
+    "FileSplit",
+    "LineRecordReader",
+    "LocalDisk",
+    "MergeStats",
+    "SegmentIndexEntry",
+    "SpillIndex",
+    "compute_splits",
+    "count_records",
+    "decode_records",
+    "encode_record",
+    "encode_records",
+    "group_sorted",
+    "merge_and_combine",
+    "merge_runs",
+    "read_segment",
+    "record_frame_size",
+    "segment_bytes",
+    "segment_payload",
+    "IdentityCodec",
+    "RlePlusZlibCodec",
+    "ZlibCodec",
+    "codec_by_name",
+    "decode_segment",
+    "encode_segment",
+    "write_spill",
+]

@@ -1,0 +1,177 @@
+"""Simulated local disk with byte-level accounting.
+
+Every map task writes spills to, and merges from, a node-local disk.  To
+keep the framework hermetic and deterministic we model the disk as an
+in-memory byte store that *counts* traffic: bytes written, bytes read,
+and seek operations.  The engine's cost model converts those counts into
+work units; nothing here knows about time.
+
+Using an explicit disk object (instead of Python temp files) also lets
+the cluster simulator give each node its own disk with its own bandwidth
+parameters, and lets tests assert exact I/O volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import DiskError
+
+
+@dataclass
+class DiskStats:
+    """Cumulative traffic counters for one disk."""
+
+    bytes_written: int = 0
+    bytes_read: int = 0
+    writes: int = 0
+    reads: int = 0
+    seeks: int = 0
+    files_created: int = 0
+    files_deleted: int = 0
+
+    def snapshot(self) -> "DiskStats":
+        return DiskStats(
+            self.bytes_written,
+            self.bytes_read,
+            self.writes,
+            self.reads,
+            self.seeks,
+            self.files_created,
+            self.files_deleted,
+        )
+
+
+class DiskWriter:
+    """Append-only writer handle for one file."""
+
+    __slots__ = ("_disk", "_path", "_buffer", "_closed")
+
+    def __init__(self, disk: "LocalDisk", path: str, buffer: bytearray) -> None:
+        self._disk = disk
+        self._path = path
+        self._buffer = buffer
+        self._closed = False
+
+    def write(self, data: bytes) -> int:
+        if self._closed:
+            raise DiskError(f"write to closed file {self._path!r}")
+        self._buffer += data
+        self._disk.stats.bytes_written += len(data)
+        self._disk.stats.writes += 1
+        return len(data)
+
+    def tell(self) -> int:
+        return len(self._buffer)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "DiskWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class DiskReader:
+    """Positioned reader handle for one file."""
+
+    __slots__ = ("_disk", "_path", "_data", "_pos", "_closed")
+
+    def __init__(self, disk: "LocalDisk", path: str, data: bytes) -> None:
+        self._disk = disk
+        self._path = path
+        self._data = data
+        self._pos = 0
+        self._closed = False
+
+    def seek(self, offset: int) -> None:
+        if self._closed:
+            raise DiskError(f"seek on closed file {self._path!r}")
+        if not 0 <= offset <= len(self._data):
+            raise DiskError(
+                f"seek to {offset} outside file {self._path!r} of size {len(self._data)}"
+            )
+        if offset != self._pos:
+            self._disk.stats.seeks += 1
+        self._pos = offset
+
+    def read(self, length: int = -1) -> bytes:
+        if self._closed:
+            raise DiskError(f"read on closed file {self._path!r}")
+        if length < 0:
+            length = len(self._data) - self._pos
+        chunk = self._data[self._pos : self._pos + length]
+        self._pos += len(chunk)
+        self._disk.stats.bytes_read += len(chunk)
+        self._disk.stats.reads += 1
+        return chunk
+
+    def tell(self) -> int:
+        return self._pos
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "DiskReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class LocalDisk:
+    """An in-memory node-local filesystem with traffic accounting."""
+
+    def __init__(self, name: str = "disk0") -> None:
+        self.name = name
+        self.stats = DiskStats()
+        self._files: dict[str, bytearray] = {}
+
+    # ------------------------------------------------------------------
+    def create(self, path: str, overwrite: bool = False) -> DiskWriter:
+        """Create *path* and return an append-only writer."""
+        if path in self._files and not overwrite:
+            raise DiskError(f"file exists: {path!r}")
+        buffer = bytearray()
+        self._files[path] = buffer
+        self.stats.files_created += 1
+        return DiskWriter(self, path, buffer)
+
+    def open(self, path: str) -> DiskReader:
+        """Open *path* for positioned reads."""
+        try:
+            data = self._files[path]
+        except KeyError as exc:
+            raise DiskError(f"no such file: {path!r}") from exc
+        return DiskReader(self, path, bytes(data))
+
+    def delete(self, path: str) -> None:
+        if path not in self._files:
+            raise DiskError(f"no such file: {path!r}")
+        del self._files[path]
+        self.stats.files_deleted += 1
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def size(self, path: str) -> int:
+        try:
+            return len(self._files[path])
+        except KeyError as exc:
+            raise DiskError(f"no such file: {path!r}") from exc
+
+    def list_files(self) -> Iterator[str]:
+        return iter(sorted(self._files))
+
+    def total_bytes_stored(self) -> int:
+        return sum(len(data) for data in self._files.values())
+
+    def __repr__(self) -> str:
+        return f"LocalDisk({self.name!r}, files={len(self._files)})"

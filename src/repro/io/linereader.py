@@ -1,0 +1,108 @@
+"""Text input: line records over byte-range splits.
+
+Reproduces the split semantics of Hadoop's ``TextInputFormat``: an input
+file is cut into byte-range :class:`FileSplit`\\ s at block boundaries
+without regard for line breaks, and :class:`LineRecordReader` repairs
+the damage at read time:
+
+* a reader whose split starts at offset > 0 discards the (possibly
+  partial) line it lands in — that line belongs to the previous split;
+* a reader always finishes the line that straddles its end boundary.
+
+Together these rules ensure every line of the file is read by exactly
+one split, which the property tests in ``tests/io`` verify exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+NEWLINE = 0x0A  # b"\n"
+
+
+@dataclass(frozen=True)
+class FileSplit:
+    """A byte range of one input file, optionally with locality hints."""
+
+    path: str
+    offset: int
+    length: int
+    hosts: tuple[str, ...] = ()
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    def __repr__(self) -> str:
+        return f"FileSplit({self.path!r}, [{self.offset}, {self.end}))"
+
+
+def compute_splits(path: str, file_size: int, split_size: int) -> list[FileSplit]:
+    """Cut ``[0, file_size)`` into consecutive splits of *split_size* bytes.
+
+    The final split absorbs the remainder if it is smaller than 10% of
+    *split_size* (Hadoop's SPLIT_SLOP heuristic, slop factor 1.1).
+    """
+    if split_size <= 0:
+        raise ValueError(f"split_size must be positive, got {split_size}")
+    if file_size < 0:
+        raise ValueError(f"file_size must be non-negative, got {file_size}")
+    splits: list[FileSplit] = []
+    offset = 0
+    while file_size - offset > int(split_size * 1.1):
+        splits.append(FileSplit(path, offset, split_size))
+        offset += split_size
+    if file_size - offset > 0:
+        splits.append(FileSplit(path, offset, file_size - offset))
+    return splits
+
+
+class LineRecordReader:
+    """Reads the lines belonging to one :class:`FileSplit`.
+
+    Yields ``(byte_offset, line_text)`` pairs where the offset is the
+    position of the line's first byte in the whole file — the map input
+    key for text jobs.
+
+    The reader needs access to bytes slightly beyond the split end (to
+    finish a straddling line); callers hand it the whole file's bytes
+    and it reads only what the split semantics require.
+    """
+
+    def __init__(self, data: bytes, split: FileSplit) -> None:
+        self._data = data
+        self._split = split
+        self.bytes_consumed = 0
+
+    def __iter__(self) -> Iterator[tuple[int, str]]:
+        data = self._data
+        start = self._split.offset
+        end = self._split.end
+
+        pos = start
+        if start > 0:
+            # We may have landed mid-line (or exactly on a line start, but we
+            # cannot know without looking back one byte, which is what Hadoop
+            # does): our first line starts after the first newline at or past
+            # ``start - 1``.  The skipped prefix is emitted by the previous
+            # split's reader, which always finishes its straddling line.
+            newline = data.find(b"\n", start - 1)
+            if newline < 0:
+                # The remainder of the file is one unterminated line owned
+                # entirely by an earlier split.
+                return
+            pos = newline + 1
+
+        while pos < end:
+            newline = data.find(b"\n", pos)
+            if newline < 0:
+                line_end = len(data)
+                next_pos = len(data)
+            else:
+                line_end = newline
+                next_pos = newline + 1
+            line = data[pos:line_end].decode("utf-8", errors="replace")
+            self.bytes_consumed += next_pos - pos
+            yield pos, line
+            pos = next_pos

@@ -1,0 +1,66 @@
+"""Framed record streams.
+
+The on-disk and on-wire representation of a sequence of serialized
+(key, value) records::
+
+    record := vint(len(key)) key vint(len(value)) value
+
+The same framing is used by spill files, final map outputs, and shuffle
+segments, so one reader/writer pair serves the whole pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import SerdeError
+from ..serde.numeric import decode_vint, encode_vint, vint_size
+from ..serde.writable import SerdePair
+
+
+def record_frame_size(key_len: int, value_len: int) -> int:
+    """Bytes one framed record occupies on disk/wire."""
+    return vint_size(key_len) + key_len + vint_size(value_len) + value_len
+
+
+def encode_record(key: bytes, value: bytes) -> bytes:
+    """Frame a single serialized record."""
+    return encode_vint(len(key)) + key + encode_vint(len(value)) + value
+
+
+def encode_records(records: Iterable[SerdePair]) -> bytes:
+    """Frame a record sequence into one byte string."""
+    out = bytearray()
+    for key, value in records:
+        out += encode_vint(len(key))
+        out += key
+        out += encode_vint(len(value))
+        out += value
+    return bytes(out)
+
+
+def decode_records(data: bytes, offset: int = 0, end: int | None = None) -> Iterator[SerdePair]:
+    """Iterate framed records in ``data[offset:end]``.
+
+    Raises :class:`~repro.errors.SerdeError` on truncation or negative
+    lengths; a well-formed stream always ends exactly at *end*.
+    """
+    pos = offset
+    stop = len(data) if end is None else end
+    while pos < stop:
+        key_len, pos = decode_vint(data, pos)
+        if key_len < 0 or pos + key_len > stop:
+            raise SerdeError(f"corrupt record frame at offset {pos}: key length {key_len}")
+        key = data[pos : pos + key_len]
+        pos += key_len
+        value_len, pos = decode_vint(data, pos)
+        if value_len < 0 or pos + value_len > stop:
+            raise SerdeError(f"corrupt record frame at offset {pos}: value length {value_len}")
+        value = data[pos : pos + value_len]
+        pos += value_len
+        yield key, value
+
+
+def count_records(data: bytes, offset: int = 0, end: int | None = None) -> int:
+    """Number of framed records in a byte range (validates framing)."""
+    return sum(1 for _ in decode_records(data, offset, end))

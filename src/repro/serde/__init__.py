@@ -1,0 +1,71 @@
+"""Serialization framework (Hadoop Writable-style).
+
+Public surface::
+
+    from repro.serde import (
+        Writable, Text, IntWritable, LongWritable, FloatWritable,
+        VIntWritable, NullWritable, TaggedWritable,
+        pair_writable_type, array_writable_type,
+    )
+"""
+
+from .writable import (
+    SerdePair,
+    Writable,
+    deserialize_pair,
+    lookup_writable,
+    register_writable,
+    registered_writables,
+    serialize_pair,
+)
+from .text import Text
+from .numeric import (
+    FloatWritable,
+    IntWritable,
+    LongWritable,
+    VIntWritable,
+    decode_vint,
+    encode_vint,
+    vint_size,
+)
+from .composite import (
+    ArrayWritable,
+    NullWritable,
+    PairWritable,
+    TaggedWritable,
+    array_writable_type,
+    pair_writable_type,
+)
+from .extra_types import BooleanWritable, BytesWritable, MapWritable
+from .raw import CountingComparator, Comparator, make_sort_key, memcmp
+
+__all__ = [
+    "ArrayWritable",
+    "BooleanWritable",
+    "BytesWritable",
+    "MapWritable",
+    "Comparator",
+    "CountingComparator",
+    "FloatWritable",
+    "IntWritable",
+    "LongWritable",
+    "NullWritable",
+    "PairWritable",
+    "SerdePair",
+    "TaggedWritable",
+    "Text",
+    "VIntWritable",
+    "Writable",
+    "array_writable_type",
+    "decode_vint",
+    "deserialize_pair",
+    "encode_vint",
+    "lookup_writable",
+    "make_sort_key",
+    "memcmp",
+    "pair_writable_type",
+    "register_writable",
+    "registered_writables",
+    "serialize_pair",
+    "vint_size",
+]

@@ -1,0 +1,138 @@
+"""Additional writables: raw bytes, booleans, and string maps.
+
+Completes the Hadoop-parallel type set.  ``BytesWritable`` is the
+escape hatch for opaque payloads (and the natural value type for
+binary-sort workloads); ``MapWritable`` serializes small string->string
+dictionaries (configuration blobs, tagged attributes) with
+deterministic key ordering so equal maps always serialize identically.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Mapping
+
+from ..errors import SerdeError
+from .composite import _frame, _unframe
+from .writable import Writable, register_writable
+
+
+@register_writable
+class BytesWritable(Writable):
+    """Opaque byte payload (Hadoop's ``BytesWritable``)."""
+
+    type_name: ClassVar[str] = "BytesWritable"
+    __slots__ = ("_value",)
+
+    def __init__(self, value: bytes = b"") -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise SerdeError(f"BytesWritable wraps bytes, got {type(value).__name__}")
+        self._value = bytes(value)
+
+    @property
+    def value(self) -> bytes:
+        return self._value
+
+    def to_bytes(self) -> bytes:
+        return self._value
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BytesWritable":
+        return cls(data)
+
+    def serialized_size(self) -> int:
+        return len(self._value)
+
+    def __lt__(self, other: "BytesWritable") -> bool:
+        return self._value < other._value
+
+    def __repr__(self) -> str:
+        return f"BytesWritable({self._value!r})"
+
+
+@register_writable
+class BooleanWritable(Writable):
+    """A single-byte boolean."""
+
+    type_name: ClassVar[str] = "BooleanWritable"
+    __slots__ = ("_value",)
+
+    def __init__(self, value: bool = False) -> None:
+        if not isinstance(value, bool):
+            raise SerdeError(f"BooleanWritable wraps bool, got {type(value).__name__}")
+        self._value = value
+
+    @property
+    def value(self) -> bool:
+        return self._value
+
+    def to_bytes(self) -> bytes:
+        return b"\x01" if self._value else b"\x00"
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BooleanWritable":
+        if data == b"\x01":
+            return cls(True)
+        if data == b"\x00":
+            return cls(False)
+        raise SerdeError(f"invalid BooleanWritable payload {data!r}")
+
+    def serialized_size(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:
+        return f"BooleanWritable({self._value})"
+
+
+@register_writable
+class MapWritable(Writable):
+    """An immutable string->string map with canonical serialization.
+
+    Keys are serialized in sorted order, so two equal maps always
+    produce identical bytes — required for writables to be usable as
+    intermediate *keys* (byte equality must coincide with logical
+    equality).
+    """
+
+    type_name: ClassVar[str] = "MapWritable"
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Mapping[str, str] | None = None) -> None:
+        items = dict(items or {})
+        for key, value in items.items():
+            if not isinstance(key, str) or not isinstance(value, str):
+                raise SerdeError("MapWritable maps str to str")
+        self._items = tuple(sorted(items.items()))
+
+    @property
+    def value(self) -> dict[str, str]:
+        return dict(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        for k, v in self._items:
+            if k == key:
+                return v
+        return default
+
+    def to_bytes(self) -> bytes:
+        chunks: list[bytes] = []
+        for key, value in self._items:
+            chunks.append(key.encode("utf-8"))
+            chunks.append(value.encode("utf-8"))
+        return _frame(chunks)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MapWritable":
+        chunks = _unframe(data)
+        if len(chunks) % 2:
+            raise SerdeError("MapWritable payload has odd chunk count")
+        items = {
+            chunks[i].decode("utf-8"): chunks[i + 1].decode("utf-8")
+            for i in range(0, len(chunks), 2)
+        }
+        return cls(items)
+
+    def __repr__(self) -> str:
+        return f"MapWritable({dict(self._items)!r})"

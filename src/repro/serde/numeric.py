@@ -1,0 +1,217 @@
+"""Numeric writables: fixed-width ints/floats and a variable-length int.
+
+The fixed-width encodings are big-endian so byte-wise comparison of two
+serialized non-negative integers matches numeric order (used by raw
+comparators); :class:`VIntWritable` trades that property for space, the
+same trade Hadoop's ``VIntWritable`` makes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import ClassVar
+
+from ..errors import SerdeError
+from .writable import Writable, register_writable
+
+_INT = struct.Struct(">i")
+_LONG = struct.Struct(">q")
+_FLOAT = struct.Struct(">d")
+
+
+@register_writable
+class IntWritable(Writable):
+    """A 32-bit signed integer, big-endian fixed width."""
+
+    type_name: ClassVar[str] = "IntWritable"
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int = 0) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise SerdeError(f"IntWritable wraps int, got {type(value).__name__}")
+        if not -(2**31) <= value < 2**31:
+            raise SerdeError(f"IntWritable out of 32-bit range: {value}")
+        self._value = value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def to_bytes(self) -> bytes:
+        return _INT.pack(self._value)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IntWritable":
+        if len(data) != 4:
+            raise SerdeError(f"IntWritable needs 4 bytes, got {len(data)}")
+        return cls(_INT.unpack(data)[0])
+
+    def serialized_size(self) -> int:
+        return 4
+
+    def __lt__(self, other: "IntWritable") -> bool:
+        return self._value < other._value
+
+    def __repr__(self) -> str:
+        return f"IntWritable({self._value})"
+
+
+@register_writable
+class LongWritable(Writable):
+    """A 64-bit signed integer, big-endian fixed width."""
+
+    type_name: ClassVar[str] = "LongWritable"
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int = 0) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise SerdeError(f"LongWritable wraps int, got {type(value).__name__}")
+        if not -(2**63) <= value < 2**63:
+            raise SerdeError(f"LongWritable out of 64-bit range: {value}")
+        self._value = value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def to_bytes(self) -> bytes:
+        return _LONG.pack(self._value)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LongWritable":
+        if len(data) != 8:
+            raise SerdeError(f"LongWritable needs 8 bytes, got {len(data)}")
+        return cls(_LONG.unpack(data)[0])
+
+    def serialized_size(self) -> int:
+        return 8
+
+    def __lt__(self, other: "LongWritable") -> bool:
+        return self._value < other._value
+
+    def __repr__(self) -> str:
+        return f"LongWritable({self._value})"
+
+
+@register_writable
+class FloatWritable(Writable):
+    """A 64-bit IEEE-754 double, big-endian."""
+
+    type_name: ClassVar[str] = "FloatWritable"
+    __slots__ = ("_value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SerdeError(f"FloatWritable wraps float, got {type(value).__name__}")
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_bytes(self) -> bytes:
+        return _FLOAT.pack(self._value)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "FloatWritable":
+        if len(data) != 8:
+            raise SerdeError(f"FloatWritable needs 8 bytes, got {len(data)}")
+        return cls(_FLOAT.unpack(data)[0])
+
+    def serialized_size(self) -> int:
+        return 8
+
+    def __lt__(self, other: "FloatWritable") -> bool:
+        return self._value < other._value
+
+    def __repr__(self) -> str:
+        return f"FloatWritable({self._value})"
+
+
+def encode_vint(value: int) -> bytes:
+    """Zig-zag + LEB128 variable-length integer encoding.
+
+    Small magnitudes encode in one byte — important because text-centric
+    values are overwhelmingly small counters (WordCount emits ``1``\\ s).
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise SerdeError(f"vint encodes int, got {type(value).__name__}")
+    zigzag = (value << 1) ^ (value >> 63) if value < 0 else value << 1
+    zigzag &= (1 << 64) - 1
+    out = bytearray()
+    while True:
+        byte = zigzag & 0x7F
+        zigzag >>= 7
+        if zigzag:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_vint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a vint from *data* at *offset*; returns (value, new_offset)."""
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise SerdeError("truncated vint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            break
+        shift += 7
+        if shift > 63:
+            raise SerdeError("vint too long")
+    # undo zig-zag
+    value = (result >> 1) ^ -(result & 1)
+    return value, pos
+
+
+def vint_size(value: int) -> int:
+    """Serialized size of ``encode_vint(value)`` without materializing it."""
+    zigzag = (value << 1) ^ (value >> 63) if value < 0 else value << 1
+    zigzag &= (1 << 64) - 1
+    size = 1
+    while zigzag >= 0x80:
+        zigzag >>= 7
+        size += 1
+    return size
+
+
+@register_writable
+class VIntWritable(Writable):
+    """A variable-length signed integer (zig-zag LEB128)."""
+
+    type_name: ClassVar[str] = "VIntWritable"
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int = 0) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise SerdeError(f"VIntWritable wraps int, got {type(value).__name__}")
+        self._value = value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def to_bytes(self) -> bytes:
+        return encode_vint(self._value)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "VIntWritable":
+        value, end = decode_vint(data)
+        if end != len(data):
+            raise SerdeError("trailing bytes after vint")
+        return cls(value)
+
+    def serialized_size(self) -> int:
+        return vint_size(self._value)
+
+    def __lt__(self, other: "VIntWritable") -> bool:
+        return self._value < other._value
+
+    def __repr__(self) -> str:
+        return f"VIntWritable({self._value})"

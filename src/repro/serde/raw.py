@@ -1,0 +1,79 @@
+"""Raw byte comparators.
+
+The map-side sort never deserializes keys: it orders serialized records
+by comparing their raw key bytes, exactly as Hadoop's
+``WritableComparator`` fast path does.  For :class:`~repro.serde.text.Text`
+and big-endian non-negative numerics, lexicographic byte order equals
+logical order, so the default :func:`memcmp` comparator is correct for
+all key types this framework ships.
+
+The module also provides a *counting* comparator wrapper used when the
+instrumentation ledger is configured to count sort comparisons exactly
+instead of using the ``n log2 n`` model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+Comparator = Callable[[bytes, bytes], int]
+
+
+def memcmp(a: bytes, b: bytes) -> int:
+    """Three-way lexicographic byte comparison (negative/zero/positive)."""
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+class CountingComparator:
+    """Wraps a comparator and counts invocations.
+
+    Used with ``functools.cmp_to_key`` when
+    ``repro.instrument.exact.comparisons`` is enabled, giving the ledger
+    an exact comparison count at the price of a slower Python-level sort.
+    """
+
+    __slots__ = ("comparator", "count")
+
+    def __init__(self, comparator: Comparator = memcmp) -> None:
+        self.comparator = comparator
+        self.count = 0
+
+    def __call__(self, a: bytes, b: bytes) -> int:
+        self.count += 1
+        return self.comparator(a, b)
+
+    def reset(self) -> int:
+        """Return the current count and zero it."""
+        count, self.count = self.count, 0
+        return count
+
+
+class _KeyWrapper:
+    """Adapter making a three-way comparator usable as a sort key class."""
+
+    __slots__ = ("data", "comparator")
+
+    def __init__(self, data: bytes, comparator: Comparator) -> None:
+        self.data = data
+        self.comparator = comparator
+
+    def __lt__(self, other: "_KeyWrapper") -> bool:
+        return self.comparator(self.data, other.data) < 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _KeyWrapper):
+            return NotImplemented
+        return self.comparator(self.data, other.data) == 0
+
+
+def make_sort_key(comparator: Comparator) -> Callable[[bytes], _KeyWrapper]:
+    """Build a ``key=`` callable for :func:`sorted` from a comparator."""
+
+    def key(data: bytes) -> _KeyWrapper:
+        return _KeyWrapper(data, comparator)
+
+    return key

@@ -1,0 +1,159 @@
+"""Per-application behaviour tests (mappers/combiners/reducers in isolation)."""
+
+import pytest
+
+from repro.apps.accesslog import (
+    AccessLogJoinMapper,
+    AccessLogJoinReducer,
+    AccessLogSumCombiner,
+    AccessLogSumMapper,
+)
+from repro.apps.invertedindex import InvertedIndexCombiner, InvertedIndexReducer
+from repro.apps.pagerank import PageRankCombiner, PageRankMapper
+from repro.apps.syntext import SynTextCombiner, SynTextMapper, build_syntext
+from repro.apps.wordcount import WordCountMapper
+from repro.apps.wordpostag import WordPosTagCombiner, _vector
+from repro.apps.nlp.lexicon import NUM_TAGS
+from repro.serde.numeric import LongWritable, VIntWritable
+from repro.serde.text import Text
+
+
+def run_mapper(mapper, key, value):
+    out = []
+    mapper.setup()
+    mapper.map(key, value, lambda k, v: out.append((k, v)))
+    return out
+
+
+def run_combiner(combiner, key, values):
+    out = []
+    combiner.combine(key, values, lambda k, v: out.append((k, v)))
+    return out
+
+
+def run_reducer(reducer, key, values):
+    out = []
+    reducer.setup()
+    reducer.reduce(key, iter(values), lambda k, v: out.append((k, v)))
+    return out
+
+
+class TestWordCountMapper:
+    def test_emits_one_per_token(self):
+        out = run_mapper(WordCountMapper(), LongWritable(0), Text("a b a"))
+        assert [(k.value, v.value) for k, v in out] == [("a", 1), ("b", 1), ("a", 1)]
+
+    def test_empty_line(self):
+        assert run_mapper(WordCountMapper(), LongWritable(0), Text("")) == []
+
+
+class TestInvertedIndex:
+    def test_combiner_concatenates(self):
+        out = run_combiner(
+            InvertedIndexCombiner(), Text("w"), [Text("3"), Text("17")]
+        )
+        assert out == [(Text("w"), Text("3,17"))]
+
+    def test_reducer_sorts_positions(self):
+        out = run_reducer(
+            InvertedIndexReducer(), Text("w"), [Text("30,2"), Text("7")]
+        )
+        assert out == [(Text("w"), Text("2,7,30"))]
+
+
+class TestWordPosTag:
+    def test_vector_round_trip(self):
+        vec = _vector({0: 2, 3: 1})
+        assert [c.value for c in vec] == [2, 0, 0, 1] + [0] * (NUM_TAGS - 4)
+
+    def test_combiner_sums_elementwise(self):
+        a = _vector({0: 1, 1: 2})
+        b = _vector({1: 3, 2: 4})
+        out = run_combiner(WordPosTagCombiner(), Text("w"), [a, b])
+        assert [c.value for c in out[0][1]][:3] == [1, 5, 4]
+
+
+class TestAccessLog:
+    VISIT = "1.2.3.4|url000001.example.org/page|2014-01-01|12.50|Mozilla/5.0|USA|en|alpha|100"
+    RANKING = "url000001.example.org/page|777|30"
+
+    def test_sum_mapper_extracts_url_and_revenue(self):
+        out = run_mapper(AccessLogSumMapper(), LongWritable(0), Text(self.VISIT))
+        assert out == [(Text("url000001.example.org/page"), Text("12.50"))]
+
+    def test_sum_combiner_adds(self):
+        out = run_combiner(
+            AccessLogSumCombiner(), Text("u"), [Text("1.25"), Text("2.50")]
+        )
+        assert out == [(Text("u"), Text("3.75"))]
+
+    def test_join_mapper_tags_by_arity(self):
+        visits = run_mapper(AccessLogJoinMapper(), LongWritable(0), Text(self.VISIT))
+        ranks = run_mapper(AccessLogJoinMapper(), LongWritable(0), Text(self.RANKING))
+        assert visits[0][1].value.startswith("V:")
+        assert ranks[0][1].value == "R:777"
+        assert visits[0][0] == ranks[0][0]
+
+    def test_join_reducer_pairs(self):
+        out = run_reducer(
+            AccessLogJoinReducer(),
+            Text("u"),
+            [Text("V:1.2.3.4,12.50"), Text("R:777"), Text("V:5.6.7.8,1.00")],
+        )
+        assert sorted((k.value, v.value) for k, v in out) == [
+            ("1.2.3.4", "12.50,777"),
+            ("5.6.7.8", "1.00,777"),
+        ]
+
+    def test_join_reducer_drops_unmatched(self):
+        out = run_reducer(AccessLogJoinReducer(), Text("u"), [Text("V:ip,9.99")])
+        assert out == []
+
+
+class TestPageRank:
+    LINE = "p0\t0.5\tp1,p2"
+
+    def test_mapper_emits_structure_and_shares(self):
+        out = run_mapper(PageRankMapper(), LongWritable(0), Text(self.LINE))
+        by_key: dict[str, list[str]] = {}
+        for k, v in out:
+            by_key.setdefault(k.value, []).append(v.value)
+        assert by_key["p0"] == ["L:p1,p2"]
+        assert len(by_key["p1"]) == 1 and by_key["p1"][0].startswith("R:")
+        assert float(by_key["p1"][0][2:]) == pytest.approx(0.25)
+
+    def test_combiner_sums_contributions_keeps_structure(self):
+        out = run_combiner(
+            PageRankCombiner(),
+            Text("p"),
+            [Text("R:1e-1"), Text("L:x,y"), Text("R:2e-1")],
+        )
+        values = sorted(v.value for _, v in out)
+        assert values[0] == "L:x,y"
+        assert float(values[1][2:]) == pytest.approx(0.3)
+
+    def test_combiner_idempotent_on_structure_only(self):
+        out = run_combiner(PageRankCombiner(), Text("p"), [Text("L:x")])
+        assert out == [(Text("p"), Text("L:x"))]
+
+
+class TestSynText:
+    def test_mapper_cpu_knob_changes_no_output(self):
+        cheap = run_mapper(SynTextMapper(1.0), LongWritable(0), Text("a b"))
+        costly = run_mapper(SynTextMapper(50.0), LongWritable(0), Text("a b"))
+        assert [(k.value, v.value) for k, v in cheap] == [
+            (k.value, v.value) for k, v in costly
+        ]
+
+    def test_combiner_growth_bounds(self):
+        values = [Text("x" * 4) for _ in range(8)]
+        zero = run_combiner(SynTextCombiner(0.0), Text("w"), list(values))
+        full = run_combiner(SynTextCombiner(1.0), Text("w"), list(values))
+        assert len(zero[0][1].value) == 4  # counter-like: no growth
+        assert len(full[0][1].value) == 32  # concat-like: full growth
+
+    def test_builder_validation(self):
+        with pytest.raises(ValueError):
+            build_syntext(cpu_intensity=-1)
+        with pytest.raises(ValueError):
+            build_syntext(storage_intensity=1.5)

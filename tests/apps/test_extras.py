@@ -1,0 +1,110 @@
+"""Tests for the extra applications (selection, distributed sort)."""
+
+import pytest
+
+from repro.apps.extras import (
+    RangePartitioner,
+    build_distributedsort,
+    build_selection,
+    generate_sort_records,
+)
+from repro.apps.registry import EXTRA_APP_NAMES, build_application
+from repro.config import Keys
+from repro.engine.runner import LocalJobRunner
+
+
+class TestSelection:
+    def test_matches_oracle(self):
+        app = build_selection(scale=0.2, threshold=5000)
+        result = LocalJobRunner().run(app.job)
+        out = {k.value: v.value for k, v in result.output_pairs()}
+        assert out == app.oracle()
+
+    def test_filters_most_input(self):
+        app = build_selection(scale=0.2, threshold=9500)
+        result = LocalJobRunner().run(app.job)
+        from repro.engine.counters import Counter
+
+        emitted = result.counters.get(Counter.MAP_OUTPUT_RECORDS)
+        read = result.counters.get(Counter.MAP_INPUT_RECORDS)
+        # pageRank is uniform over [1, 10000): threshold 9500 keeps ~5%.
+        assert emitted < 0.15 * read
+
+    def test_optimizations_are_noops_here(self):
+        base = LocalJobRunner().run(build_selection(scale=0.2).job)
+        opt = LocalJobRunner().run(
+            build_selection(
+                scale=0.2,
+                conf_overrides={
+                    Keys.FREQBUF_ENABLED: True,
+                    Keys.FREQBUF_K: 16,
+                    Keys.FREQBUF_SAMPLE_FRACTION: 0.2,
+                    Keys.SPILLMATCHER_ENABLED: True,
+                },
+            ).job
+        )
+        normalize = lambda r: sorted(
+            (k.value, v.value) for k, v in r.output_pairs()
+        )
+        assert normalize(base) == normalize(opt)
+        # There is almost no intermediate data: gains must be tiny either way.
+        assert abs(1 - opt.total_work / base.total_work) < 0.15
+
+
+class TestDistributedSort:
+    def test_globally_sorted_output(self):
+        app = build_distributedsort(
+            scale=0.1, conf_overrides={Keys.NUM_REDUCERS: 4}
+        )
+        result = LocalJobRunner().run(app.job)
+        # Concatenating partitions in order must give a totally sorted key
+        # sequence — the range partitioner's contract.
+        keys = [
+            k.value
+            for reduce_result in sorted(result.reduce_results, key=lambda r: r.partition)
+            for k, _ in reduce_result.output
+        ]
+        assert keys == sorted(keys)
+        assert keys == app.oracle()["sorted_keys"]
+
+    def test_record_count_preserved(self):
+        app = build_distributedsort(scale=0.05)
+        result = LocalJobRunner().run(app.job)
+        assert len(result.output_pairs()) == app.info["records"]
+
+    def test_generator_shape(self):
+        data = generate_sort_records(100, payload_bytes=16)
+        lines = data.decode().splitlines()
+        assert len(lines) == 100
+        for line in lines:
+            key, payload = line.split("\t")
+            assert len(key) == 8
+            int(key, 16)
+
+
+class TestRangePartitioner:
+    def test_order_preserving(self):
+        p = RangePartitioner()
+        n = 4
+        keys = [f"{v:08x}".encode() for v in range(0, 16**8, 16**7)]
+        partitions = [p.partition(k, n) for k in keys]
+        assert partitions == sorted(partitions)
+        assert min(partitions) == 0 and max(partitions) == n - 1
+
+    def test_single_partition(self):
+        assert RangePartitioner().partition(b"ffffffff", 1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RangePartitioner().partition(b"00", 0)
+
+
+class TestRegistry:
+    def test_extras_buildable_by_name(self):
+        for name in EXTRA_APP_NAMES:
+            app = build_application(name, scale=0.05)
+            assert app.app_name == name
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            build_application("mystery")

@@ -1,0 +1,109 @@
+"""Tests for the NLP substrate (tokenizer, lexicon, HMM tagger)."""
+
+import math
+
+import pytest
+
+from repro.apps.nlp.hmm import START_LOG, TRANSITION_LOG, HmmTagger
+from repro.apps.nlp.lexicon import NUM_TAGS, TAG_INDEX, TAGS, emission_log_probs
+from repro.apps.nlp.tokenizer import tokenize, tokenize_with_offsets
+
+
+class TestTokenizer:
+    def test_basic_split(self):
+        assert tokenize("the quick brown fox") == ["the", "quick", "brown", "fox"]
+
+    def test_lowercasing_and_punctuation(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_empty_and_whitespace(self):
+        assert tokenize("") == []
+        assert tokenize("   \t ") == []
+
+    def test_pure_punctuation_dropped(self):
+        assert tokenize("... --- !!!") == []
+
+    def test_offsets(self):
+        pairs = tokenize_with_offsets("ab  cd", line_offset=100)
+        assert pairs == [("ab", 100), ("cd", 104)]
+
+    def test_offsets_with_repeated_words(self):
+        pairs = tokenize_with_offsets("go go go")
+        assert pairs == [("go", 0), ("go", 3), ("go", 6)]
+
+
+class TestLexicon:
+    def test_distribution_normalized(self):
+        for word in ("cat", "running", "quickly", "the", "42nd", "zzz"):
+            probs = emission_log_probs(word)
+            assert len(probs) == NUM_TAGS
+            assert sum(math.exp(p) for p in probs) == pytest.approx(1.0)
+
+    def test_closed_class_words_strongly_tagged(self):
+        probs = emission_log_probs("the")
+        assert max(range(NUM_TAGS), key=probs.__getitem__) == TAG_INDEX["DET"]
+
+    def test_number_shape(self):
+        probs = emission_log_probs("42")
+        assert max(range(NUM_TAGS), key=probs.__getitem__) == TAG_INDEX["NUM"]
+
+    def test_suffix_cue(self):
+        probs = emission_log_probs("running")
+        assert probs[TAG_INDEX["VERB"]] > probs[TAG_INDEX["DET"]]
+
+    def test_deterministic(self):
+        assert emission_log_probs("word") == emission_log_probs("word")
+
+
+class TestHmmModel:
+    def test_transition_rows_normalized(self):
+        for row in TRANSITION_LOG:
+            assert sum(math.exp(p) for p in row) == pytest.approx(1.0)
+        assert sum(math.exp(p) for p in START_LOG) == pytest.approx(1.0)
+
+
+class TestTagger:
+    def test_empty_sentence(self):
+        assert HmmTagger().tag([]) == []
+
+    def test_output_length_and_tagset(self):
+        tagger = HmmTagger()
+        tokens = "the cat sat on the mat".split()
+        tags = tagger.tag(tokens)
+        assert len(tags) == len(tokens)
+        assert all(t in TAGS for t in tags)
+
+    def test_deterministic(self):
+        tokens = "she quickly read the long report".split()
+        assert HmmTagger().tag(tokens) == HmmTagger().tag(tokens)
+
+    def test_determiner_then_noun_bias(self):
+        tags = HmmTagger().tag(["the", "dog"])
+        assert tags[0] == "DET"
+
+    def test_counters_updated(self):
+        tagger = HmmTagger()
+        tagger.tag(["a", "b", "c"])
+        tagger.tag(["d"])
+        assert tagger.sentences_tagged == 2
+        assert tagger.tokens_tagged == 4
+
+    def test_emission_cache_bounded(self):
+        tagger = HmmTagger(cache_size=2)
+        tagger.tag(["one", "two", "three", "four"])
+        assert len(tagger._emission_cache) <= 2  # noqa: SLF001
+
+    def test_single_token(self):
+        tags = HmmTagger().tag(["the"])
+        assert tags == ["DET"]
+
+    def test_decode_is_contextual(self):
+        """Viterbi is a sequence decode: a word's tag can depend on its
+        neighbours, not just its own emission vector."""
+        tagger = HmmTagger()
+        tag_alone = tagger.tag(["light"])[0]
+        tag_after_det = tagger.tag(["the", "light"])[1]
+        # After a determiner the decoder should strongly prefer a noun
+        # reading, whatever the solo reading is.
+        assert tag_after_det == "NOUN"
+        assert tag_alone in TAGS

@@ -1,0 +1,65 @@
+"""Cluster job runner error paths and retry behaviour."""
+
+import pytest
+
+from repro.cluster.jobtracker import ClusterJobRunner
+from repro.cluster.specs import local_cluster
+from repro.config import Keys
+from repro.engine.inputformat import RecordListInput
+from repro.errors import JobFailedError
+from repro.experiments.common import build_app
+from tests.conftest import make_wordcount_job
+
+
+class TestInputValidation:
+    def test_non_text_input_rejected(self):
+        job = make_wordcount_job(b"a b\n")
+        from repro.serde.numeric import VIntWritable
+        from repro.serde.text import Text
+
+        job.input_format = RecordListInput([[(Text("a"), VIntWritable(1))]])
+        from repro.apps.base import AppJob
+
+        app = AppJob("custom", True, job)
+        with pytest.raises(TypeError, match="TextInput"):
+            ClusterJobRunner(local_cluster()).run(app)
+
+
+class TestClusterRetries:
+    def test_flaky_map_task_retried_on_cluster(self):
+        app = build_app(
+            "wordcount", "baseline", scale=0.02,
+            extra_conf={Keys.NUM_REDUCERS: 2}, num_splits=4,
+        )
+        attempts = {"count": 0}
+        original_factory = app.job.mapper_factory
+
+        class Flaky(original_factory):  # type: ignore[misc, valid-type]
+            def setup(self):
+                attempts["count"] += 1
+                if attempts["count"] == 1:
+                    raise RuntimeError("first attempt dies")
+
+        app.job.mapper_factory = Flaky
+        result = ClusterJobRunner(local_cluster()).run(app)
+        assert attempts["count"] >= 2  # a retry happened
+        out = {
+            k.value: v.value for r in result.reduce_results for k, v in r.output
+        }
+        assert out == app.oracle()
+
+    def test_permanent_failure_fails_job(self):
+        app = build_app(
+            "wordcount", "baseline", scale=0.02,
+            extra_conf={Keys.NUM_REDUCERS: 2, Keys.TASK_MAX_ATTEMPTS: 2},
+            num_splits=2,
+        )
+        original_factory = app.job.mapper_factory
+
+        class Dead(original_factory):  # type: ignore[misc, valid-type]
+            def setup(self):
+                raise RuntimeError("always dies")
+
+        app.job.mapper_factory = Dead
+        with pytest.raises(JobFailedError):
+            ClusterJobRunner(local_cluster()).run(app)

@@ -1,0 +1,96 @@
+"""Tests for the locality-aware slot scheduler."""
+
+import pytest
+
+from repro.cluster.scheduler import TaskRequest, schedule_wave
+from repro.cluster.specs import ClusterSpec, NodeSpec
+from repro.errors import SchedulerError
+
+
+def cluster(nodes=2, map_slots=2):
+    return ClusterSpec(
+        name="t",
+        nodes=tuple(
+            NodeSpec(host=f"h{i}", map_slots=map_slots, reduce_slots=1)
+            for i in range(nodes)
+        ),
+    )
+
+
+def constant_duration(seconds: float):
+    return lambda task, host: seconds
+
+
+class TestWaveSemantics:
+    def test_all_tasks_scheduled(self):
+        tasks = [TaskRequest(f"t{i}") for i in range(10)]
+        placements = schedule_wave(cluster(), tasks, constant_duration(1.0))
+        assert {p.task_id for p in placements} == {t.task_id for t in tasks}
+
+    def test_wave_time_matches_slot_math(self):
+        # 10 tasks of 1s over 4 slots -> ceil(10/4) = 3 waves -> end at 3.0
+        tasks = [TaskRequest(f"t{i}") for i in range(10)]
+        placements = schedule_wave(cluster(), tasks, constant_duration(1.0))
+        assert max(p.end for p in placements) == pytest.approx(3.0)
+
+    def test_start_time_offset(self):
+        placements = schedule_wave(
+            cluster(), [TaskRequest("t")], constant_duration(2.0), start_time=5.0
+        )
+        assert placements[0].start == 5.0
+        assert placements[0].end == 7.0
+
+    def test_empty_wave(self):
+        assert schedule_wave(cluster(), [], constant_duration(1.0)) == []
+
+    def test_deterministic(self):
+        tasks = [TaskRequest(f"t{i}") for i in range(7)]
+        a = schedule_wave(cluster(), tasks, constant_duration(1.5))
+        b = schedule_wave(cluster(), tasks, constant_duration(1.5))
+        assert a == b
+
+    def test_variable_durations_fill_gaps(self):
+        durations = {"slow": 5.0, "a": 1.0, "b": 1.0, "c": 1.0}
+        tasks = [TaskRequest(name) for name in durations]
+        placements = schedule_wave(
+            cluster(nodes=1, map_slots=2),
+            tasks,
+            lambda t, h: durations[t.task_id],
+        )
+        # One slot runs "slow" [0,5]; the other runs the three 1s tasks.
+        assert max(p.end for p in placements) == pytest.approx(5.0)
+
+
+class TestLocality:
+    def test_prefers_local_task(self):
+        tasks = [
+            TaskRequest("remote", preferred_hosts=("h9",)),
+            TaskRequest("local-h1", preferred_hosts=("h1",)),
+        ]
+        placements = schedule_wave(
+            cluster(nodes=2, map_slots=1), tasks, constant_duration(1.0)
+        )
+        by_id = {p.task_id: p for p in placements}
+        assert by_id["local-h1"].host == "h1"
+        assert by_id["local-h1"].data_local
+
+    def test_nonlocal_marked(self):
+        placements = schedule_wave(
+            cluster(nodes=1), [TaskRequest("t", preferred_hosts=("elsewhere",))],
+            constant_duration(1.0),
+        )
+        assert not placements[0].data_local
+
+
+class TestErrors:
+    def test_negative_duration(self):
+        with pytest.raises(SchedulerError):
+            schedule_wave(cluster(), [TaskRequest("t")], constant_duration(-1.0))
+
+    def test_no_slots(self):
+        empty = ClusterSpec(
+            name="none",
+            nodes=(NodeSpec(host="h", map_slots=0, reduce_slots=0),),
+        )
+        with pytest.raises(SchedulerError):
+            schedule_wave(empty, [TaskRequest("t")], constant_duration(1.0))

@@ -1,0 +1,46 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.cluster.simclock import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.schedule(5.0, "late")
+        q.schedule(1.0, "early")
+        q.schedule(3.0, "mid")
+        assert [q.pop()[1] for _ in range(3)] == ["early", "mid", "late"]
+        assert q.now == 5.0
+
+    def test_tie_break_is_insertion_order(self):
+        q = EventQueue()
+        q.schedule(1.0, "first")
+        q.schedule(1.0, "second")
+        assert q.pop()[1] == "first"
+        assert q.pop()[1] == "second"
+
+    def test_unorderable_payloads_ok(self):
+        q = EventQueue()
+        q.schedule(1.0, {"a": 1})
+        q.schedule(1.0, {"b": 2})
+        q.pop(), q.pop()
+
+    def test_no_scheduling_into_past(self):
+        q = EventQueue()
+        q.schedule(2.0, "x")
+        q.pop()
+        with pytest.raises(ValueError):
+            q.schedule(1.0, "y")
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_drain(self):
+        q = EventQueue()
+        for t in (3.0, 1.0, 2.0):
+            q.schedule(t, t)
+        assert [t for t, _ in q.drain()] == [1.0, 2.0, 3.0]
+        assert not q

@@ -1,0 +1,75 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import JobConf, Keys
+from repro.engine.api import Combiner, Mapper, Reducer
+from repro.engine.inputformat import TextInput
+from repro.engine.job import JobSpec
+from repro.serde.numeric import VIntWritable
+from repro.serde.text import Text
+
+
+class TokenMapper(Mapper):
+    """Minimal word-count mapper used across engine tests."""
+
+    def map(self, key, value, emit):
+        for word in value.value.split():
+            emit(Text(word), VIntWritable(1))
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, emit):
+        emit(key, VIntWritable(sum(v.value for v in values)))
+
+
+class SumCombiner(Combiner):
+    def combine(self, key, values, emit):
+        emit(key, VIntWritable(sum(v.value for v in values)))
+
+
+def make_wordcount_job(
+    data: bytes,
+    conf_overrides: dict | None = None,
+    num_splits: int = 2,
+    combiner: bool = True,
+    name: str = "wc-test",
+) -> JobSpec:
+    conf = JobConf({Keys.SPILL_BUFFER_BYTES: 4096, Keys.NUM_REDUCERS: 2})
+    if conf_overrides:
+        conf.update(conf_overrides)
+    return JobSpec(
+        name=name,
+        input_format=TextInput(data, split_size=max(1, len(data) // num_splits)),
+        mapper_factory=TokenMapper,
+        reducer_factory=SumReducer,
+        combiner_factory=SumCombiner if combiner else None,
+        map_output_key_cls=Text,
+        map_output_value_cls=VIntWritable,
+        conf=conf,
+    )
+
+
+@pytest.fixture
+def tiny_text() -> bytes:
+    lines = []
+    words = ["apple", "banana", "cherry", "date", "elder", "fig"]
+    for i in range(120):
+        # Zipf-ish repetition: early words appear far more often.
+        line = " ".join(words[j % len(words)] for j in range(i % 7 + 1) for _ in range(1))
+        lines.append(line + f" apple word{i % 11}")
+    return ("\n".join(lines) + "\n").encode()
+
+
+@pytest.fixture
+def wordcount_truth():
+    def compute(data: bytes) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for line in data.decode().splitlines():
+            for word in line.split():
+                counts[word] = counts.get(word, 0) + 1
+        return counts
+
+    return compute

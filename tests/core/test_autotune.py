@@ -1,0 +1,66 @@
+"""Tests for the auto-tuning pre-profiler (Section III-C)."""
+
+import pytest
+
+from repro.core.freqbuf.autotune import PreProfiler
+from repro.data.rng import rng_for
+from repro.data.zipfian import ZipfSampler
+
+
+def feed_zipf(profiler: PreProfiler, n: int, m: int = 2000, alpha: float = 1.0):
+    sampler = ZipfSampler(m, alpha, rng_for("autotune-test"))
+    for rank in sampler.sample(n):
+        profiler.observe(int(rank))
+
+
+class TestPreProfiler:
+    def test_alpha_estimate_reasonable(self):
+        profiler = PreProfiler(k=50, expected_total_records=500_000)
+        feed_zipf(profiler, 20_000, alpha=1.0)
+        decision = profiler.decide()
+        assert 0.6 <= decision.alpha <= 1.4
+        assert decision.records_seen == 20_000
+
+    def test_sampling_fraction_in_bounds(self):
+        profiler = PreProfiler(k=50, expected_total_records=500_000)
+        feed_zipf(profiler, 10_000)
+        decision = profiler.decide()
+        assert 0.001 <= decision.sampling_fraction <= 0.5
+
+    def test_degenerate_stream(self):
+        profiler = PreProfiler(k=10, expected_total_records=1000)
+        for _ in range(5):
+            profiler.observe("only")
+        decision = profiler.decide()
+        assert decision.sampling_fraction == pytest.approx(0.001)
+
+    def test_larger_k_needs_more_samples(self):
+        # Surfacing a deeper top-k requires proportionally more profiling:
+        # s scales with 1/p_k = k^alpha * H_{m,alpha}.
+        small_k = PreProfiler(k=5, expected_total_records=100_000)
+        feed_zipf(small_k, 20_000)
+        large_k = PreProfiler(k=500, expected_total_records=100_000)
+        feed_zipf(large_k, 20_000)
+        assert large_k.decide().sampling_fraction > small_k.decide().sampling_fraction
+
+    def test_fraction_tracks_fitted_tail_probability(self):
+        # Consistency with Section III-C: s ~= safety * k^alpha * H / n,
+        # evaluated at the *fitted* alpha and estimated population.
+        from repro.core.freqbuf.zipf import required_sampling_fraction
+
+        profiler = PreProfiler(k=100, expected_total_records=200_000)
+        feed_zipf(profiler, 20_000)
+        decision = profiler.decide()
+        recomputed = required_sampling_fraction(
+            decision.alpha, 100, 200_000,
+            max(decision.distinct_keys_seen, 100),
+        )
+        # decide() uses a Good-Turing-extrapolated population, so allow
+        # the population-estimate slack.
+        assert decision.sampling_fraction == pytest.approx(recomputed, rel=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PreProfiler(k=0, expected_total_records=10)
+        with pytest.raises(ValueError):
+            PreProfiler(k=5, expected_total_records=0)

@@ -1,0 +1,138 @@
+"""Tests for the two-stage frequency-buffering collector."""
+
+import pytest
+
+from repro.config import Keys
+from repro.core.freqbuf.collector import (
+    SHARED_FREQUENT_KEYS,
+    FrequencyBufferingCollector,
+    Stage,
+)
+from repro.engine.counters import Counter
+from repro.engine.instrumentation import Op
+from repro.engine.runner import LocalJobRunner, build_collector
+from repro.serde.text import Text
+from tests.conftest import make_wordcount_job
+
+
+def freq_conf(k=8, s=0.2, extra=None):
+    conf = {
+        Keys.FREQBUF_ENABLED: True,
+        Keys.FREQBUF_K: k,
+        Keys.FREQBUF_SAMPLE_FRACTION: s,
+    }
+    if extra:
+        conf.update(extra)
+    return conf
+
+
+def run_job(data, conf_overrides, **kwargs):
+    job = make_wordcount_job(data, conf_overrides, **kwargs)
+    return LocalJobRunner().run(job)
+
+
+class TestCorrectness:
+    def test_output_identical_to_baseline(self, tiny_text, wordcount_truth):
+        result = run_job(tiny_text, freq_conf())
+        counts = {k.value: v.value for k, v in result.output_pairs()}
+        assert counts == wordcount_truth(tiny_text)
+
+    def test_output_identical_without_combiner(self, tiny_text, wordcount_truth):
+        # No combiner: the hash buffer degenerates to an accumulate-and-
+        # drain path; semantics must still hold.
+        result = run_job(tiny_text, freq_conf(), combiner=False)
+        counts = {k.value: v.value for k, v in result.output_pairs()}
+        assert counts == wordcount_truth(tiny_text)
+
+    def test_autotune_output_identical(self, tiny_text, wordcount_truth):
+        result = run_job(tiny_text, freq_conf(extra={Keys.FREQBUF_AUTOTUNE: True}))
+        counts = {k.value: v.value for k, v in result.output_pairs()}
+        assert counts == wordcount_truth(tiny_text)
+
+    def test_tiny_hash_budget_still_correct(self, tiny_text, wordcount_truth):
+        overrides = freq_conf(extra={
+            Keys.SPILL_BUFFER_BYTES: 2048,
+            Keys.FREQBUF_BUFFER_FRACTION: 0.05,  # ~100 bytes: constant overflow
+        })
+        result = run_job(tiny_text, overrides)
+        counts = {k.value: v.value for k, v in result.output_pairs()}
+        assert counts == wordcount_truth(tiny_text)
+
+
+class TestOptimizationBehaviour:
+    def test_hits_recorded_and_work_reduced(self, tiny_text):
+        baseline = run_job(tiny_text, None)
+        freq = run_job(tiny_text, freq_conf())
+        assert freq.counters.get(Counter.FREQBUF_HITS) > 0
+        assert freq.ledger.get(Op.SORT) < baseline.ledger.get(Op.SORT)
+        assert freq.ledger.get(Op.EMIT) < baseline.ledger.get(Op.EMIT)
+
+    def test_profiling_charges_profile_op(self, tiny_text):
+        freq = run_job(tiny_text, freq_conf())
+        assert freq.ledger.get(Op.PROFILE) > 0
+        assert freq.ledger.get(Op.HASHBUF) > 0
+
+    def test_profiled_records_tracked(self, tiny_text):
+        freq = run_job(tiny_text, freq_conf(s=0.3))
+        profiled = freq.counters.get(Counter.FREQBUF_PROFILED_RECORDS)
+        total = freq.counters.get(Counter.MAP_OUTPUT_RECORDS)
+        assert 0 < profiled < total
+
+    def test_frequent_set_shared_across_tasks(self, tiny_text):
+        job = make_wordcount_job(tiny_text, freq_conf(), num_splits=3)
+        result = LocalJobRunner().run(job)
+        # Only the first task profiles; later tasks skip straight to the
+        # optimization stage, so total profiled records < one task's output.
+        per_task_profiled = [
+            r.counters.get(Counter.FREQBUF_PROFILED_RECORDS) for r in result.map_results
+        ]
+        assert per_task_profiled[0] > 0
+        assert all(p == 0 for p in per_task_profiled[1:])
+
+    def test_sharing_disabled_profiles_every_task(self, tiny_text):
+        overrides = freq_conf(extra={Keys.FREQBUF_SHARE_ACROSS_TASKS: False})
+        job = make_wordcount_job(tiny_text, overrides, num_splits=3)
+        result = LocalJobRunner().run(job)
+        per_task_profiled = [
+            r.counters.get(Counter.FREQBUF_PROFILED_RECORDS) for r in result.map_results
+        ]
+        assert all(p > 0 for p in per_task_profiled)
+
+
+class TestStageMachine:
+    def test_shared_state_skips_profiling(self, tiny_text):
+        from repro.engine.counters import Counters
+        from repro.engine.instrumentation import Ledger, TaskInstruments
+        from repro.io.blockdisk import LocalDisk
+
+        job = make_wordcount_job(tiny_text, freq_conf())
+        shared = {SHARED_FREQUENT_KEYS: frozenset({Text("apple")})}
+        collector = build_collector(
+            job, "t0", LocalDisk(), TaskInstruments(Ledger()), Counters(), shared
+        )
+        assert isinstance(collector, FrequencyBufferingCollector)
+        assert collector.stage is Stage.OPTIMIZE
+
+    def test_starts_in_profile_stage(self, tiny_text):
+        from repro.engine.counters import Counters
+        from repro.engine.instrumentation import Ledger, TaskInstruments
+        from repro.io.blockdisk import LocalDisk
+
+        job = make_wordcount_job(tiny_text, freq_conf())
+        collector = build_collector(
+            job, "t0", LocalDisk(), TaskInstruments(Ledger()), Counters(), {}
+        )
+        assert collector.stage is Stage.PROFILE
+
+    def test_autotune_starts_in_preprofile(self, tiny_text):
+        from repro.engine.counters import Counters
+        from repro.engine.instrumentation import Ledger, TaskInstruments
+        from repro.io.blockdisk import LocalDisk
+
+        job = make_wordcount_job(
+            tiny_text, freq_conf(extra={Keys.FREQBUF_AUTOTUNE: True})
+        )
+        collector = build_collector(
+            job, "t0", LocalDisk(), TaskInstruments(Ledger()), Counters(), {}
+        )
+        assert collector.stage is Stage.PREPROFILE

@@ -1,0 +1,66 @@
+"""Quality-of-prediction tests: Space-Saving recall and coverage on
+realistic Zipf streams, quantifying the properties Figure 7 depends on."""
+
+from collections import Counter as PyCounter
+
+import pytest
+
+from repro.core.freqbuf.spacesaving import SpaceSaving
+from repro.core.freqbuf.zipf import generalized_harmonic
+from repro.data.rng import rng_for
+from repro.data.zipfian import ZipfSampler
+
+
+def zipf_stream(n: int, m: int, alpha: float, label: str) -> list[int]:
+    sampler = ZipfSampler(m, alpha, rng_for(label))
+    return [int(r) for r in sampler.sample(n)]
+
+
+def recall_at_k(stream: list[int], capacity: int, k: int) -> float:
+    """Fraction of the true top-k the summary's top-k recovers."""
+    summary = SpaceSaving(capacity)
+    for key in stream:
+        summary.observe(key)
+    truth = {key for key, _ in PyCounter(stream).most_common(k)}
+    found = summary.frequent_keys(k)
+    return len(truth & found) / k
+
+
+class TestTopKRecall:
+    def test_high_recall_on_skewed_stream(self):
+        stream = zipf_stream(40_000, 2000, 1.0, "recall-a")
+        # 4x-k capacity recovers most of the true top-k; 8x recovers all.
+        assert recall_at_k(stream, capacity=128, k=32) >= 0.8
+        assert recall_at_k(stream, capacity=256, k=32) == 1.0
+
+    def test_recall_improves_with_capacity(self):
+        stream = zipf_stream(30_000, 3000, 0.8, "recall-b")
+        small = recall_at_k(stream, capacity=48, k=32)
+        large = recall_at_k(stream, capacity=512, k=32)
+        assert large >= small
+
+    def test_exact_recall_with_generous_capacity(self):
+        stream = zipf_stream(20_000, 500, 1.2, "recall-c")
+        assert recall_at_k(stream, capacity=500, k=16) == 1.0
+
+
+class TestStreamCoverage:
+    def test_topk_coverage_matches_harmonic_prediction(self):
+        """The coverage model behind paper-equivalent-k: the top-k of a
+        Zipf(α, m) stream carries ~H_{k,α}/H_{m,α} of the tuples."""
+        m, alpha, n, k = 2000, 1.0, 60_000, 64
+        stream = zipf_stream(n, m, alpha, "coverage")
+        counts = PyCounter(stream)
+        top = sum(c for _, c in counts.most_common(k))
+        observed = top / n
+        predicted = generalized_harmonic(k, alpha) / generalized_harmonic(m, alpha)
+        assert observed == pytest.approx(predicted, abs=0.06)
+
+    def test_profiled_prefix_representative(self):
+        """A 10% prefix's top-k strongly overlaps the full stream's —
+        the stationarity assumption of Section III-B."""
+        stream = zipf_stream(50_000, 2500, 1.0, "prefix")
+        k = 48
+        full = {key for key, _ in PyCounter(stream).most_common(k)}
+        prefix = {key for key, _ in PyCounter(stream[: len(stream) // 10]).most_common(k)}
+        assert len(full & prefix) / k > 0.7

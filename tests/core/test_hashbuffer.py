@@ -1,0 +1,102 @@
+"""Tests for the frequent-key hash buffer."""
+
+import pytest
+
+from repro.core.freqbuf.hashbuffer import FrequentKeyBuffer
+from repro.engine.combiner import CombinerRunner
+from repro.engine.costmodel import UserCodeCosts
+from repro.engine.counters import Counters
+from repro.serde.numeric import VIntWritable
+from repro.serde.text import Text
+from tests.conftest import SumCombiner
+
+
+def make_buffer(keys=("hot", "warm"), budget=4096, limit=4, combiner=True):
+    overflowed = []
+    runner = None
+    if combiner:
+        runner = CombinerRunner(
+            SumCombiner(), Text, VIntWritable, UserCodeCosts(), Counters()
+        )
+    buffer = FrequentKeyBuffer(
+        frequent_keys={Text(k) for k in keys},
+        budget_bytes=budget,
+        combiner_runner=runner,
+        overflow_sink=lambda k, v: overflowed.append((k, v)),
+        values_per_key_limit=limit,
+    )
+    return buffer, overflowed
+
+
+class TestInsertAndCombine:
+    def test_accepts_only_frequent_keys(self):
+        buffer, _ = make_buffer()
+        assert buffer.accepts(Text("hot"))
+        assert not buffer.accepts(Text("cold"))
+
+    def test_eager_combine_at_limit(self):
+        buffer, _ = make_buffer(limit=4)
+        for _ in range(4):
+            buffer.insert(Text("hot"), VIntWritable(1))
+        # 4 values hit the limit -> combined into one
+        assert buffer.stats.eager_combines == 1
+        drained = buffer.drain()
+        assert drained == [(Text("hot"), VIntWritable(4))]
+
+    def test_drain_combines_remainder(self):
+        buffer, _ = make_buffer(limit=10)
+        for i in range(3):
+            buffer.insert(Text("hot"), VIntWritable(2))
+        drained = buffer.drain()
+        assert drained == [(Text("hot"), VIntWritable(6))]
+        assert buffer.occupancy_bytes == 0
+        assert buffer.tracked_keys == 0
+
+    def test_drain_deterministic_order(self):
+        buffer, _ = make_buffer(keys=("b", "a", "c"))
+        for k in ("c", "a", "b"):
+            buffer.insert(Text(k), VIntWritable(1))
+        drained = buffer.drain()
+        assert [k.value for k, _ in drained] == ["a", "b", "c"]
+
+    def test_without_combiner_values_accumulate(self):
+        buffer, _ = make_buffer(combiner=False, limit=4)
+        for _ in range(6):
+            buffer.insert(Text("hot"), VIntWritable(1))
+        drained = buffer.drain()
+        assert len(drained) == 6  # nothing combined, all values preserved
+
+    def test_totals_preserved_mixed_keys(self):
+        buffer, overflowed = make_buffer(limit=3, budget=1 << 20)
+        for i in range(25):
+            buffer.insert(Text("hot"), VIntWritable(1))
+            buffer.insert(Text("warm"), VIntWritable(2))
+        totals = {"hot": 0, "warm": 0}
+        for key, value in buffer.drain() + overflowed:
+            totals[key.value] += value.value
+        assert totals == {"hot": 25, "warm": 50}
+
+
+class TestOverflow:
+    def test_overflow_when_budget_exceeded(self):
+        # Tiny budget with an inflating combiner-free buffer must overflow
+        # (values are multi-byte so 40 of them exceed 64 bytes).
+        buffer, overflowed = make_buffer(budget=64, limit=100, combiner=False)
+        for i in range(40):
+            buffer.insert(Text("hot"), VIntWritable(10**9 + i))
+        assert overflowed, "expected overflow to the spill path"
+        assert buffer.occupancy_bytes <= 64
+
+    def test_no_records_lost_on_overflow(self):
+        buffer, overflowed = make_buffer(budget=64, limit=100, combiner=False)
+        n = 50
+        for i in range(n):
+            buffer.insert(Text("hot"), VIntWritable(10**9 + i))
+        drained = buffer.drain()
+        assert len(overflowed) + len(drained) == n
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrequentKeyBuffer(set(), 0, None, lambda k, v: None)
+        with pytest.raises(ValueError):
+            FrequentKeyBuffer(set(), 10, None, lambda k, v: None, values_per_key_limit=1)

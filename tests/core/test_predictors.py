@@ -1,0 +1,94 @@
+"""Tests for the Figure 7 buffer strategies."""
+
+import pytest
+
+from repro.core.freqbuf.predictors import (
+    LRUStrategy,
+    ideal_strategy,
+    simulate_removal,
+    spacesaving_strategy,
+)
+from repro.data.rng import rng_for
+from repro.data.zipfian import ZipfSampler
+
+
+def zipf_stream(n=20_000, m=1000, alpha=1.0, label="pred-test"):
+    sampler = ZipfSampler(m, alpha, rng_for(label))
+    return [int(r) for r in sampler.sample(n)]
+
+
+class TestIdealStrategy:
+    def test_oracle_absorbs_top_keys_from_start(self):
+        stream = [1, 2, 1, 3, 1, 1, 2]
+        strategy = ideal_strategy(stream, k=1)
+        assert strategy.frequent_keys == {1}
+        assert strategy.absorbs(1, 0)  # no profiling prefix
+        assert not strategy.absorbs(2, 0)
+
+    def test_removal_equals_topk_mass(self):
+        stream = zipf_stream()
+        k = 50
+        strategy = ideal_strategy(stream, k)
+        removed = simulate_removal(stream, strategy)
+        top_mass = sum(1 for key in stream if key in strategy.frequent_keys) / len(stream)
+        assert removed == pytest.approx(top_mass)
+
+
+class TestSpaceSavingStrategy:
+    def test_profiling_prefix_not_absorbed(self):
+        stream = [1] * 100
+        strategy = spacesaving_strategy(stream, k=1, sample_fraction=0.1)
+        assert not strategy.absorbs(1, 5)
+        assert strategy.absorbs(1, 10)
+
+    def test_close_to_ideal_on_skewed_stream(self):
+        stream = zipf_stream()
+        k = 64
+        ss = simulate_removal(stream, spacesaving_strategy(stream, k, 0.1))
+        ideal = simulate_removal(stream, ideal_strategy(stream, k))
+        assert ss <= ideal + 1e-9
+        assert ideal - ss < 0.15  # paper: ~6-10% gap
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            spacesaving_strategy([1], 1, 0.0)
+
+
+class TestLRUStrategy:
+    def test_hit_requires_residency(self):
+        lru = LRUStrategy(2)
+        assert not lru.absorbs("a", 0)  # miss, inserted
+        assert lru.absorbs("a", 1)  # hit
+        assert not lru.absorbs("b", 2)
+        assert not lru.absorbs("c", 3)  # evicts "a" (LRU)
+        assert not lru.absorbs("a", 4)  # "a" was evicted
+
+    def test_eviction_order_is_lru(self):
+        lru = LRUStrategy(2)
+        lru.absorbs("a", 0)
+        lru.absorbs("b", 1)
+        lru.absorbs("a", 2)  # touch a -> b is LRU
+        lru.absorbs("c", 3)  # evict b
+        assert lru.absorbs("a", 4)
+        assert not lru.absorbs("b", 5)
+
+    def test_worse_than_spacesaving_on_long_tail(self):
+        stream = zipf_stream(m=3000, alpha=0.9)
+        k = 32
+        ss = simulate_removal(stream, spacesaving_strategy(stream, k, 0.1))
+        lru = simulate_removal(stream, LRUStrategy(k))
+        assert lru < ss
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LRUStrategy(0)
+
+
+class TestSimulateRemoval:
+    def test_empty_stream(self):
+        assert simulate_removal([], LRUStrategy(4)) == 0.0
+
+    def test_bounds(self):
+        stream = zipf_stream(n=2000)
+        frac = simulate_removal(stream, LRUStrategy(16))
+        assert 0.0 <= frac <= 1.0

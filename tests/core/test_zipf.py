@@ -1,0 +1,108 @@
+"""Tests for Zipf fitting and the sampling-fraction formula."""
+
+import numpy as np
+import pytest
+
+from repro.core.freqbuf.zipf import (
+    fit_alpha,
+    fit_alpha_from_counts,
+    generalized_harmonic,
+    required_sampling_fraction,
+    zipf_pmf,
+)
+from repro.data.rng import rng_for
+from repro.data.zipfian import ZipfSampler
+
+
+class TestGeneralizedHarmonic:
+    def test_alpha_zero_is_m(self):
+        assert generalized_harmonic(10, 0.0) == pytest.approx(10.0)
+
+    def test_alpha_one_matches_harmonic(self):
+        expected = sum(1 / j for j in range(1, 101))
+        assert generalized_harmonic(100, 1.0) == pytest.approx(expected)
+
+    def test_monotone_in_m(self):
+        assert generalized_harmonic(200, 1.0) > generalized_harmonic(100, 1.0)
+
+    def test_large_m_tail_approximation(self):
+        # Compare the integral tail against brute force at a crossable size.
+        exact = float(np.sum(np.arange(1, 200_001, dtype=np.float64) ** -1.2))
+        approx = generalized_harmonic(200_000, 1.2)
+        assert approx == pytest.approx(exact, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generalized_harmonic(0, 1.0)
+        with pytest.raises(ValueError):
+            generalized_harmonic(10, -0.1)
+
+
+class TestZipfPmf:
+    def test_normalizes(self):
+        m = 500
+        ranks = np.arange(1, m + 1)
+        assert float(np.sum(zipf_pmf(ranks, 1.0, m))) == pytest.approx(1.0)
+
+    def test_rank_one_most_likely(self):
+        assert zipf_pmf(1, 0.8, 100) > zipf_pmf(2, 0.8, 100)
+
+
+class TestFitAlpha:
+    def test_exact_zipf_recovered(self):
+        # Perfect synthetic frequencies f_i = C * i^-alpha.
+        for alpha in (0.5, 0.8, 1.0, 1.3):
+            freqs = [int(1e6 * i**-alpha) for i in range(1, 400)]
+            assert fit_alpha(freqs) == pytest.approx(alpha, abs=0.05)
+
+    def test_sampled_zipf_close(self):
+        sampler = ZipfSampler(2000, 1.0, rng_for("fit-test"))
+        ranks = sampler.sample(60_000)
+        counts: dict[int, int] = {}
+        for r in ranks:
+            counts[int(r)] = counts.get(int(r), 0) + 1
+        fitted = fit_alpha_from_counts(counts)
+        assert 0.7 <= fitted <= 1.25
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            fit_alpha([5, 3])
+
+    def test_order_independent(self):
+        freqs = [100, 50, 33, 25, 20]
+        assert fit_alpha(freqs) == fit_alpha(list(reversed(freqs)))
+
+    def test_uniform_gives_near_zero(self):
+        assert fit_alpha([10] * 50) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestRequiredSamplingFraction:
+    def test_formula_midrange(self):
+        # k^alpha * H_{m,alpha} / n, times the safety factor.
+        s = required_sampling_fraction(
+            1.0, 10, 100_000, 1000, safety_factor=1.0, min_fraction=0.0
+        )
+        expected = (10 ** 1.0) * generalized_harmonic(1000, 1.0) / 100_000
+        assert s == pytest.approx(expected)
+
+    def test_clamped_to_bounds(self):
+        assert required_sampling_fraction(1.0, 1, 10**9, 10) == 0.001
+        assert required_sampling_fraction(1.5, 5000, 100, 10_000) == 0.5
+
+    def test_more_records_need_smaller_fraction(self):
+        small = required_sampling_fraction(1.0, 50, 10_000, 5000)
+        large = required_sampling_fraction(1.0, 50, 1_000_000, 5000)
+        assert large <= small
+
+    def test_larger_k_needs_larger_fraction(self):
+        lo = required_sampling_fraction(1.0, 10, 100_000, 5000)
+        hi = required_sampling_fraction(1.0, 500, 100_000, 5000)
+        assert hi >= lo
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_sampling_fraction(1.0, 0, 100, 10)
+        with pytest.raises(ValueError):
+            required_sampling_fraction(1.0, 5, 0, 10)
+        with pytest.raises(ValueError):
+            required_sampling_fraction(1.0, 5, 100, 0)

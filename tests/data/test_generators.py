@@ -1,0 +1,204 @@
+"""Tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.freqbuf.zipf import fit_alpha
+from repro.data.accesslog import (
+    AccessLogSpec,
+    expected_revenue_by_url,
+    generate_rankings,
+    generate_user_visits,
+)
+from repro.data.rng import rng_for, stable_seed
+from repro.data.scaling import PRESETS, preset
+from repro.data.textcorpus import (
+    CorpusSpec,
+    corpus_word_frequencies,
+    generate_corpus,
+    synth_word,
+)
+from repro.data.webgraph import (
+    WebGraphSpec,
+    generate_webgraph,
+    parse_webgraph,
+    reference_pagerank_iteration,
+)
+from repro.data.zipfian import ZipfSampler
+
+
+class TestRng:
+    def test_stable_seed_is_stable(self):
+        assert stable_seed("label", 1) == stable_seed("label", 1)
+        assert stable_seed("label", 1) != stable_seed("other", 1)
+
+    def test_rng_reproducible(self):
+        a = rng_for("x").random(5)
+        b = rng_for("x").random(5)
+        assert np.allclose(a, b)
+
+
+class TestZipfSampler:
+    def test_ranks_in_range(self):
+        sampler = ZipfSampler(100, 1.0, rng_for("zs"))
+        ranks = sampler.sample(1000)
+        assert ranks.min() >= 1 and ranks.max() <= 100
+
+    def test_skew_matches_alpha(self):
+        sampler = ZipfSampler(500, 1.0, rng_for("zs2"))
+        ranks = sampler.sample(50_000)
+        counts = np.bincount(ranks, minlength=501)[1:]
+        fitted = fit_alpha(counts[counts > 0])
+        assert 0.75 <= fitted <= 1.25
+
+    def test_pmf_sums_to_one(self):
+        sampler = ZipfSampler(50, 0.8, rng_for("zs3"))
+        assert sum(sampler.pmf(i) for i in range(1, 51)) == pytest.approx(1.0)
+
+    def test_expected_count(self):
+        sampler = ZipfSampler(10, 1.0, rng_for("zs4"))
+        assert sampler.expected_count(1, 1000) == pytest.approx(1000 * sampler.pmf(1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, rng_for("x"))
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0, rng_for("x"))
+        with pytest.raises(ValueError):
+            ZipfSampler(10, 1.0, rng_for("x")).sample(-1)
+
+
+class TestTextCorpus:
+    def test_shape(self):
+        spec = CorpusSpec(lines=100, words_per_line=5, vocabulary=50)
+        data = generate_corpus(spec)
+        lines = data.decode().splitlines()
+        assert len(lines) == 100
+        assert all(len(l.split()) == 5 for l in lines)
+
+    def test_deterministic(self):
+        spec = CorpusSpec(lines=50, vocabulary=100)
+        assert generate_corpus(spec) == generate_corpus(spec)
+
+    def test_seed_changes_content(self):
+        a = generate_corpus(CorpusSpec(lines=50, vocabulary=100, seed=0))
+        b = generate_corpus(CorpusSpec(lines=50, vocabulary=100, seed=1))
+        assert a != b
+
+    def test_zipf_frequencies(self):
+        data = generate_corpus(CorpusSpec(lines=4000, vocabulary=2000))
+        freqs = sorted(corpus_word_frequencies(data).values(), reverse=True)
+        assert fit_alpha(freqs) == pytest.approx(1.0, abs=0.35)
+
+    def test_synth_word_deterministic_and_wordlike(self):
+        assert synth_word(42) == synth_word(42)
+        word = synth_word(7)
+        assert word.isalpha() and 2 <= len(word) <= 20
+
+    def test_scaled(self):
+        base = CorpusSpec()
+        half = base.scaled(0.25)
+        assert half.lines == base.lines // 4
+        assert half.vocabulary < base.vocabulary
+        with pytest.raises(ValueError):
+            base.scaled(0)
+
+
+class TestAccessLog:
+    def test_schema(self):
+        spec = AccessLogSpec(visits=200, urls=50)
+        for line in generate_user_visits(spec).decode().splitlines():
+            fields = line.split("|")
+            assert len(fields) == 9
+            float(fields[3])  # adRevenue parses
+        for line in generate_rankings(spec).decode().splitlines():
+            fields = line.split("|")
+            assert len(fields) == 3
+            int(fields[1])
+
+    def test_every_visit_url_in_rankings(self):
+        spec = AccessLogSpec(visits=300, urls=40)
+        ranked = {
+            l.split("|")[0] for l in generate_rankings(spec).decode().splitlines()
+        }
+        visited = {
+            l.split("|")[1] for l in generate_user_visits(spec).decode().splitlines()
+        }
+        assert visited <= ranked
+
+    def test_url_popularity_skewed(self):
+        spec = AccessLogSpec(visits=20_000, urls=500)
+        visits = generate_user_visits(spec)
+        totals = expected_revenue_by_url(visits)
+        # Zipf(0.8): the most-visited URL gets far more than the median.
+        counts: dict[str, int] = {}
+        for line in visits.decode().splitlines():
+            url = line.split("|")[1]
+            counts[url] = counts.get(url, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        assert ordered[0] > 10 * ordered[len(ordered) // 2]
+        assert totals  # oracle runs
+
+    def test_deterministic(self):
+        spec = AccessLogSpec(visits=100, urls=20)
+        assert generate_user_visits(spec) == generate_user_visits(spec)
+
+
+class TestWebGraph:
+    def test_record_format(self):
+        data = generate_webgraph(WebGraphSpec(pages=200))
+        graph = parse_webgraph(data)
+        assert len(graph) == 200
+        for url, (rank, links) in graph.items():
+            assert rank == pytest.approx(1 / 200)
+            assert links
+            assert url not in links  # no self-links
+
+    def test_links_point_to_real_pages(self):
+        data = generate_webgraph(WebGraphSpec(pages=150))
+        graph = parse_webgraph(data)
+        for _, (_, links) in graph.items():
+            assert all(target in graph for target in links)
+
+    def test_rank_mass_conserved(self):
+        data = generate_webgraph(WebGraphSpec(pages=300))
+        graph = parse_webgraph(data)
+        new_ranks = reference_pagerank_iteration(graph)
+        assert sum(new_ranks.values()) == pytest.approx(1.0)
+
+    def test_indegree_skew(self):
+        data = generate_webgraph(WebGraphSpec(pages=2000, mean_out_degree=8))
+        graph = parse_webgraph(data)
+        indeg: dict[str, int] = {}
+        for _, (_, links) in graph.items():
+            for t in links:
+                indeg[t] = indeg.get(t, 0) + 1
+        ordered = sorted(indeg.values(), reverse=True)
+        assert ordered[0] > 20 * max(1, ordered[len(ordered) // 2])
+
+    def test_structure_valid_via_networkx(self):
+        import networkx as nx
+
+        data = generate_webgraph(WebGraphSpec(pages=120))
+        graph = parse_webgraph(data)
+        g = nx.DiGraph()
+        for url, (_, links) in graph.items():
+            for t in links:
+                g.add_edge(url, t)
+        assert g.number_of_nodes() <= 120
+        assert g.number_of_edges() == sum(len(l) for _, l in graph.values())
+
+
+class TestScaling:
+    def test_presets_exist(self):
+        for name in ("tiny", "small", "local", "ec2"):
+            assert preset(name).name == name
+
+    def test_ec2_scales_like_paper_ratios(self):
+        local, ec2 = preset("local"), preset("ec2")
+        assert ec2.text_scale / local.text_scale == pytest.approx(5.9)
+        assert ec2.graph_scale / local.graph_scale == pytest.approx(6.3)
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            preset("galactic")

@@ -1,0 +1,40 @@
+"""Tests for block placement."""
+
+import pytest
+
+from repro.dfs.blocks import place_replicas
+from repro.errors import DfsError
+
+HOSTS = ["h0", "h1", "h2", "h3"]
+
+
+class TestPlaceReplicas:
+    def test_replication_count(self):
+        replicas = place_replicas(HOSTS, 3, block_index=0)
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+
+    def test_writer_locality(self):
+        replicas = place_replicas(HOSTS, 3, block_index=0, preferred_host="h2")
+        assert replicas[0] == "h2"
+
+    def test_replication_capped_at_hosts(self):
+        replicas = place_replicas(["a", "b"], 5, block_index=0)
+        assert sorted(replicas) == ["a", "b"]
+
+    def test_round_robin_spreads_blocks(self):
+        firsts = {place_replicas(HOSTS, 1, block_index=i)[0] for i in range(len(HOSTS))}
+        assert firsts == set(HOSTS)
+
+    def test_no_hosts(self):
+        with pytest.raises(DfsError):
+            place_replicas([], 3, 0)
+
+    def test_bad_replication(self):
+        with pytest.raises(DfsError):
+            place_replicas(HOSTS, 0, 0)
+
+    def test_unknown_preferred_host_ignored(self):
+        replicas = place_replicas(HOSTS, 2, 0, preferred_host="nope")
+        assert "nope" not in replicas
+        assert len(replicas) == 2

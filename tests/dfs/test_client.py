@@ -1,0 +1,98 @@
+"""Tests for the DFS client: replicated writes, ranged reads, splits."""
+
+import pytest
+
+from repro.dfs.client import DfsCluster
+from repro.errors import DfsError
+
+HOSTS = ["h0", "h1", "h2", "h3"]
+
+
+def make_cluster(block_size=64, replication=2) -> DfsCluster:
+    return DfsCluster(HOSTS, block_size=block_size, replication=replication)
+
+
+class TestWriteRead:
+    def test_round_trip(self):
+        cluster = make_cluster()
+        data = bytes(range(256)) * 3
+        cluster.client().write_file("/f", data)
+        assert cluster.client().read_file("/f") == data
+
+    def test_replication_stores_copies(self):
+        cluster = make_cluster(block_size=1024, replication=3)
+        cluster.client().write_file("/f", b"x" * 100)
+        holders = [dn for dn in cluster.datanodes.values() if dn.block_count]
+        assert len(holders) == 3
+
+    def test_ranged_read(self):
+        cluster = make_cluster(block_size=10)
+        data = bytes(range(100))
+        cluster.client().write_file("/f", data)
+        assert cluster.client().read_range("/f", 15, 30) == data[15:45]
+
+    def test_ranged_read_bounds(self):
+        cluster = make_cluster()
+        cluster.client().write_file("/f", b"abc")
+        with pytest.raises(DfsError):
+            cluster.client().read_range("/f", 0, 4)
+
+    def test_local_reads_prefer_local_replica(self):
+        cluster = make_cluster(block_size=1 << 20, replication=2)
+        writer = cluster.client("h1")
+        writer.write_file("/f", b"payload")
+        reader = cluster.client("h1")
+        reader.read_file("/f")
+        assert reader.local_bytes_read > 0
+        assert reader.remote_bytes_read == 0
+
+    def test_remote_read_counted(self):
+        cluster = make_cluster(block_size=1 << 20, replication=1)
+        cluster.client("h0").write_file("/f", b"payload")
+        reader = cluster.client("h3")  # replica is on h0 only
+        reader.read_file("/f")
+        assert reader.remote_bytes_read > 0
+
+    def test_delete_removes_blocks(self):
+        cluster = make_cluster()
+        client = cluster.client()
+        client.write_file("/f", b"x" * 200)
+        client.delete_file("/f")
+        assert all(dn.block_count == 0 for dn in cluster.datanodes.values())
+
+
+class TestSplits:
+    def test_split_sizes_cover_file(self):
+        cluster = make_cluster(block_size=50)
+        client = cluster.client()
+        client.write_file("/f", b"y" * 220)
+        splits = client.compute_splits("/f")
+        assert sum(s.length for s in splits) == 220
+        assert splits[0].offset == 0
+        for prev, cur in zip(splits, splits[1:]):
+            assert cur.offset == prev.end
+
+    def test_splits_carry_locality(self):
+        cluster = make_cluster(block_size=50)
+        client = cluster.client()
+        client.write_file("/f", b"y" * 200)
+        for split in client.compute_splits("/f"):
+            assert split.hosts, "split should carry replica hints"
+            assert set(split.hosts) <= set(HOSTS)
+
+    def test_custom_split_size(self):
+        cluster = make_cluster(block_size=50)
+        client = cluster.client()
+        client.write_file("/f", b"y" * 200)
+        splits = client.compute_splits("/f", split_size=100)
+        assert len(splits) == 2
+
+
+class TestClusterConstruction:
+    def test_requires_hosts(self):
+        with pytest.raises(DfsError):
+            DfsCluster([])
+
+    def test_unknown_datanode(self):
+        with pytest.raises(DfsError):
+            make_cluster().datanode("zzz")

@@ -1,0 +1,71 @@
+"""Direct tests for the datanode block store."""
+
+import pytest
+
+from repro.dfs.blocks import BlockId
+from repro.dfs.datanode import DataNode
+from repro.errors import DfsError
+
+
+def bid(i: int) -> BlockId:
+    return BlockId("/f", i)
+
+
+class TestDataNode:
+    def test_store_and_read(self):
+        node = DataNode("h0")
+        node.store_block(bid(0), b"payload")
+        assert node.read_block(bid(0)) == b"payload"
+        assert node.has_block(bid(0))
+        assert node.block_count == 1
+        assert node.stored_bytes == 7
+
+    def test_traffic_counters(self):
+        node = DataNode("h0")
+        node.store_block(bid(0), b"abcd")
+        node.read_block(bid(0))
+        node.read_block(bid(0))
+        assert node.bytes_received == 4
+        assert node.bytes_served == 8
+
+    def test_duplicate_store_rejected(self):
+        node = DataNode("h0")
+        node.store_block(bid(0), b"x")
+        with pytest.raises(DfsError):
+            node.store_block(bid(0), b"y")
+
+    def test_read_missing(self):
+        with pytest.raises(DfsError):
+            DataNode("h0").read_block(bid(9))
+
+    def test_drop(self):
+        node = DataNode("h0")
+        node.store_block(bid(0), b"x")
+        node.drop_block(bid(0))
+        assert not node.has_block(bid(0))
+        with pytest.raises(DfsError):
+            node.drop_block(bid(0))
+
+    def test_replica_failure_fallback(self):
+        """A reader whose local replica is gone falls back to a remote one
+        (the DfsClient path when a datanode 'fails')."""
+        from repro.dfs.client import DfsCluster
+
+        cluster = DfsCluster(["h0", "h1", "h2"], block_size=1 << 20, replication=2)
+        writer = cluster.client("h0")
+        writer.write_file("/f", b"important payload")
+        # Simulate h0 losing its replica.
+        for block in cluster.namenode.stat("/f").blocks:
+            if cluster.datanode("h0").has_block(block.block_id):
+                cluster.datanode("h0").drop_block(block.block_id)
+        # A remote client reading via the surviving replicas still succeeds.
+        survivors = [
+            h for h in ("h1", "h2")
+            if any(
+                cluster.datanode(h).has_block(b.block_id)
+                for b in cluster.namenode.stat("/f").blocks
+            )
+        ]
+        assert survivors, "replication should have placed a second copy"
+        reader = cluster.client(survivors[0])
+        assert reader.read_file("/f") == b"important payload"

@@ -1,0 +1,86 @@
+"""Tests for the namenode's namespace and block map."""
+
+import pytest
+
+from repro.dfs.namenode import NameNode
+from repro.errors import DfsError
+
+
+def make_namenode(hosts=3, block_size=100) -> NameNode:
+    nn = NameNode(block_size, default_replication=2)
+    for i in range(hosts):
+        nn.register_datanode(f"h{i}")
+    return nn
+
+
+class TestNamespace:
+    def test_create_and_stat(self):
+        nn = make_namenode()
+        meta = nn.create_file("/f", 250)
+        assert meta.size == 250
+        assert nn.stat("/f") is meta
+        assert nn.exists("/f")
+
+    def test_block_layout(self):
+        nn = make_namenode(block_size=100)
+        meta = nn.create_file("/f", 250)
+        assert [b.offset for b in meta.blocks] == [0, 100, 200]
+        assert [b.length for b in meta.blocks] == [100, 100, 50]
+
+    def test_empty_file_single_empty_block(self):
+        nn = make_namenode()
+        meta = nn.create_file("/empty", 0)
+        assert len(meta.blocks) == 1
+        assert meta.blocks[0].length == 0
+
+    def test_duplicate_create_fails(self):
+        nn = make_namenode()
+        nn.create_file("/f", 10)
+        with pytest.raises(DfsError):
+            nn.create_file("/f", 10)
+
+    def test_delete(self):
+        nn = make_namenode()
+        nn.create_file("/f", 10)
+        nn.delete_file("/f")
+        assert not nn.exists("/f")
+        with pytest.raises(DfsError):
+            nn.delete_file("/f")
+
+    def test_negative_size(self):
+        with pytest.raises(DfsError):
+            make_namenode().create_file("/f", -1)
+
+    def test_listing_sorted(self):
+        nn = make_namenode()
+        nn.create_file("/b", 1)
+        nn.create_file("/a", 1)
+        assert list(nn.list_files()) == ["/a", "/b"]
+
+    def test_duplicate_datanode(self):
+        nn = make_namenode()
+        with pytest.raises(DfsError):
+            nn.register_datanode("h0")
+
+
+class TestBlockLookups:
+    def test_blocks_for_range(self):
+        nn = make_namenode(block_size=100)
+        nn.create_file("/f", 300)
+        blocks = nn.blocks_for_range("/f", 150, 100)
+        assert [b.offset for b in blocks] == [100, 200]
+
+    def test_range_on_boundary(self):
+        nn = make_namenode(block_size=100)
+        nn.create_file("/f", 300)
+        blocks = nn.blocks_for_range("/f", 100, 100)
+        assert [b.offset for b in blocks] == [100]
+
+    def test_hosts_for_range_ordered_by_overlap(self):
+        nn = make_namenode(hosts=4, block_size=100)
+        nn.create_file("/f", 400)
+        hosts = nn.hosts_for_range("/f", 0, 100)
+        assert hosts  # at least the replicas of block 0
+        # Every returned host actually holds a replica of an overlapping block.
+        replicas = {h for b in nn.blocks_for_range("/f", 0, 100) for h in b.replicas}
+        assert set(hosts) <= replicas

@@ -1,0 +1,59 @@
+"""Tests for the function-adapter API (FnMapper/FnReducer/FnCombiner)."""
+
+from repro.config import JobConf, Keys
+from repro.engine.api import FnCombiner, FnMapper, FnReducer
+from repro.engine.inputformat import TextInput
+from repro.engine.job import JobSpec
+from repro.engine.runner import LocalJobRunner
+from repro.serde.numeric import VIntWritable
+from repro.serde.text import Text
+
+
+def make_fn_job(data: bytes, with_combiner: bool = True) -> JobSpec:
+    def map_fn(key, value):
+        return [(Text(w), VIntWritable(1)) for w in value.value.split()]
+
+    def agg_fn(key, values):
+        return [(key, VIntWritable(sum(v.value for v in values)))]
+
+    return JobSpec(
+        name="fn-wc",
+        input_format=TextInput(data, split_size=max(1, len(data) // 2)),
+        mapper_factory=lambda: FnMapper(map_fn),
+        reducer_factory=lambda: FnReducer(agg_fn),
+        combiner_factory=(lambda: FnCombiner(agg_fn)) if with_combiner else None,
+        map_output_key_cls=Text,
+        map_output_value_cls=VIntWritable,
+        conf=JobConf({Keys.SPILL_BUFFER_BYTES: 2048}),
+    )
+
+
+class TestFnAdapters:
+    def test_full_job(self):
+        data = b"x y x\nz x\n"
+        result = LocalJobRunner().run(make_fn_job(data))
+        out = {k.value: v.value for k, v in result.output_pairs()}
+        assert out == {"x": 3, "y": 1, "z": 1}
+
+    def test_without_combiner(self):
+        data = b"a a b\n" * 20
+        result = LocalJobRunner().run(make_fn_job(data, with_combiner=False))
+        out = {k.value: v.value for k, v in result.output_pairs()}
+        assert out == {"a": 40, "b": 20}
+
+    def test_fn_mapper_multiple_emits(self):
+        collected = []
+        mapper = FnMapper(lambda k, v: [(Text("a"), VIntWritable(1)),
+                                        (Text("b"), VIntWritable(2))])
+        mapper.map(Text("k"), Text("v"), lambda k, v: collected.append((k, v)))
+        assert len(collected) == 2
+
+    def test_fn_reducer_consumes_iterator(self):
+        collected = []
+        reducer = FnReducer(lambda k, vs: [(k, VIntWritable(len(vs)))])
+        reducer.reduce(
+            Text("k"),
+            iter([VIntWritable(1)] * 5),
+            lambda k, v: collected.append((k, v)),
+        )
+        assert collected == [(Text("k"), VIntWritable(5))]

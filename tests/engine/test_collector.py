@@ -1,0 +1,154 @@
+"""Tests for the standard map-output collector (spill/sort/combine/merge)."""
+
+import pytest
+
+from repro.engine.api import HashPartitioner
+from repro.engine.collector import StandardCollector
+from repro.engine.combiner import CombinerRunner
+from repro.engine.costmodel import DEFAULT_COST_MODEL, UserCodeCosts
+from repro.engine.counters import Counter, Counters
+from repro.engine.instrumentation import Ledger, Op, TaskInstruments
+from repro.engine.spillpolicy import StaticSpillPolicy
+from repro.errors import SpillBufferError
+from repro.io.blockdisk import LocalDisk
+from repro.io.spillfile import read_segment
+from repro.serde.numeric import VIntWritable
+from repro.serde.text import Text
+from tests.conftest import SumCombiner
+
+
+def make_collector(
+    capacity=512,
+    partitions=2,
+    combiner=True,
+    spill_percent=0.8,
+):
+    counters = Counters()
+    instruments = TaskInstruments(Ledger())
+    runner = None
+    if combiner:
+        runner = CombinerRunner(SumCombiner(), Text, VIntWritable, UserCodeCosts(), counters)
+    collector = StandardCollector(
+        task_id="t0",
+        disk=LocalDisk(),
+        num_partitions=partitions,
+        partitioner=HashPartitioner(),
+        policy=StaticSpillPolicy(spill_percent),
+        capacity_bytes=capacity,
+        cost_model=DEFAULT_COST_MODEL,
+        instruments=instruments,
+        counters=counters,
+        combiner_runner=runner,
+    )
+    return collector, counters, instruments
+
+
+def collect_words(collector, words):
+    for word in words:
+        collector.collect(Text(word), VIntWritable(1))
+
+
+def read_all(collector, index):
+    out = []
+    for p in range(collector.num_partitions):
+        out.extend(read_segment(collector.disk, index, p))
+    return out
+
+
+class TestSpillingAndMerge:
+    def test_output_is_sorted_within_partition(self):
+        collector, _, _ = make_collector()
+        collect_words(collector, ["pear", "apple", "fig", "apple", "kiwi"] * 30)
+        index = collector.flush()
+        for p in range(2):
+            keys = [k for k, _ in read_segment(collector.disk, index, p)]
+            assert keys == sorted(keys)
+
+    def test_combiner_collapses_duplicates(self):
+        collector, counters, _ = make_collector()
+        collect_words(collector, ["same"] * 200)
+        index = collector.flush()
+        records = read_all(collector, index)
+        assert len(records) == 1
+        key, value = records[0]
+        assert Text.from_bytes(key).value == "same"
+        assert VIntWritable.from_bytes(value).value == 200
+
+    def test_no_combiner_keeps_duplicates(self):
+        collector, _, _ = make_collector(combiner=False)
+        collect_words(collector, ["same"] * 50)
+        index = collector.flush()
+        assert len(read_all(collector, index)) == 50
+
+    def test_multiple_spills_happen(self):
+        collector, counters, _ = make_collector(capacity=256)
+        collect_words(collector, [f"w{i}" for i in range(200)])
+        collector.flush()
+        assert counters.get(Counter.SPILLS) > 1
+
+    def test_single_spill_promoted_without_merge(self):
+        collector, counters, instruments = make_collector(capacity=1 << 20)
+        collect_words(collector, ["a", "b", "c"])
+        index = collector.flush()
+        assert counters.get(Counter.SPILLS) == 1
+        assert instruments.ledger.get(Op.MERGE) == 0.0
+        assert index.total_records == 3
+
+    def test_merge_charged_with_multiple_spills(self):
+        collector, _, instruments = make_collector(capacity=256)
+        collect_words(collector, [f"w{i}" for i in range(300)])
+        collector.flush()
+        assert instruments.ledger.get(Op.MERGE) > 0
+
+    def test_flush_twice_fails(self):
+        collector, _, _ = make_collector()
+        collector.collect(Text("x"), VIntWritable(1))
+        collector.flush()
+        with pytest.raises(SpillBufferError):
+            collector.flush()
+
+    def test_empty_task_produces_empty_index(self):
+        collector, _, _ = make_collector()
+        index = collector.flush()
+        assert index.total_records == 0
+        assert index.num_partitions == 2
+
+    def test_partitioning_is_consistent(self):
+        collector, _, _ = make_collector(capacity=256, partitions=3)
+        collect_words(collector, [f"w{i}" for i in range(100)] * 2)
+        index = collector.flush()
+        partitioner = HashPartitioner()
+        for p in range(3):
+            for key, _ in read_segment(collector.disk, index, p):
+                assert partitioner.partition(key, 3) == p
+
+
+class TestAccounting:
+    def test_emit_and_sort_charged(self):
+        collector, _, instruments = make_collector()
+        collect_words(collector, ["a", "b"] * 50)
+        collector.flush()
+        ledger = instruments.ledger
+        assert ledger.get(Op.EMIT) > 0
+        assert ledger.get(Op.SORT) > 0
+        assert ledger.get(Op.SPILL_IO) > 0
+
+    def test_output_counters(self):
+        collector, counters, _ = make_collector()
+        collect_words(collector, ["x"] * 10)
+        collector.flush()
+        assert counters.get(Counter.MAP_OUTPUT_RECORDS) == 10
+        assert counters.get(Counter.COMBINE_INPUT_RECORDS) >= 10
+
+    def test_timeline_records_spills(self):
+        collector, counters, _ = make_collector(capacity=256)
+        collect_words(collector, [f"w{i}" for i in range(200)])
+        collector.flush()
+        assert len(collector.timeline.result.spills) == counters.get(Counter.SPILLS)
+
+    def test_collect_serialized_uncounted(self):
+        collector, counters, _ = make_collector()
+        collector.collect_serialized(b"k", b"\x02", count_output=False)
+        assert counters.get(Counter.MAP_OUTPUT_RECORDS) == 0
+        collector.collect_serialized(b"k", b"\x02", count_output=True)
+        assert counters.get(Counter.MAP_OUTPUT_RECORDS) == 1

@@ -1,0 +1,58 @@
+"""Engine-level compression integration tests."""
+
+from repro.config import Keys
+from repro.engine.counters import Counter
+from repro.engine.instrumentation import Op
+from repro.engine.runner import LocalJobRunner
+from tests.conftest import make_wordcount_job
+
+
+def run(data: bytes, codec: str, extra=None):
+    overrides = {Keys.SPILL_COMPRESSION: codec}
+    if extra:
+        overrides.update(extra)
+    return LocalJobRunner().run(make_wordcount_job(data, overrides))
+
+
+def make_redundant_text() -> bytes:
+    # Large vocabulary (little combining) so map-output segments stay big
+    # enough for compression to pay: 3000 distinct tokens with shared
+    # prefixes compress well but do not collapse to a handful of records.
+    lines = [
+        " ".join(f"token{i:05d}" for i in range(row * 10, row * 10 + 10))
+        for row in range(300)
+    ] * 4
+    return ("\n".join(lines) + "\n").encode()
+
+
+class TestCompressionIntegration:
+    def test_output_unchanged(self, tiny_text, wordcount_truth):
+        for codec in ("zlib", "rle+zlib"):
+            result = run(tiny_text, codec)
+            out = {k.value: v.value for k, v in result.output_pairs()}
+            assert out == wordcount_truth(tiny_text), codec
+
+    def test_shuffle_bytes_reduced(self):
+        data = make_redundant_text()
+        raw = run(data, "identity")
+        compressed = run(data, "zlib")
+        assert compressed.counters.get(Counter.SHUFFLE_BYTES) < raw.counters.get(
+            Counter.SHUFFLE_BYTES
+        )
+
+    def test_compression_cpu_charged(self):
+        data = make_redundant_text()
+        raw = run(data, "identity")
+        compressed = run(data, "zlib")
+        # Compression charges extra CPU in SPILL_IO (compress) and
+        # SHUFFLE (decompress) per the cost model.
+        assert compressed.ledger.get(Op.SPILL_IO) != raw.ledger.get(Op.SPILL_IO)
+
+    def test_composes_with_freqbuf(self, tiny_text, wordcount_truth):
+        result = run(tiny_text, "zlib", extra={
+            Keys.FREQBUF_ENABLED: True,
+            Keys.FREQBUF_K: 8,
+            Keys.FREQBUF_SAMPLE_FRACTION: 0.2,
+        })
+        out = {k.value: v.value for k, v in result.output_pairs()}
+        assert out == wordcount_truth(tiny_text)

@@ -1,0 +1,62 @@
+"""Dataflow-conservation invariants, checked over random jobs.
+
+Counters are the engine's flight recorder; these properties pin down
+the relationships that must hold for *any* job: nothing is lost between
+map output and reduce input, combining only ever shrinks record counts,
+and spilled data is bounded by emitted data.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import Keys
+from repro.engine.counters import Counter
+from repro.engine.runner import LocalJobRunner
+from tests.conftest import make_wordcount_job
+
+words = st.sampled_from(["ash", "birch", "cedar", "dune", "elm", "fir", "ash"])
+lines = st.lists(words, min_size=1, max_size=10).map(" ".join)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    text_lines=st.lists(lines, min_size=1, max_size=25),
+    buffer_bytes=st.sampled_from([512, 4096]),
+    combiner=st.booleans(),
+    freqbuf=st.booleans(),
+)
+def test_counter_conservation(text_lines, buffer_bytes, combiner, freqbuf):
+    data = ("\n".join(text_lines) + "\n").encode()
+    conf = {Keys.SPILL_BUFFER_BYTES: buffer_bytes}
+    if freqbuf:
+        conf.update({
+            Keys.FREQBUF_ENABLED: True,
+            Keys.FREQBUF_K: 3,
+            Keys.FREQBUF_SAMPLE_FRACTION: 0.3,
+        })
+    job = make_wordcount_job(data, conf, combiner=combiner)
+    result = LocalJobRunner().run(job)
+    c = result.counters
+
+    emitted = c.get(Counter.MAP_OUTPUT_RECORDS)
+    final_map_out = c.get(Counter.MAP_FINAL_OUTPUT_RECORDS)
+    reduce_in = c.get(Counter.REDUCE_INPUT_RECORDS)
+    reduce_groups = c.get(Counter.REDUCE_INPUT_GROUPS)
+    reduce_out = c.get(Counter.REDUCE_OUTPUT_RECORDS)
+    expected_tokens = sum(len(l.split()) for l in text_lines)
+    distinct = len({w for l in text_lines for w in l.split()})
+
+    # Map output records == tokens the mapper actually emitted.
+    assert emitted == expected_tokens
+    # The reduce side consumes exactly what the map side published.
+    assert reduce_in == final_map_out
+    # Combining never grows record counts past the raw emit count.
+    assert final_map_out <= emitted
+    # Grouping is by distinct key; WordCount reduces each to one record.
+    assert reduce_groups == distinct == reduce_out
+    # Spilled records cannot exceed emitted records (combining only shrinks).
+    assert c.get(Counter.SPILLED_RECORDS) <= emitted
+    if combiner:
+        # With a combiner, every distinct key leaves the map side at most
+        # once per spill+drain; the floor is the distinct count.
+        assert final_map_out >= distinct

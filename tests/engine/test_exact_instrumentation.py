@@ -1,0 +1,45 @@
+"""Validation of the modelled instrumentation against exact counting.
+
+The cost model charges sort comparisons as ``n log2 n`` by default; the
+engine also supports exact per-comparison counting.  These tests verify
+the model is a faithful stand-in — the calibration that justifies using
+the fast mode everywhere else.
+"""
+
+import pytest
+
+from repro.config import Keys
+from repro.engine.instrumentation import Op
+from repro.engine.runner import LocalJobRunner
+from tests.conftest import make_wordcount_job
+
+
+def run(data: bytes, exact: bool):
+    job = make_wordcount_job(
+        data, {Keys.EXACT_COMPARISON_COUNTING: exact, Keys.NUM_REDUCERS: 1}
+    )
+    return LocalJobRunner().run(job)
+
+
+class TestExactVsModelled:
+    def test_outputs_identical(self, tiny_text):
+        modelled = run(tiny_text, exact=False)
+        exact = run(tiny_text, exact=True)
+        normalize = lambda r: sorted(
+            (k.value, v.value) for k, v in r.output_pairs()
+        )
+        assert normalize(modelled) == normalize(exact)
+
+    def test_sort_charges_within_factor(self, tiny_text):
+        modelled = run(tiny_text, exact=False).ledger.get(Op.SORT)
+        exact = run(tiny_text, exact=True).ledger.get(Op.SORT)
+        # Timsort on Zipf-ish data does fewer comparisons than n log n
+        # (galloping on runs), but the same order of magnitude: the model
+        # must sit within a small constant factor of reality.
+        assert 0.2 * modelled <= exact <= 2.0 * modelled
+
+    def test_non_sort_ops_identical(self, tiny_text):
+        modelled = run(tiny_text, exact=False).ledger
+        exact = run(tiny_text, exact=True).ledger
+        for op in (Op.READ, Op.MAP, Op.EMIT, Op.SPILL_IO, Op.REDUCE):
+            assert modelled.get(op) == pytest.approx(exact.get(op)), op

@@ -1,0 +1,101 @@
+"""Tests for the hash-grouping collector (the §VII extension)."""
+
+import pytest
+
+from repro.config import Keys
+from repro.engine.counters import Counter
+from repro.engine.instrumentation import Op
+from repro.engine.runner import LocalJobRunner
+from tests.conftest import make_wordcount_job
+
+
+def run(data: bytes, extra=None, **kwargs):
+    overrides = {Keys.GROUPING: "hash"}
+    if extra:
+        overrides.update(extra)
+    job = make_wordcount_job(data, overrides, **kwargs)
+    return LocalJobRunner().run(job)
+
+
+class TestCorrectness:
+    def test_matches_truth(self, tiny_text, wordcount_truth):
+        result = run(tiny_text)
+        out = {k.value: v.value for k, v in result.output_pairs()}
+        assert out == wordcount_truth(tiny_text)
+
+    def test_matches_sort_grouping(self, tiny_text):
+        sort_job = make_wordcount_job(tiny_text)
+        sort_out = LocalJobRunner().run(sort_job).output_pairs()
+        hash_out = run(tiny_text).output_pairs()
+        normalize = lambda pairs: sorted((k.to_bytes(), v.to_bytes()) for k, v in pairs)
+        assert normalize(hash_out) == normalize(sort_out)
+
+    def test_output_stays_sorted_per_partition(self, tiny_text):
+        result = run(tiny_text)
+        for reduce_result in result.reduce_results:
+            keys = [k.value for k, _ in reduce_result.output]
+            assert keys == sorted(keys)
+
+    def test_without_combiner(self, tiny_text, wordcount_truth):
+        result = run(tiny_text, combiner=False)
+        out = {k.value: v.value for k, v in result.output_pairs()}
+        assert out == wordcount_truth(tiny_text)
+
+    def test_with_compression_and_optimizations(self, tiny_text, wordcount_truth):
+        result = run(tiny_text, extra={
+            Keys.SPILL_COMPRESSION: "zlib",
+            Keys.SPILLMATCHER_ENABLED: True,
+        })
+        out = {k.value: v.value for k, v in result.output_pairs()}
+        assert out == wordcount_truth(tiny_text)
+
+    def test_tiny_budget_forces_spills(self, tiny_text, wordcount_truth):
+        result = run(tiny_text, extra={Keys.SPILL_BUFFER_BYTES: 512})
+        assert result.counters.get(Counter.SPILLS) > 1
+        out = {k.value: v.value for k, v in result.output_pairs()}
+        assert out == wordcount_truth(tiny_text)
+
+
+class TestEfficiency:
+    def test_slashes_sort_work(self, tiny_text):
+        sort_result = LocalJobRunner().run(make_wordcount_job(tiny_text))
+        hash_result = run(tiny_text)
+        # Hashing replaces the O(n log n) raw sort with an O(u log u)
+        # sort of unique aggregates — Section II-A's observation.
+        assert hash_result.ledger.get(Op.SORT) < 0.2 * sort_result.ledger.get(Op.SORT)
+
+    def test_fewer_spilled_records(self, tiny_text):
+        sort_result = LocalJobRunner().run(make_wordcount_job(tiny_text))
+        hash_result = run(tiny_text)
+        assert hash_result.counters.get(Counter.SPILLED_RECORDS) <= sort_result.counters.get(
+            Counter.SPILLED_RECORDS
+        )
+
+    def test_charges_hash_op(self, tiny_text):
+        result = run(tiny_text)
+        assert result.ledger.get(Op.HASHBUF) > 0
+
+
+class TestConfig:
+    def test_unknown_grouping_rejected(self, tiny_text):
+        job = make_wordcount_job(tiny_text, {Keys.GROUPING: "quantum"})
+        with pytest.raises(ValueError):
+            LocalJobRunner().run(job)
+
+    def test_group_limit_validation(self):
+        from repro.engine.hashgroup import HashGroupingCollector
+        from repro.engine.api import HashPartitioner
+        from repro.engine.costmodel import DEFAULT_COST_MODEL
+        from repro.engine.counters import Counters
+        from repro.engine.instrumentation import Ledger, TaskInstruments
+        from repro.engine.spillpolicy import StaticSpillPolicy
+        from repro.io.blockdisk import LocalDisk
+
+        with pytest.raises(ValueError):
+            HashGroupingCollector(
+                task_id="t", disk=LocalDisk(), num_partitions=1,
+                partitioner=HashPartitioner(), policy=StaticSpillPolicy(),
+                capacity_bytes=1024, cost_model=DEFAULT_COST_MODEL,
+                instruments=TaskInstruments(Ledger()), counters=Counters(),
+                values_per_group_limit=1,
+            )

@@ -1,0 +1,63 @@
+"""Tests for input formats."""
+
+from repro.engine.inputformat import RecordListInput, TextInput
+from repro.serde.numeric import IntWritable, LongWritable
+from repro.serde.text import Text
+
+
+class TestTextInput:
+    def test_records_cover_all_lines(self):
+        data = b"alpha\nbeta\ngamma\n"
+        fmt = TextInput(data, split_size=7)
+        lines = []
+        for split in fmt.splits():
+            for key, value, consumed in fmt.record_reader(split):
+                assert isinstance(key, LongWritable)
+                assert isinstance(value, Text)
+                assert consumed > 0
+                lines.append(value.value)
+        assert lines == ["alpha", "beta", "gamma"]
+
+    def test_consumed_bytes_sum_to_file_size(self):
+        data = b"aa\nbbb\ncccc\n"
+        fmt = TextInput(data)
+        total = sum(c for split in fmt.splits() for _, _, c in fmt.record_reader(split))
+        assert total == len(data)
+
+    def test_keys_are_file_offsets(self):
+        data = b"ab\ncd\n"
+        fmt = TextInput(data)
+        offsets = [k.value for split in fmt.splits() for k, _, _ in fmt.record_reader(split)]
+        assert offsets == [0, 3]
+
+    def test_total_bytes(self):
+        assert TextInput(b"xyz").total_bytes() == 3
+
+    def test_split_hosts_override(self):
+        fmt = TextInput(b"a\nb\nc\nd\n", split_size=4, split_hosts=[("h1",), ("h2",)])
+        splits = fmt.splits()
+        assert splits[0].hosts == ("h1",)
+        assert splits[1].hosts == ("h2",)
+
+
+class TestRecordListInput:
+    def test_round_trip(self):
+        records = [
+            [(Text("a"), IntWritable(1))],
+            [(Text("b"), IntWritable(2)), (Text("c"), IntWritable(3))],
+        ]
+        fmt = RecordListInput(records)
+        splits = fmt.splits()
+        assert len(splits) == 2
+        got = [
+            (k.value, v.value)
+            for split in splits
+            for k, v, _ in fmt.record_reader(split)
+        ]
+        assert got == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_requires_one_split(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RecordListInput([])

@@ -1,0 +1,115 @@
+"""Tests for the ledger, counters, and task instruments."""
+
+import pytest
+
+from repro.engine.counters import Counter, Counters
+from repro.engine.instrumentation import (
+    MAP_THREAD_OPS,
+    SUPPORT_THREAD_OPS,
+    USER_OPS,
+    Ledger,
+    Op,
+    Phase,
+    TaskInstruments,
+)
+
+
+class TestLedger:
+    def test_charge_and_total(self):
+        ledger = Ledger()
+        ledger.charge(Op.MAP, 10)
+        ledger.charge(Op.MAP, 5)
+        ledger.charge(Op.SORT, 20)
+        assert ledger.get(Op.MAP) == 15
+        assert ledger.total() == 35
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Ledger().charge(Op.MAP, -1)
+
+    def test_zero_charge_noop(self):
+        ledger = Ledger()
+        ledger.charge(Op.MAP, 0)
+        assert Op.MAP not in ledger.work
+
+    def test_user_vs_framework(self):
+        ledger = Ledger()
+        ledger.charge(Op.MAP, 30)
+        ledger.charge(Op.COMBINE, 10)
+        ledger.charge(Op.REDUCE, 10)
+        ledger.charge(Op.SORT, 50)
+        assert ledger.user_work() == 50
+        assert ledger.framework_work() == 50
+
+    def test_phase_work(self):
+        ledger = Ledger()
+        ledger.charge(Op.READ, 1)
+        ledger.charge(Op.SHUFFLE, 2)
+        ledger.charge(Op.REDUCE, 3)
+        ledger.charge(Op.OUTPUT, 4)
+        assert ledger.phase_work(Phase.MAP) == 1
+        assert ledger.phase_work(Phase.SHUFFLE) == 2
+        assert ledger.phase_work(Phase.REDUCE) == 7
+
+    def test_merge_and_summed(self):
+        a = Ledger()
+        a.charge(Op.MAP, 10)
+        b = Ledger()
+        b.charge(Op.MAP, 5)
+        b.charge(Op.SORT, 1)
+        total = Ledger.summed([a, b])
+        assert total.get(Op.MAP) == 15
+        assert total.get(Op.SORT) == 1
+        assert a.get(Op.MAP) == 10  # sources untouched
+
+    def test_normalized(self):
+        ledger = Ledger()
+        ledger.charge(Op.MAP, 75)
+        ledger.charge(Op.SORT, 25)
+        shares = ledger.normalized()
+        assert shares[Op.MAP] == pytest.approx(0.75)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_normalized_empty(self):
+        assert Ledger().normalized() == {}
+
+    def test_op_classification_complete(self):
+        assert USER_OPS == {Op.MAP, Op.COMBINE, Op.REDUCE}
+        assert not (MAP_THREAD_OPS & SUPPORT_THREAD_OPS)
+
+
+class TestCounters:
+    def test_incr_and_get(self):
+        counters = Counters()
+        counters.incr(Counter.SPILLS)
+        counters.incr(Counter.SPILLS, 2)
+        assert counters.get(Counter.SPILLS) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().incr(Counter.SPILLS, -1)
+
+    def test_merge(self):
+        a = Counters()
+        a.incr(Counter.SPILLS, 1)
+        b = Counters()
+        b.incr(Counter.SPILLS, 2)
+        b.incr(Counter.MAP_INPUT_RECORDS, 5)
+        merged = Counters.summed([a, b])
+        assert merged.get(Counter.SPILLS) == 3
+        assert merged.get(Counter.MAP_INPUT_RECORDS) == 5
+
+
+class TestTaskInstruments:
+    def test_map_thread_meter_tracks_ledger(self):
+        instruments = TaskInstruments(Ledger())
+        instruments.charge_map_thread(Op.READ, 5)
+        instruments.charge_map_thread(Op.MAP, 10)
+        instruments.charge_support_thread(Op.SORT, 100)
+        instruments.charge(Op.MERGE, 50)
+        assert instruments.map_thread_work == 15
+        assert instruments.ledger.total() == 165
+
+    def test_support_charge_returns_amount(self):
+        instruments = TaskInstruments(Ledger())
+        assert instruments.charge_support_thread(Op.SORT, 42.0) == 42.0

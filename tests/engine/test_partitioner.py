@@ -1,0 +1,41 @@
+"""Tests for the hash partitioner."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.api import HashPartitioner
+
+
+class TestHashPartitioner:
+    def test_range(self):
+        p = HashPartitioner()
+        for key in (b"", b"a", b"hello", bytes(100)):
+            for n in (1, 2, 7, 100):
+                assert 0 <= p.partition(key, n) < n
+
+    def test_deterministic(self):
+        p = HashPartitioner()
+        assert p.partition(b"key", 13) == HashPartitioner().partition(b"key", 13)
+
+    def test_single_partition(self):
+        assert HashPartitioner().partition(b"anything", 1) == 0
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            HashPartitioner().partition(b"k", 0)
+
+    def test_distribution_roughly_uniform(self):
+        p = HashPartitioner()
+        n = 8
+        buckets = [0] * n
+        for i in range(4000):
+            buckets[p.partition(f"key-{i}".encode(), n)] += 1
+        expected = 4000 / n
+        for count in buckets:
+            assert 0.6 * expected < count < 1.4 * expected
+
+
+@given(st.binary(max_size=64), st.integers(min_value=1, max_value=64))
+def test_partition_in_range_property(key, n):
+    assert 0 <= HashPartitioner().partition(key, n) < n

@@ -1,0 +1,127 @@
+"""Tests for the map/support pipeline timeline (Section IV-C model)."""
+
+import pytest
+
+from repro.engine.pipeline import PipelineTimeline, expected_spill_size
+
+
+class TestExpectedSpillSize:
+    def test_first_spill_is_threshold(self):
+        assert expected_spill_size(0.8, 1000, None, None) == 800
+
+    def test_recurrence_support_bound(self):
+        # x=0.8, previous spill 800 of 1000: free space 200 < (p/c)*800
+        # for p/c=1 -> min is 200, max(800, 200) = 800.
+        assert expected_spill_size(0.8, 1000, 800, 1.0) == 800
+
+    def test_recurrence_overrun(self):
+        # x=0.3, prev 300, p/c=2: map produces 600 during consume, free
+        # space 700 -> spill grows to 600 (> xM=300).
+        assert expected_spill_size(0.3, 1000, 300, 2.0) == 600
+
+    def test_recurrence_capped_by_free_space(self):
+        # x=0.3, prev 600, p/c=3: 1800 produced but only 400 free.
+        assert expected_spill_size(0.3, 1000, 600, 3.0) == 400
+
+    def test_bad_percent(self):
+        with pytest.raises(ValueError):
+            expected_spill_size(0.0, 1000, None, None)
+        with pytest.raises(ValueError):
+            expected_spill_size(1.1, 1000, None, None)
+
+
+class TestTimelineBalanced:
+    def test_perfect_pipeline_no_steady_state_waits(self):
+        """x=1/2 with p == c: after ramp-up neither thread waits."""
+        timeline = PipelineTimeline(1000)
+        for _ in range(10):
+            timeline.record_spill(produce_work=50.0, consume_work=50.0, size_bytes=500)
+        result = timeline.finish()
+        assert result.map_wait == pytest.approx(0.0)
+        # Only the ramp-up gap before the first spill:
+        assert result.support_wait == pytest.approx(50.0)
+        # Final drain: support finishes its last spill after the map stops.
+        assert result.final_drain_wait == pytest.approx(50.0)
+
+    def test_elapsed_covers_both_threads(self):
+        timeline = PipelineTimeline(1000)
+        timeline.record_spill(10.0, 30.0, 500)
+        timeline.record_spill(10.0, 30.0, 500)
+        result = timeline.finish()
+        assert result.elapsed >= result.support_busy
+        assert result.elapsed >= result.map_busy
+
+
+class TestTimelineSupportSlower:
+    def test_map_blocks_when_buffer_full(self):
+        """Large (x=0.8-style) spills + slow support: the map thread blocks
+        on buffer space, and the support thread *also* idles briefly while
+        the map finishes each oversized spill — the both-threads-idle
+        pathology of Table II."""
+        timeline = PipelineTimeline(1000)
+        for _ in range(5):
+            timeline.record_spill(produce_work=10.0, consume_work=100.0, size_bytes=800)
+        result = timeline.finish()
+        assert result.map_wait > 100.0  # blocked most of each consume
+        assert result.support_wait > 10.0  # ramp-up plus handoff gaps
+        assert result.map_wait > result.support_wait
+
+    def test_half_buffer_spills_keep_support_busy(self):
+        """x=1/2 semantics: support picks each spill up the moment it
+        finishes the previous one."""
+        timeline = PipelineTimeline(1000)
+        for _ in range(6):
+            timeline.record_spill(produce_work=20.0, consume_work=60.0, size_bytes=500)
+        result = timeline.finish()
+        assert result.support_wait == pytest.approx(20.0)  # ramp-up only
+
+
+class TestTimelineMapSlower:
+    def test_support_idles(self):
+        timeline = PipelineTimeline(1000)
+        for _ in range(5):
+            timeline.record_spill(produce_work=100.0, consume_work=10.0, size_bytes=300)
+        result = timeline.finish()
+        assert result.map_wait == pytest.approx(0.0)
+        assert result.support_wait > 0
+        assert result.support_idle_fraction > 0.5
+
+
+class TestTimelineValidation:
+    def test_rejects_negative(self):
+        timeline = PipelineTimeline(100)
+        with pytest.raises(ValueError):
+            timeline.record_spill(-1.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            timeline.record_spill(1.0, 1.0, 0)
+
+    def test_no_spills_after_finish(self):
+        timeline = PipelineTimeline(100)
+        timeline.finish()
+        with pytest.raises(RuntimeError):
+            timeline.record_spill(1.0, 1.0, 10)
+
+    def test_finish_idempotent(self):
+        timeline = PipelineTimeline(100)
+        timeline.record_spill(1.0, 1.0, 10)
+        first = timeline.finish()
+        assert timeline.finish() is first
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PipelineTimeline(0)
+
+
+class TestIdleFractions:
+    def test_fractions_in_range(self):
+        timeline = PipelineTimeline(1000)
+        timeline.record_spill(30.0, 70.0, 800)
+        timeline.record_spill(30.0, 70.0, 800)
+        result = timeline.finish()
+        assert 0.0 <= result.map_idle_fraction <= 1.0
+        assert 0.0 <= result.support_idle_fraction <= 1.0
+
+    def test_empty_timeline(self):
+        result = PipelineTimeline(10).finish()
+        assert result.map_idle_fraction == 0.0
+        assert result.elapsed == 0.0

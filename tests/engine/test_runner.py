@@ -1,0 +1,112 @@
+"""End-to-end engine tests through LocalJobRunner."""
+
+import pytest
+
+from repro.config import Keys
+from repro.engine.counters import Counter
+from repro.engine.instrumentation import Op
+from repro.engine.runner import LocalJobRunner
+from repro.errors import UserCodeError
+from tests.conftest import make_wordcount_job
+
+
+def run_counts(data: bytes, conf=None, **kwargs):
+    job = make_wordcount_job(data, conf, **kwargs)
+    result = LocalJobRunner().run(job)
+    return {k.value: v.value for k, v in result.output_pairs()}, result
+
+
+class TestCorrectness:
+    def test_matches_truth(self, tiny_text, wordcount_truth):
+        counts, _ = run_counts(tiny_text)
+        assert counts == wordcount_truth(tiny_text)
+
+    def test_single_reducer(self, tiny_text, wordcount_truth):
+        counts, result = run_counts(tiny_text, {Keys.NUM_REDUCERS: 1})
+        assert counts == wordcount_truth(tiny_text)
+        assert len(result.reduce_results) == 1
+
+    def test_many_reducers(self, tiny_text, wordcount_truth):
+        counts, result = run_counts(tiny_text, {Keys.NUM_REDUCERS: 7})
+        assert counts == wordcount_truth(tiny_text)
+        assert len(result.reduce_results) == 7
+
+    def test_output_sorted_within_partition(self, tiny_text):
+        _, result = run_counts(tiny_text)
+        for reduce_result in result.reduce_results:
+            keys = [k.value for k, _ in reduce_result.output]
+            assert keys == sorted(keys)
+
+    def test_no_combiner_same_answer(self, tiny_text, wordcount_truth):
+        counts, _ = run_counts(tiny_text, combiner=False)
+        assert counts == wordcount_truth(tiny_text)
+
+    def test_split_count_does_not_change_output(self, tiny_text, wordcount_truth):
+        for splits in (1, 3, 7):
+            counts, result = run_counts(tiny_text, num_splits=splits)
+            assert counts == wordcount_truth(tiny_text), splits
+
+    def test_deterministic_across_runs(self, tiny_text):
+        _, first = run_counts(tiny_text)
+        _, second = run_counts(tiny_text)
+        assert first.ledger.as_dict() == second.ledger.as_dict()
+        assert first.counters.as_dict() == second.counters.as_dict()
+
+
+class TestAccounting:
+    def test_counters_flow(self, tiny_text):
+        _, result = run_counts(tiny_text)
+        c = result.counters
+        assert c.get(Counter.MAP_INPUT_RECORDS) == tiny_text.decode().count("\n")
+        assert c.get(Counter.MAP_OUTPUT_RECORDS) == sum(
+            len(l.split()) for l in tiny_text.decode().splitlines()
+        )
+        assert c.get(Counter.REDUCE_OUTPUT_RECORDS) == len(
+            {w for l in tiny_text.decode().splitlines() for w in l.split()}
+        )
+        assert c.get(Counter.SHUFFLE_BYTES) > 0
+
+    def test_all_phases_charged(self, tiny_text):
+        _, result = run_counts(tiny_text)
+        for op in (Op.READ, Op.MAP, Op.EMIT, Op.SORT, Op.SPILL_IO, Op.SHUFFLE, Op.REDUCE):
+            assert result.ledger.get(op) > 0, op
+
+    def test_reduce_input_equals_map_final_output(self, tiny_text):
+        _, result = run_counts(tiny_text)
+        c = result.counters
+        assert c.get(Counter.REDUCE_INPUT_RECORDS) == c.get(
+            Counter.MAP_FINAL_OUTPUT_RECORDS
+        )
+
+
+class TestUserCodeErrors:
+    def test_persistent_map_error_fails_job(self, tiny_text):
+        from repro.errors import JobFailedError
+
+        job = make_wordcount_job(tiny_text)
+
+        class Bomb(job.mapper_factory):  # type: ignore[misc]
+            def map(self, key, value, emit):
+                raise RuntimeError("boom")
+
+        job.mapper_factory = Bomb
+        with pytest.raises(JobFailedError, match="map"):
+            LocalJobRunner().run(job)
+
+    def test_persistent_reduce_error_fails_job(self, tiny_text):
+        from repro.errors import JobFailedError
+
+        job = make_wordcount_job(tiny_text)
+
+        class Bomb(job.reducer_factory):  # type: ignore[misc]
+            def reduce(self, key, values, emit):
+                raise ValueError("bad reduce")
+
+        job.reducer_factory = Bomb
+        with pytest.raises(JobFailedError, match="reduce"):
+            LocalJobRunner().run(job)
+
+    def test_empty_input_rejected(self):
+        job = make_wordcount_job(b"")
+        with pytest.raises(ValueError):
+            LocalJobRunner().run(job)

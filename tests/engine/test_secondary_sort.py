@@ -1,0 +1,123 @@
+"""Tests for secondary sort (grouping comparator) support."""
+
+import pytest
+
+from repro.config import JobConf, Keys
+from repro.engine.api import Mapper, Partitioner, Reducer
+from repro.engine.inputformat import TextInput
+from repro.engine.job import JobSpec
+from repro.engine.runner import LocalJobRunner
+from repro.io.merger import group_sorted_by
+from repro.serde.text import Text
+
+
+def group_prefix(key_bytes: bytes) -> bytes:
+    """Grouping comparator: everything before the '|' separator."""
+    return key_bytes.split(b"|", 1)[0]
+
+
+class PrefixPartitioner(Partitioner):
+    """Routes by the grouping prefix so groups never split across reducers."""
+
+    def partition(self, key_bytes: bytes, num_partitions: int) -> int:
+        from repro.engine.api import HashPartitioner
+
+        return HashPartitioner().partition(group_prefix(key_bytes), num_partitions)
+
+
+class EventMapper(Mapper):
+    """Input line ``user timestamp action`` -> key ``user|timestamp``."""
+
+    def map(self, key, value, emit):
+        line = value.value
+        if not line:
+            return
+        user, timestamp, action = line.split()
+        emit(Text(f"{user}|{timestamp}"), Text(action))
+
+
+class SessionReducer(Reducer):
+    """Concatenate each user's actions — order meaningful!"""
+
+    def reduce(self, key, values, emit):
+        user = key.value.split("|", 1)[0]
+        emit(Text(user), Text(",".join(v.value for v in values)))
+
+
+def make_session_job(data: bytes, reducers: int = 2) -> JobSpec:
+    return JobSpec(
+        name="sessions",
+        input_format=TextInput(data, split_size=max(1, len(data) // 3)),
+        mapper_factory=EventMapper,
+        reducer_factory=SessionReducer,
+        map_output_key_cls=Text,
+        map_output_value_cls=Text,
+        partitioner=PrefixPartitioner(),
+        conf=JobConf({Keys.NUM_REDUCERS: reducers, Keys.SPILL_BUFFER_BYTES: 2048}),
+        group_key_fn=group_prefix,
+    )
+
+
+EVENTS = b"""alice 09 login
+bob 11 search
+alice 10 browse
+alice 11 buy
+bob 09 login
+carol 10 login
+bob 10 browse
+alice 08 visit
+carol 11 logout
+"""
+
+
+class TestSecondarySort:
+    def test_values_arrive_time_ordered(self):
+        result = LocalJobRunner().run(make_session_job(EVENTS))
+        sessions = {k.value: v.value for k, v in result.output_pairs()}
+        assert sessions == {
+            "alice": "visit,login,browse,buy",
+            "bob": "login,browse,search",
+            "carol": "login,logout",
+        }
+
+    def test_one_reduce_call_per_group(self):
+        result = LocalJobRunner().run(make_session_job(EVENTS))
+        from repro.engine.counters import Counter
+
+        assert result.counters.get(Counter.REDUCE_INPUT_GROUPS) == 3
+
+    def test_many_reducers_keep_groups_whole(self):
+        result = LocalJobRunner().run(make_session_job(EVENTS, reducers=4))
+        sessions = {k.value: v.value for k, v in result.output_pairs()}
+        assert len(sessions) == 3
+        assert sessions["alice"] == "visit,login,browse,buy"
+
+    def test_without_group_fn_groups_by_full_key(self):
+        job = make_session_job(EVENTS)
+        job.group_key_fn = None
+        result = LocalJobRunner().run(job)
+        # Each (user, timestamp) becomes its own group: 9 outputs.
+        assert len(result.output_pairs()) == 9
+
+
+class TestGroupSortedBy:
+    def test_grouping_preserves_order(self):
+        records = [
+            (b"a|1", b"x"),
+            (b"a|2", b"y"),
+            (b"b|1", b"z"),
+        ]
+        groups = list(group_sorted_by(records, group_prefix))
+        assert groups == [
+            (b"a|1", [(b"a|1", b"x"), (b"a|2", b"y")]),
+            (b"b|1", [(b"b|1", b"z")]),
+        ]
+
+    def test_empty(self):
+        assert list(group_sorted_by([], group_prefix)) == []
+
+    def test_single_group(self):
+        records = [(b"k|1", b"a"), (b"k|2", b"b"), (b"k|3", b"c")]
+        groups = list(group_sorted_by(records, group_prefix))
+        assert len(groups) == 1
+        assert [v for _, v in groups[0][1]] == [b"a", b"b", b"c"]

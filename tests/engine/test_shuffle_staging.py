@@ -1,0 +1,40 @@
+"""Tests for the reduce-side disk-backed merge (MergeManager behaviour)."""
+
+from repro.config import Keys
+from repro.engine.runner import LocalJobRunner
+from tests.conftest import make_wordcount_job
+
+
+def run(data: bytes, reduce_memory: int):
+    job = make_wordcount_job(
+        data,
+        {Keys.REDUCE_MEMORY_BYTES: reduce_memory, Keys.NUM_REDUCERS: 1},
+        num_splits=6,
+        combiner=False,  # keep segments big: no map-side collapsing
+    )
+    return LocalJobRunner().run(job)
+
+
+class TestReduceStaging:
+    def test_tiny_budget_same_output(self, tiny_text, wordcount_truth):
+        generous = run(tiny_text, 64 << 20)
+        tiny = run(tiny_text, 256)
+        normalize = lambda r: sorted(
+            (k.value, v.value) for k, v in r.output_pairs()
+        )
+        assert normalize(tiny) == normalize(generous)
+        assert normalize(tiny) == sorted(wordcount_truth(tiny_text).items())
+
+    def test_output_still_sorted(self, tiny_text):
+        result = run(tiny_text, 256)
+        for reduce_result in result.reduce_results:
+            keys = [k.value for k, _ in reduce_result.output]
+            assert keys == sorted(keys)
+
+    def test_tiny_budget_charges_more_shuffle_work(self, tiny_text):
+        from repro.engine.instrumentation import Op
+
+        generous = run(tiny_text, 64 << 20)
+        tiny = run(tiny_text, 256)
+        # Disk staging is a real extra round trip; the ledger must see it.
+        assert tiny.ledger.get(Op.SHUFFLE) > generous.ledger.get(Op.SHUFFLE)

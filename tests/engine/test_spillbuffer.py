@@ -1,0 +1,58 @@
+"""Tests for the spill buffer."""
+
+import pytest
+
+from repro.engine.spillbuffer import RECORD_METADATA_BYTES, SpillBuffer
+from repro.errors import SpillBufferError
+
+
+class TestAppend:
+    def test_occupancy_accounting(self):
+        buffer = SpillBuffer(1000)
+        buffer.append(0, b"key", b"value")
+        assert buffer.occupancy_bytes == 8 + RECORD_METADATA_BYTES
+        assert buffer.record_count == 1
+
+    def test_occupancy_fraction(self):
+        buffer = SpillBuffer(100)
+        buffer.append(0, b"12", b"34")  # 4 + 16 = 20
+        assert buffer.occupancy_fraction() == pytest.approx(0.2)
+
+    def test_oversized_record_rejected(self):
+        buffer = SpillBuffer(32)
+        with pytest.raises(SpillBufferError):
+            buffer.append(0, b"k" * 40, b"")
+
+    def test_would_overflow(self):
+        buffer = SpillBuffer(64)
+        assert not buffer.would_overflow(10, 10)
+        buffer.append(0, b"x" * 20, b"y" * 20)  # 40 + 16 = 56
+        assert buffer.would_overflow(1, 1)
+
+    def test_bad_capacity(self):
+        with pytest.raises(SpillBufferError):
+            SpillBuffer(0)
+
+
+class TestDrain:
+    def test_drain_returns_in_order_and_empties(self):
+        buffer = SpillBuffer(1000)
+        buffer.append(1, b"a", b"1")
+        buffer.append(0, b"b", b"2")
+        records = buffer.drain()
+        assert [(r.partition, r.key) for r in records] == [(1, b"a"), (0, b"b")]
+        assert buffer.is_empty
+        assert buffer.occupancy_bytes == 0
+
+    def test_refill_after_drain(self):
+        buffer = SpillBuffer(100)
+        buffer.append(0, b"k", b"v")
+        buffer.drain()
+        buffer.append(0, b"k2", b"v2")
+        assert buffer.record_count == 1
+
+    def test_iteration_non_destructive(self):
+        buffer = SpillBuffer(100)
+        buffer.append(0, b"k", b"v")
+        assert len(list(buffer)) == 1
+        assert buffer.record_count == 1

@@ -1,0 +1,27 @@
+"""Tests for spill policies (static; the adaptive one lives in tests/core)."""
+
+import pytest
+
+from repro.engine.spillpolicy import StaticSpillPolicy
+
+
+class TestStaticSpillPolicy:
+    def test_constant(self):
+        policy = StaticSpillPolicy(0.6)
+        assert policy.spill_percent() == 0.6
+        policy.observe(10.0, 20.0, 100)
+        assert policy.spill_percent() == 0.6
+
+    def test_ratio_tracks_observations(self):
+        policy = StaticSpillPolicy()
+        assert policy.produce_consume_ratio() is None
+        policy.observe(produce_work=10.0, consume_work=30.0, size_bytes=100)
+        # p/c = T_c/T_p = 3
+        assert policy.produce_consume_ratio() == pytest.approx(3.0)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            StaticSpillPolicy(0.0)
+        with pytest.raises(ValueError):
+            StaticSpillPolicy(1.01)
+        StaticSpillPolicy(1.0)  # inclusive upper bound is legal

@@ -1,0 +1,76 @@
+"""Tests for the experiment harness infrastructure."""
+
+import pytest
+
+from repro.config import Keys
+from repro.experiments.common import (
+    OPTIMIZATION_CONFIGS,
+    build_app,
+    config_overrides,
+    coverage,
+    freqbuf_params_for,
+    paper_equivalent_k,
+)
+
+
+class TestConfigOverrides:
+    def test_all_configs_defined(self):
+        assert OPTIMIZATION_CONFIGS == ("baseline", "freq", "spill", "combined")
+
+    def test_flags(self):
+        assert config_overrides("baseline") == {}
+        assert config_overrides("freq")[Keys.FREQBUF_ENABLED] is True
+        assert config_overrides("spill")[Keys.SPILLMATCHER_ENABLED] is True
+        combined = config_overrides("combined")
+        assert combined[Keys.FREQBUF_ENABLED] and combined[Keys.SPILLMATCHER_ENABLED]
+
+    def test_unknown_config(self):
+        with pytest.raises(ValueError):
+            config_overrides("turbo")
+
+
+class TestCoverageTranslation:
+    def test_coverage_monotone_in_k(self):
+        assert coverage(10, 1000, 1.0) < coverage(100, 1000, 1.0)
+
+    def test_full_coverage(self):
+        assert coverage(1000, 1000, 1.0) == pytest.approx(1.0)
+
+    def test_paper_equivalent_k_preserves_coverage(self):
+        k = paper_equivalent_k(10_000, 1.0, 3000, 24_700_000)
+        target = coverage(3000, 24_700_000, 1.0)
+        ours = coverage(k, 10_000, 1.0)
+        assert ours == pytest.approx(target, abs=0.02)
+
+    def test_equivalent_k_smaller_for_smaller_vocab(self):
+        assert paper_equivalent_k(10_000, 1.0, 3000, 24_700_000) < 3000
+
+
+class TestBuildApp:
+    def test_freq_params_injected(self):
+        app = build_app("wordcount", "freq", scale=0.02)
+        assert app.job.conf.get_bool(Keys.FREQBUF_ENABLED)
+        assert app.job.conf.get_int(Keys.FREQBUF_K) >= 16
+        assert 0 < app.job.conf.get_float(Keys.FREQBUF_SAMPLE_FRACTION) <= 0.5
+
+    def test_baseline_has_no_opts(self):
+        app = build_app("wordcount", "baseline", scale=0.02)
+        assert not app.job.conf.get_bool(Keys.FREQBUF_ENABLED)
+        assert not app.job.conf.get_bool(Keys.SPILLMATCHER_ENABLED)
+
+    def test_extra_conf_wins(self):
+        app = build_app(
+            "wordcount", "freq", scale=0.02, extra_conf={Keys.FREQBUF_K: 5}
+        )
+        assert app.job.conf.get_int(Keys.FREQBUF_K) == 5
+
+    def test_sampling_fraction_scales_with_task_size(self):
+        few = build_app("wordcount", "freq", scale=0.05, num_splits=2)
+        many = build_app("wordcount", "freq", scale=0.05, num_splits=16)
+        assert many.job.conf.get_float(
+            Keys.FREQBUF_SAMPLE_FRACTION
+        ) >= few.job.conf.get_float(Keys.FREQBUF_SAMPLE_FRACTION)
+
+    def test_log_app_params(self):
+        app = build_app("accesslogsum", "freq", scale=0.05)
+        assert app.job.conf.get_int(Keys.FREQBUF_K) >= 16

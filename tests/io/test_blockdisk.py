@@ -1,0 +1,123 @@
+"""Tests for the simulated local disk."""
+
+import pytest
+
+from repro.errors import DiskError
+from repro.io.blockdisk import LocalDisk
+
+
+class TestCreateWrite:
+    def test_write_and_read_back(self):
+        disk = LocalDisk()
+        with disk.create("f") as w:
+            w.write(b"hello ")
+            w.write(b"world")
+        with disk.open("f") as r:
+            assert r.read() == b"hello world"
+
+    def test_create_existing_fails(self):
+        disk = LocalDisk()
+        disk.create("f").close()
+        with pytest.raises(DiskError):
+            disk.create("f")
+
+    def test_overwrite_allowed_when_asked(self):
+        disk = LocalDisk()
+        with disk.create("f") as w:
+            w.write(b"old")
+        with disk.create("f", overwrite=True) as w:
+            w.write(b"new")
+        with disk.open("f") as r:
+            assert r.read() == b"new"
+
+    def test_write_after_close_fails(self):
+        disk = LocalDisk()
+        writer = disk.create("f")
+        writer.close()
+        with pytest.raises(DiskError):
+            writer.write(b"x")
+
+    def test_tell(self):
+        disk = LocalDisk()
+        with disk.create("f") as w:
+            assert w.tell() == 0
+            w.write(b"abc")
+            assert w.tell() == 3
+
+
+class TestRead:
+    def test_seek_and_partial_read(self):
+        disk = LocalDisk()
+        with disk.create("f") as w:
+            w.write(bytes(range(100)))
+        with disk.open("f") as r:
+            r.seek(10)
+            assert r.read(5) == bytes(range(10, 15))
+            assert r.tell() == 15
+
+    def test_read_past_end_truncates(self):
+        disk = LocalDisk()
+        with disk.create("f") as w:
+            w.write(b"abc")
+        with disk.open("f") as r:
+            assert r.read(100) == b"abc"
+
+    def test_seek_out_of_bounds(self):
+        disk = LocalDisk()
+        disk.create("f").close()
+        with disk.open("f") as r:
+            with pytest.raises(DiskError):
+                r.seek(1)
+
+    def test_open_missing(self):
+        with pytest.raises(DiskError):
+            LocalDisk().open("nope")
+
+    def test_snapshot_isolated_from_later_writes(self):
+        # A reader sees the file as of open time (tasks re-open files).
+        disk = LocalDisk()
+        w = disk.create("f")
+        w.write(b"abc")
+        reader = disk.open("f")
+        w.write(b"def")
+        assert reader.read() == b"abc"
+
+
+class TestAccounting:
+    def test_byte_counters(self):
+        disk = LocalDisk()
+        with disk.create("f") as w:
+            w.write(b"x" * 64)
+        with disk.open("f") as r:
+            r.read(16)
+            r.read(16)
+        assert disk.stats.bytes_written == 64
+        assert disk.stats.bytes_read == 32
+        assert disk.stats.reads == 2
+
+    def test_seek_counter(self):
+        disk = LocalDisk()
+        with disk.create("f") as w:
+            w.write(b"x" * 10)
+        with disk.open("f") as r:
+            r.seek(5)
+            r.seek(5)  # same position: not a seek
+        assert disk.stats.seeks == 1
+
+    def test_delete_and_listing(self):
+        disk = LocalDisk()
+        disk.create("a").close()
+        disk.create("b").close()
+        disk.delete("a")
+        assert list(disk.list_files()) == ["b"]
+        assert disk.stats.files_deleted == 1
+        with pytest.raises(DiskError):
+            disk.delete("a")
+
+    def test_total_bytes_stored(self):
+        disk = LocalDisk()
+        with disk.create("a") as w:
+            w.write(b"12345")
+        with disk.create("b") as w:
+            w.write(b"123")
+        assert disk.total_bytes_stored() == 8

@@ -1,0 +1,78 @@
+"""Tests for spill/shuffle compression codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SerdeError
+from repro.io.compression import (
+    IdentityCodec,
+    RlePlusZlibCodec,
+    ZlibCodec,
+    codec_by_name,
+    decode_segment,
+    encode_segment,
+)
+
+ALL_CODECS = [IdentityCodec(), ZlibCodec(), RlePlusZlibCodec()]
+
+
+class TestCodecs:
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+    def test_round_trip(self, codec):
+        for payload in (b"", b"x", b"hello world" * 100, bytes(range(256)) * 4):
+            assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_zlib_shrinks_redundant_data(self):
+        payload = b"the same line over and over\n" * 200
+        assert len(ZlibCodec().compress(payload)) < len(payload) // 4
+
+    def test_rle_handles_long_runs(self):
+        payload = b"\x02" * 10_000 + b"abc" + b"\xff" * 500
+        codec = RlePlusZlibCodec()
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_rle_escape_byte_round_trip(self):
+        # 0xFF is the escape marker; single occurrences must survive.
+        payload = b"a\xffb\xff\xffc"
+        codec = RlePlusZlibCodec()
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_zlib_level_validation(self):
+        with pytest.raises(ValueError):
+            ZlibCodec(0)
+
+    def test_corrupt_zlib_raises(self):
+        with pytest.raises(SerdeError):
+            ZlibCodec().decompress(b"not zlib data")
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert codec_by_name("zlib").name == "zlib"
+        assert codec_by_name("identity").name == "identity"
+        assert codec_by_name("rle+zlib").name == "rle+zlib"
+
+    def test_unknown_name(self):
+        with pytest.raises(SerdeError):
+            codec_by_name("snappy")
+
+
+class TestSegmentFraming:
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+    def test_self_describing(self, codec):
+        payload = b"segment payload" * 20
+        assert decode_segment(encode_segment(codec, payload)) == payload
+
+    def test_empty_segment(self):
+        assert decode_segment(b"") == b""
+
+    def test_unknown_tag(self):
+        with pytest.raises(SerdeError):
+            decode_segment(bytes([99]) + b"payload")
+
+
+@given(st.binary(max_size=2000))
+def test_rle_zlib_round_trip_property(payload):
+    codec = RlePlusZlibCodec()
+    assert codec.decompress(codec.compress(payload)) == payload

@@ -1,0 +1,119 @@
+"""Tests for text splits and the line record reader."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.linereader import FileSplit, LineRecordReader, compute_splits
+
+
+def read_all_splits(data: bytes, split_size: int) -> list[tuple[int, str]]:
+    splits = compute_splits("f", len(data), split_size)
+    out: list[tuple[int, str]] = []
+    for split in splits:
+        out.extend(LineRecordReader(data, split))
+    return out
+
+
+class TestComputeSplits:
+    def test_exact_division(self):
+        splits = compute_splits("f", 100, 25)
+        assert [s.offset for s in splits] == [0, 25, 50, 75]
+        assert all(s.length == 25 for s in splits)
+
+    def test_slop_absorbs_small_tail(self):
+        # tail of 5 bytes < 10% slop of 100 → absorbed into last split
+        splits = compute_splits("f", 105, 100)
+        assert len(splits) == 1
+        assert splits[0].length == 105
+
+    def test_large_tail_gets_own_split(self):
+        splits = compute_splits("f", 250, 100)
+        assert len(splits) == 3
+        assert splits[-1].length == 50
+
+    def test_empty_file(self):
+        assert compute_splits("f", 0, 100) == []
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            compute_splits("f", 10, 0)
+        with pytest.raises(ValueError):
+            compute_splits("f", -1, 10)
+
+
+class TestLineRecordReader:
+    def test_single_split_reads_all(self):
+        data = b"one\ntwo\nthree\n"
+        lines = list(LineRecordReader(data, FileSplit("f", 0, len(data))))
+        assert [l for _, l in lines] == ["one", "two", "three"]
+        assert [o for o, _ in lines] == [0, 4, 8]
+
+    def test_no_trailing_newline(self):
+        data = b"a\nb"
+        lines = list(LineRecordReader(data, FileSplit("f", 0, len(data))))
+        assert [l for _, l in lines] == ["a", "b"]
+
+    def test_straddling_line_belongs_to_first_split(self):
+        data = b"aaaa\nbbbb\ncccc\n"
+        # Split boundary at 7: mid-"bbbb"
+        first = list(LineRecordReader(data, FileSplit("f", 0, 7)))
+        second = list(LineRecordReader(data, FileSplit("f", 7, len(data) - 7)))
+        assert [l for _, l in first] == ["aaaa", "bbbb"]
+        assert [l for _, l in second] == ["cccc"]
+
+    def test_boundary_exactly_after_newline(self):
+        data = b"aa\nbb\ncc\n"
+        first = list(LineRecordReader(data, FileSplit("f", 0, 3)))
+        second = list(LineRecordReader(data, FileSplit("f", 3, len(data) - 3)))
+        assert [l for _, l in first] == ["aa"]
+        assert [l for _, l in second] == ["bb", "cc"]
+
+    def test_split_interior_to_one_line(self):
+        data = b"x" * 50 + b"\ny\n"
+        # a split wholly inside the first giant line yields nothing
+        middle = list(LineRecordReader(data, FileSplit("f", 10, 10)))
+        assert middle == []
+
+    def test_empty_lines_preserved(self):
+        data = b"a\n\n\nb\n"
+        lines = [l for _, l in LineRecordReader(data, FileSplit("f", 0, len(data)))]
+        assert lines == ["a", "", "", "b"]
+
+    def test_every_line_exactly_once_fixed(self):
+        data = ("\n".join(f"line{i}" for i in range(100)) + "\n").encode()
+        for split_size in (7, 13, 64, 100, len(data)):
+            lines = [l for _, l in read_all_splits(data, split_size)]
+            assert lines == [f"line{i}" for i in range(100)], split_size
+
+
+@settings(max_examples=60)
+@given(
+    lines=st.lists(
+        st.text(
+            alphabet=st.characters(
+                blacklist_characters="\n", blacklist_categories=("Cs",)
+            ),
+            max_size=20,
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    split_size=st.integers(min_value=1, max_value=200),
+    trailing=st.booleans(),
+)
+def test_split_invariance_property(lines, split_size, trailing):
+    """The fundamental TextInputFormat invariant: regardless of where byte
+    splits fall, every line is read exactly once, in order."""
+    text = "\n".join(lines) + ("\n" if trailing else "")
+    data = text.encode()
+    if not data:
+        expected = []  # an empty file contains zero lines
+    else:
+        expected = text.split("\n")
+        if text.endswith("\n"):
+            # A trailing newline terminates the last line rather than
+            # starting an empty one (standard text-file semantics).
+            expected = expected[:-1]
+    got = [l for _, l in read_all_splits(data, split_size)]
+    assert got == expected

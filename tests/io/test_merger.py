@@ -1,0 +1,112 @@
+"""Tests for the k-way merger and group iteration."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.io.merger import MergeStats, group_sorted, merge_and_combine, merge_runs
+
+
+def keys_of(records):
+    return [k for k, _ in records]
+
+
+class TestMergeRuns:
+    def test_two_runs(self):
+        a = [(b"a", b"1"), (b"c", b"3")]
+        b = [(b"b", b"2"), (b"d", b"4")]
+        merged = list(merge_runs([a, b]))
+        assert keys_of(merged) == [b"a", b"b", b"c", b"d"]
+
+    def test_duplicate_keys_across_runs(self):
+        a = [(b"k", b"a1"), (b"k", b"a2")]
+        b = [(b"k", b"b1")]
+        merged = list(merge_runs([a, b]))
+        assert keys_of(merged) == [b"k"] * 3
+        assert {v for _, v in merged} == {b"a1", b"a2", b"b1"}
+
+    def test_single_run_passthrough_no_comparisons(self):
+        stats = MergeStats()
+        run = [(b"a", b"1"), (b"b", b"2")]
+        assert list(merge_runs([run], stats)) == run
+        assert stats.comparisons == 0
+        assert stats.records_in == 2
+
+    def test_empty_runs_ignored(self):
+        merged = list(merge_runs([[], [(b"a", b"1")], []]))
+        assert merged == [(b"a", b"1")]
+
+    def test_stats_bytes(self):
+        stats = MergeStats()
+        list(merge_runs([[(b"ab", b"cd")], [(b"e", b"f")]], stats))
+        assert stats.bytes_in == 6
+        assert stats.bytes_out == 6
+        assert stats.streams == 2
+
+
+class TestMergeAndCombine:
+    @staticmethod
+    def summing_combine(key, values):
+        total = sum(int(v) for v in values)
+        return [(key, str(total).encode())]
+
+    def test_combines_equal_keys(self):
+        a = [(b"k", b"1"), (b"z", b"5")]
+        b = [(b"k", b"2")]
+        out = list(merge_and_combine([a, b], self.summing_combine))
+        assert out == [(b"k", b"3"), (b"z", b"5")]
+
+    def test_none_combiner_passthrough(self):
+        a = [(b"k", b"1")]
+        b = [(b"k", b"2")]
+        assert len(list(merge_and_combine([a, b], None))) == 2
+
+    def test_output_stays_sorted(self):
+        runs = [
+            [(b"a", b"1"), (b"m", b"1"), (b"z", b"1")],
+            [(b"a", b"1"), (b"n", b"1")],
+        ]
+        out = list(merge_and_combine(runs, self.summing_combine))
+        assert keys_of(out) == sorted(keys_of(out))
+
+    def test_stats_records_out_after_combine(self):
+        stats = MergeStats()
+        runs = [[(b"k", b"1")], [(b"k", b"2")], [(b"k", b"3")]]
+        out = list(merge_and_combine(runs, self.summing_combine, stats))
+        assert stats.records_in == 3
+        assert stats.records_out == 1
+        assert out == [(b"k", b"6")]
+
+
+class TestGroupSorted:
+    def test_groups(self):
+        records = [(b"a", b"1"), (b"a", b"2"), (b"b", b"3")]
+        groups = list(group_sorted(records))
+        assert groups == [(b"a", [b"1", b"2"]), (b"b", [b"3"])]
+
+    def test_empty(self):
+        assert list(group_sorted([])) == []
+
+    def test_single_key(self):
+        groups = list(group_sorted([(b"k", b"v")] * 4))
+        assert groups == [(b"k", [b"v"] * 4)]
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.tuples(st.binary(min_size=1, max_size=4), st.binary(max_size=4)),
+            max_size=15,
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_merge_property(runs):
+    """Merging sorted runs yields the sorted multiset union."""
+    sorted_runs = [sorted(run, key=lambda r: r[0]) for run in runs]
+    merged = list(merge_runs([list(r) for r in sorted_runs]))
+    everything = sorted(
+        (record for run in sorted_runs for record in run), key=lambda r: r[0]
+    )
+    assert keys_of(merged) == keys_of(everything)
+    assert sorted(merged) == sorted(everything)

@@ -1,0 +1,70 @@
+"""Tests for framed record streams."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SerdeError
+from repro.io.records import (
+    count_records,
+    decode_records,
+    encode_record,
+    encode_records,
+    record_frame_size,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        records = [(b"k1", b"v1"), (b"", b"v"), (b"k", b""), (b"", b"")]
+        data = encode_records(records)
+        assert list(decode_records(data)) == records
+
+    def test_single_record(self):
+        data = encode_record(b"key", b"value")
+        assert list(decode_records(data)) == [(b"key", b"value")]
+
+    def test_frame_size_matches(self):
+        for key, value in [(b"", b""), (b"k", b"v" * 200), (b"x" * 1000, b"")]:
+            assert record_frame_size(len(key), len(value)) == len(encode_record(key, value))
+
+    def test_count_records(self):
+        data = encode_records([(b"a", b"1"), (b"b", b"2"), (b"c", b"3")])
+        assert count_records(data) == 3
+
+    def test_range_decoding(self):
+        first = encode_record(b"a", b"1")
+        second = encode_record(b"bb", b"22")
+        data = first + second
+        assert list(decode_records(data, len(first))) == [(b"bb", b"22")]
+        assert list(decode_records(data, 0, len(first))) == [(b"a", b"1")]
+
+    def test_empty_stream(self):
+        assert list(decode_records(b"")) == []
+
+
+class TestCorruption:
+    def test_truncated_key(self):
+        data = encode_record(b"longkey", b"v")[:4]
+        with pytest.raises(SerdeError):
+            list(decode_records(data))
+
+    def test_truncated_value(self):
+        data = encode_record(b"k", b"longvalue")[:-3]
+        with pytest.raises(SerdeError):
+            list(decode_records(data))
+
+    def test_declared_length_past_end(self):
+        # vint length 100 but only 2 payload bytes follow
+        with pytest.raises(SerdeError):
+            list(decode_records(bytes([100 << 1]) + b"ab"))
+
+
+@given(
+    st.lists(
+        st.tuples(st.binary(max_size=50), st.binary(max_size=200)),
+        max_size=30,
+    )
+)
+def test_round_trip_property(records):
+    assert list(decode_records(encode_records(records))) == records

@@ -1,0 +1,64 @@
+"""Tests for spill files and partition segments."""
+
+import pytest
+
+from repro.errors import DiskError
+from repro.io.blockdisk import LocalDisk
+from repro.io.spillfile import read_segment, segment_bytes, write_spill
+
+
+def make_partitions():
+    return [
+        [(b"a", b"1"), (b"b", b"2")],
+        [],
+        [(b"x", b"9"), (b"y", b"8"), (b"z", b"7")],
+    ]
+
+
+class TestWriteSpill:
+    def test_index_entries(self):
+        disk = LocalDisk()
+        index = write_spill(disk, "s0", make_partitions())
+        assert index.num_partitions == 3
+        assert index.entries[0].records == 2
+        assert index.entries[1].records == 0
+        assert index.entries[1].length == 0
+        assert index.entries[2].records == 3
+        assert index.total_records == 5
+
+    def test_offsets_are_contiguous(self):
+        disk = LocalDisk()
+        index = write_spill(disk, "s0", make_partitions())
+        assert index.entries[0].offset == 0
+        for prev, cur in zip(index.entries, index.entries[1:]):
+            assert cur.offset == prev.offset + prev.length
+        assert index.total_bytes == disk.size("s0")
+
+    def test_read_back_segments(self):
+        disk = LocalDisk()
+        partitions = make_partitions()
+        index = write_spill(disk, "s0", partitions)
+        for p, expected in enumerate(partitions):
+            assert list(read_segment(disk, index, p)) == expected
+
+    def test_segment_bytes_round_trip(self):
+        disk = LocalDisk()
+        index = write_spill(disk, "s0", make_partitions())
+        from repro.io.records import decode_records
+
+        payload = segment_bytes(disk, index, 2)
+        assert list(decode_records(payload)) == make_partitions()[2]
+
+    def test_partition_out_of_range(self):
+        disk = LocalDisk()
+        index = write_spill(disk, "s0", make_partitions())
+        with pytest.raises(DiskError):
+            index.entry(3)
+        with pytest.raises(DiskError):
+            index.entry(-1)
+
+    def test_empty_spill(self):
+        disk = LocalDisk()
+        index = write_spill(disk, "s0", [[], []])
+        assert index.total_bytes == 0
+        assert list(read_segment(disk, index, 0)) == []

@@ -1,0 +1,117 @@
+"""Tests for composite writables (pairs, arrays, tagged unions, null)."""
+
+import pytest
+
+from repro.errors import SerdeError
+from repro.serde.composite import (
+    NullWritable,
+    TaggedWritable,
+    array_writable_type,
+    pair_writable_type,
+)
+from repro.serde.numeric import IntWritable, VIntWritable
+from repro.serde.text import Text
+
+
+class TestNullWritable:
+    def test_singleton(self):
+        assert NullWritable() is NullWritable()
+
+    def test_round_trip(self):
+        assert NullWritable.from_bytes(NullWritable().to_bytes()) is NullWritable()
+
+    def test_zero_size(self):
+        assert NullWritable().serialized_size() == 0
+
+    def test_rejects_payload(self):
+        with pytest.raises(SerdeError):
+            NullWritable.from_bytes(b"x")
+
+
+class TestPairWritable:
+    def test_round_trip(self):
+        Pair = pair_writable_type(Text, IntWritable)
+        pair = Pair(Text("k"), IntWritable(7))
+        decoded = Pair.from_bytes(pair.to_bytes())
+        assert decoded.first == Text("k")
+        assert decoded.second == IntWritable(7)
+
+    def test_type_cache(self):
+        assert pair_writable_type(Text, IntWritable) is pair_writable_type(Text, IntWritable)
+
+    def test_serialized_size_matches(self):
+        Pair = pair_writable_type(Text, VIntWritable)
+        pair = Pair(Text("hello"), VIntWritable(1000))
+        assert pair.serialized_size() == len(pair.to_bytes())
+
+    def test_element_type_enforced(self):
+        Pair = pair_writable_type(Text, IntWritable)
+        with pytest.raises(SerdeError):
+            Pair(IntWritable(1), IntWritable(2))  # type: ignore[arg-type]
+
+    def test_nested_pairs(self):
+        Inner = pair_writable_type(Text, IntWritable)
+        Outer = pair_writable_type(Inner, Text)
+        outer = Outer(Inner(Text("a"), IntWritable(1)), Text("b"))
+        decoded = Outer.from_bytes(outer.to_bytes())
+        assert decoded.first.second == IntWritable(1)  # type: ignore[attr-defined]
+
+
+class TestArrayWritable:
+    def test_round_trip(self):
+        Arr = array_writable_type(VIntWritable)
+        arr = Arr([VIntWritable(i) for i in (0, 1, 500, -3)])
+        decoded = Arr.from_bytes(arr.to_bytes())
+        assert [v.value for v in decoded] == [0, 1, 500, -3]
+
+    def test_empty_array(self):
+        Arr = array_writable_type(Text)
+        assert len(Arr.from_bytes(Arr([]).to_bytes())) == 0
+
+    def test_indexing_and_len(self):
+        Arr = array_writable_type(Text)
+        arr = Arr([Text("a"), Text("b")])
+        assert len(arr) == 2
+        assert arr[1] == Text("b")
+
+    def test_serialized_size_matches(self):
+        Arr = array_writable_type(Text)
+        arr = Arr([Text("one"), Text(""), Text("threeeee")])
+        assert arr.serialized_size() == len(arr.to_bytes())
+
+    def test_element_type_enforced(self):
+        Arr = array_writable_type(Text)
+        with pytest.raises(SerdeError):
+            Arr([IntWritable(1)])  # type: ignore[list-item]
+
+    def test_empty_string_elements_preserved(self):
+        Arr = array_writable_type(Text)
+        arr = Arr.from_bytes(Arr([Text(""), Text("x"), Text("")]).to_bytes())
+        assert [t.value for t in arr] == ["", "x", ""]
+
+
+class TestTaggedWritable:
+    def test_round_trip(self):
+        tagged = TaggedWritable(3, Text("payload"))
+        decoded = TaggedWritable.from_bytes(tagged.to_bytes())
+        assert decoded.tag == 3
+        assert decoded.payload == Text("payload")
+
+    def test_different_payload_types(self):
+        for payload in (Text("t"), IntWritable(9), VIntWritable(-2)):
+            decoded = TaggedWritable.from_bytes(TaggedWritable(0, payload).to_bytes())
+            assert decoded.payload == payload
+
+    def test_tag_range(self):
+        with pytest.raises(SerdeError):
+            TaggedWritable(-1, Text("x"))
+        with pytest.raises(SerdeError):
+            TaggedWritable(256, Text("x"))
+
+    def test_serialized_size_matches(self):
+        tagged = TaggedWritable(255, IntWritable(12))
+        assert tagged.serialized_size() == len(tagged.to_bytes())
+
+    def test_empty_payload_rejected_on_decode(self):
+        with pytest.raises(SerdeError):
+            TaggedWritable.from_bytes(b"")

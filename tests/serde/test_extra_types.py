@@ -1,0 +1,83 @@
+"""Tests for the extra writables (bytes, bool, map)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SerdeError
+from repro.serde.extra_types import BooleanWritable, BytesWritable, MapWritable
+
+
+class TestBytesWritable:
+    def test_round_trip(self):
+        for payload in (b"", b"\x00\xff", bytes(range(256))):
+            assert BytesWritable.from_bytes(BytesWritable(payload).to_bytes()).value == payload
+
+    def test_accepts_bytearray(self):
+        assert BytesWritable(bytearray(b"ab")).value == b"ab"
+
+    def test_rejects_str(self):
+        with pytest.raises(SerdeError):
+            BytesWritable("text")  # type: ignore[arg-type]
+
+    def test_ordering(self):
+        assert BytesWritable(b"a") < BytesWritable(b"b")
+
+
+class TestBooleanWritable:
+    def test_round_trip(self):
+        for value in (True, False):
+            assert BooleanWritable.from_bytes(
+                BooleanWritable(value).to_bytes()
+            ).value is value
+
+    def test_single_byte(self):
+        assert BooleanWritable(True).serialized_size() == 1
+
+    def test_rejects_int(self):
+        with pytest.raises(SerdeError):
+            BooleanWritable(1)  # type: ignore[arg-type]
+
+    def test_invalid_payload(self):
+        with pytest.raises(SerdeError):
+            BooleanWritable.from_bytes(b"\x02")
+
+
+class TestMapWritable:
+    def test_round_trip(self):
+        m = MapWritable({"b": "2", "a": "1"})
+        decoded = MapWritable.from_bytes(m.to_bytes())
+        assert decoded.value == {"a": "1", "b": "2"}
+
+    def test_canonical_serialization(self):
+        # Insertion order must not matter: equal maps -> equal bytes.
+        a = MapWritable({"x": "1", "y": "2"})
+        b = MapWritable({"y": "2", "x": "1"})
+        assert a.to_bytes() == b.to_bytes()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_empty(self):
+        assert MapWritable.from_bytes(MapWritable().to_bytes()).value == {}
+
+    def test_get(self):
+        m = MapWritable({"k": "v"})
+        assert m.get("k") == "v"
+        assert m.get("missing", "default") == "default"
+        assert len(m) == 1
+
+    def test_rejects_non_strings(self):
+        with pytest.raises(SerdeError):
+            MapWritable({"k": 1})  # type: ignore[dict-item]
+
+    def test_odd_chunks_rejected(self):
+        from repro.serde.composite import _frame
+
+        with pytest.raises(SerdeError):
+            MapWritable.from_bytes(_frame([b"only-one-chunk"]))
+
+
+@given(st.dictionaries(st.text(max_size=10), st.text(max_size=10), max_size=8))
+def test_map_round_trip_property(items):
+    m = MapWritable(items)
+    assert MapWritable.from_bytes(m.to_bytes()).value == items

@@ -1,0 +1,112 @@
+"""Tests for numeric writables and the vint codec."""
+
+import pytest
+
+from repro.errors import SerdeError
+from repro.serde.numeric import (
+    FloatWritable,
+    IntWritable,
+    LongWritable,
+    VIntWritable,
+    decode_vint,
+    encode_vint,
+    vint_size,
+)
+
+
+class TestIntWritable:
+    @pytest.mark.parametrize("value", [0, 1, -1, 2**31 - 1, -(2**31), 123456])
+    def test_round_trip(self, value):
+        assert IntWritable.from_bytes(IntWritable(value).to_bytes()).value == value
+
+    def test_fixed_size(self):
+        assert IntWritable(0).serialized_size() == 4
+        assert len(IntWritable(-5).to_bytes()) == 4
+
+    def test_out_of_range(self):
+        with pytest.raises(SerdeError):
+            IntWritable(2**31)
+        with pytest.raises(SerdeError):
+            IntWritable(-(2**31) - 1)
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(SerdeError):
+            IntWritable(True)
+        with pytest.raises(SerdeError):
+            IntWritable(1.5)  # type: ignore[arg-type]
+
+    def test_wrong_length_payload(self):
+        with pytest.raises(SerdeError):
+            IntWritable.from_bytes(b"\x00\x01")
+
+    def test_nonnegative_byte_order_is_numeric_order(self):
+        values = [0, 1, 2, 100, 255, 256, 65535, 2**30]
+        ordered = sorted(values, key=lambda v: IntWritable(v).to_bytes())
+        assert ordered == sorted(values)
+
+
+class TestLongWritable:
+    @pytest.mark.parametrize("value", [0, -1, 2**63 - 1, -(2**63), 10**15])
+    def test_round_trip(self, value):
+        assert LongWritable.from_bytes(LongWritable(value).to_bytes()).value == value
+
+    def test_out_of_range(self):
+        with pytest.raises(SerdeError):
+            LongWritable(2**63)
+
+
+class TestFloatWritable:
+    @pytest.mark.parametrize("value", [0.0, -1.5, 3.14159, 1e300, -1e-300])
+    def test_round_trip(self, value):
+        assert FloatWritable.from_bytes(FloatWritable(value).to_bytes()).value == value
+
+    def test_accepts_int(self):
+        assert FloatWritable(3).value == 3.0
+
+    def test_rejects_string(self):
+        with pytest.raises(SerdeError):
+            FloatWritable("x")  # type: ignore[arg-type]
+
+
+class TestVint:
+    @pytest.mark.parametrize(
+        "value", [0, 1, -1, 63, 64, -64, -65, 127, 128, 10**9, -(10**9), 2**62]
+    )
+    def test_round_trip(self, value):
+        encoded = encode_vint(value)
+        decoded, end = decode_vint(encoded)
+        assert decoded == value
+        assert end == len(encoded)
+
+    def test_small_values_one_byte(self):
+        for value in range(-64, 64):
+            assert len(encode_vint(value)) == 1, value
+
+    def test_vint_size_matches_encoding(self):
+        for value in [0, 1, -1, 100, -100, 2**20, -(2**20), 2**45]:
+            assert vint_size(value) == len(encode_vint(value))
+
+    def test_truncated_raises(self):
+        encoded = encode_vint(10**9)
+        with pytest.raises(SerdeError):
+            decode_vint(encoded[:-1] + bytes([encoded[-1] | 0x80]))
+
+    def test_offset_decoding(self):
+        data = encode_vint(7) + encode_vint(-300)
+        first, pos = decode_vint(data)
+        second, end = decode_vint(data, pos)
+        assert (first, second) == (7, -300)
+        assert end == len(data)
+
+
+class TestVIntWritable:
+    def test_round_trip(self):
+        assert VIntWritable.from_bytes(VIntWritable(12345).to_bytes()).value == 12345
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(SerdeError):
+            VIntWritable.from_bytes(VIntWritable(1).to_bytes() + b"\x00")
+
+    def test_counter_payload_is_tiny(self):
+        # WordCount emits millions of 1s; they must serialize to 1 byte.
+        assert VIntWritable(1).serialized_size() == 1

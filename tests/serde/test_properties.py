@@ -1,0 +1,62 @@
+"""Property-based tests for the serde layer (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serde.composite import TaggedWritable, array_writable_type, pair_writable_type
+from repro.serde.numeric import LongWritable, VIntWritable, decode_vint, encode_vint
+from repro.serde.text import Text
+
+TextArray = array_writable_type(Text)
+TextVIntPair = pair_writable_type(Text, VIntWritable)
+
+
+@given(st.text())
+def test_text_round_trip(value):
+    assert Text.from_bytes(Text(value).to_bytes()).value == value
+
+
+@given(st.text(), st.text())
+def test_text_byte_order_matches_string_order(a, b):
+    # UTF-8 byte order == code-point order: the raw-sort correctness property.
+    assert (Text(a).to_bytes() < Text(b).to_bytes()) == (a < b)
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_vint_round_trip(value):
+    decoded, end = decode_vint(encode_vint(value))
+    assert decoded == value
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_long_round_trip(value):
+    assert LongWritable.from_bytes(LongWritable(value).to_bytes()).value == value
+
+
+@given(st.lists(st.text(max_size=30), max_size=20))
+def test_text_array_round_trip(items):
+    arr = TextArray([Text(t) for t in items])
+    decoded = TextArray.from_bytes(arr.to_bytes())
+    assert [t.value for t in decoded] == items
+
+
+@given(st.lists(st.text(max_size=20), max_size=10))
+def test_array_size_accounting(items):
+    arr = TextArray([Text(t) for t in items])
+    assert arr.serialized_size() == len(arr.to_bytes())
+
+
+@given(st.text(max_size=40), st.integers(min_value=-(10**12), max_value=10**12))
+def test_pair_round_trip(key, count):
+    pair = TextVIntPair(Text(key), VIntWritable(count))
+    decoded = TextVIntPair.from_bytes(pair.to_bytes())
+    assert decoded.first.value == key  # type: ignore[attr-defined]
+    assert decoded.second.value == count  # type: ignore[attr-defined]
+
+
+@given(st.integers(min_value=0, max_value=255), st.text(max_size=30))
+def test_tagged_round_trip(tag, payload):
+    tagged = TaggedWritable(tag, Text(payload))
+    decoded = TaggedWritable.from_bytes(tagged.to_bytes())
+    assert decoded.tag == tag
+    assert decoded.payload == Text(payload)

@@ -1,0 +1,58 @@
+"""Tests for raw byte comparators."""
+
+from functools import cmp_to_key
+
+from repro.serde.raw import CountingComparator, make_sort_key, memcmp
+
+
+class TestMemcmp:
+    def test_three_way(self):
+        assert memcmp(b"a", b"b") < 0
+        assert memcmp(b"b", b"a") > 0
+        assert memcmp(b"ab", b"ab") == 0
+
+    def test_prefix_ordering(self):
+        assert memcmp(b"ab", b"abc") < 0
+        assert memcmp(b"abc", b"ab") > 0
+
+    def test_empty(self):
+        assert memcmp(b"", b"") == 0
+        assert memcmp(b"", b"a") < 0
+
+
+class TestCountingComparator:
+    def test_counts_invocations(self):
+        counter = CountingComparator()
+        data = [b"d", b"a", b"c", b"b", b"e"]
+        ordered = sorted(data, key=cmp_to_key(counter))
+        assert ordered == sorted(data)
+        assert counter.count > 0
+
+    def test_reset(self):
+        counter = CountingComparator()
+        counter(b"a", b"b")
+        assert counter.reset() == 1
+        assert counter.count == 0
+
+    def test_exact_count_matches_sort_behaviour(self):
+        counter = CountingComparator()
+        data = [bytes([b]) for b in range(50, 20, -1)]
+        sorted(data, key=cmp_to_key(counter))
+        # Reverse-ordered input: Timsort does one descending-run detection
+        # pass, so comparisons ~ n-1, certainly <= n log n.
+        assert len(data) - 1 <= counter.count <= len(data) * 8
+
+
+class TestMakeSortKey:
+    def test_sorts_like_comparator(self):
+        key = make_sort_key(memcmp)
+        data = [b"pear", b"apple", b"fig", b"apple"]
+        assert sorted(data, key=key) == sorted(data)
+
+    def test_custom_comparator(self):
+        def reverse(a: bytes, b: bytes) -> int:
+            return memcmp(b, a)
+
+        key = make_sort_key(reverse)
+        data = [b"a", b"c", b"b"]
+        assert sorted(data, key=key) == [b"c", b"b", b"a"]

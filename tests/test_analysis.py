@@ -1,0 +1,127 @@
+"""Tests for the analysis layer: breakdowns, tables, claims, gantt."""
+
+import json
+
+import pytest
+
+from repro.analysis.breakdown import (
+    Breakdown,
+    abstraction_cost_reduction,
+    breakdown_from_ledger,
+)
+from repro.analysis.gantt import export_trace, render_gantt
+from repro.analysis.report import Claim, check, render_claims
+from repro.analysis.tables import render_grid, render_series, render_table
+from repro.engine.instrumentation import Ledger, Op, Phase
+
+
+def make_ledger(**ops) -> Ledger:
+    ledger = Ledger()
+    for name, amount in ops.items():
+        ledger.charge(Op(name), amount)
+    return ledger
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self):
+        b = breakdown_from_ledger("j", make_ledger(map=30, sort=50, reduce=20))
+        assert sum(b.shares.values()) == pytest.approx(1.0)
+
+    def test_user_vs_framework(self):
+        b = breakdown_from_ledger("j", make_ledger(map=25, combine=25, sort=50))
+        assert b.user_share == pytest.approx(0.5)
+        assert b.framework_share == pytest.approx(0.5)
+        assert b.framework_work() == pytest.approx(50)
+
+    def test_phase_share(self):
+        b = breakdown_from_ledger("j", make_ledger(read=10, shuffle=20, output=70))
+        assert b.phase_share(Phase.MAP) == pytest.approx(0.1)
+        assert b.phase_share(Phase.SHUFFLE) == pytest.approx(0.2)
+        assert b.phase_share(Phase.REDUCE) == pytest.approx(0.7)
+
+    def test_empty_ledger(self):
+        b = breakdown_from_ledger("j", Ledger())
+        assert b.total_work == 0
+        assert b.user_share == 0.0
+
+    def test_reduction(self):
+        base = breakdown_from_ledger("b", make_ledger(sort=100, map=10))
+        opt = breakdown_from_ledger("o", make_ledger(sort=60, map=10))
+        assert abstraction_cost_reduction(base, opt) == pytest.approx(0.4)
+
+    def test_reduction_of_empty_baseline(self):
+        base = breakdown_from_ledger("b", Ledger())
+        assert abstraction_cost_reduction(base, base) == 0.0
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table("T", ["col", "value"], [["a", 1.25], ["bbbb", 10.5]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[2]
+        assert all(len(l) == len(lines[2]) for l in lines[3:-1])
+
+    def test_render_series(self):
+        text = render_series("S", "x", [1, 2], {"a": [0.1, 0.2], "b": [0.3, 0.4]})
+        assert "0.400" in text
+
+    def test_render_grid(self):
+        text = render_grid("G", "row", [0, 1], "col", ["x", "y"],
+                           [[1.0, 2.0], [3.0, 4.0]])
+        assert "row\\col" in text
+        assert "4.0" in text
+
+
+class TestClaims:
+    def test_check_builds_claim(self):
+        claim = check("exp", "thing", "~10", 12.3, lambda v: v > 10, "{:.1f}")
+        assert claim.holds
+        assert claim.measured_value == "12.3"
+
+    def test_failed_claim_rendered_no(self):
+        claim = check("exp", "thing", "~10", 3.0, lambda v: v > 10)
+        assert "NO" in render_claims([claim])
+
+    def test_empty_claims(self):
+        assert render_claims([]) == "(no claims)"
+
+
+class TestGantt:
+    @pytest.fixture(scope="class")
+    def cluster_result(self):
+        from repro.cluster.jobtracker import ClusterJobRunner
+        from repro.cluster.specs import local_cluster
+        from repro.config import Keys
+        from repro.experiments.common import build_app
+
+        app = build_app(
+            "wordcount", "baseline", scale=0.02,
+            extra_conf={Keys.NUM_REDUCERS: 2}, num_splits=4,
+        )
+        return ClusterJobRunner(local_cluster()).run(app)
+
+    def test_trace_is_json_serializable(self, cluster_result):
+        trace = export_trace(cluster_result)
+        blob = json.loads(json.dumps(trace))
+        assert blob["job"] == "wordcount"
+        assert len(blob["tasks"]) == 4 + 2
+        kinds = {t["kind"] for t in blob["tasks"]}
+        assert kinds == {"map", "reduce"}
+
+    def test_trace_durations_consistent(self, cluster_result):
+        trace = export_trace(cluster_result)
+        for task in trace["tasks"]:
+            assert task["duration"] == pytest.approx(task["end"] - task["start"])
+            assert task["end"] <= trace["runtime_seconds"] + 1e-9
+
+    def test_gantt_renders_all_hosts(self, cluster_result):
+        chart = render_gantt(cluster_result)
+        hosts = {p.host for p in cluster_result.map_placements}
+        for host in hosts:
+            assert host in chart
+        assert "m" in chart.lower()
+
+    def test_gantt_width_validation(self, cluster_result):
+        with pytest.raises(ValueError):
+            render_gantt(cluster_result, width=3)

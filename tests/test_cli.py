@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_apps_and_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "wordcount" in out
+        assert "table3" in out
+
+
+class TestRun:
+    def test_run_baseline(self, capsys):
+        assert main(["run", "wordcount", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "output records" in out
+        assert "framework" in out
+
+    def test_run_combined_hash_compressed(self, capsys):
+        code = main([
+            "run", "wordcount", "--config", "combined", "--scale", "0.02",
+            "--grouping", "hash", "--compression", "zlib",
+        ])
+        assert code == 0
+        assert "wordcount" in capsys.readouterr().out
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nosuchapp"])
+
+
+class TestCluster:
+    def test_cluster_run(self, capsys):
+        code = main([
+            "cluster", "wordcount", "--scale", "0.02", "--splits", "6",
+        ])
+        assert code == 0
+        assert "local" in capsys.readouterr().out
+
+    def test_gantt_and_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        code = main([
+            "cluster", "wordcount", "--scale", "0.02", "--splits", "6",
+            "--gantt", "--trace", str(trace_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "map barrier" in out
+        trace = json.loads(trace_path.read_text())
+        assert trace["job"] == "wordcount"
+
+
+class TestExperiment:
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_fig3_runs(self, capsys):
+        assert main(["experiment", "fig3"]) == 0
+        assert "alpha" in capsys.readouterr().out

@@ -1,0 +1,107 @@
+"""Coverage for the error hierarchy, cost model, job spec, and registry
+odds and ends."""
+
+import pytest
+
+from repro.engine.costmodel import DEFAULT_COST_MODEL, CostModel, UserCodeCosts
+from repro.errors import (
+    ConfigError,
+    DfsError,
+    DiskError,
+    JobFailedError,
+    ReproError,
+    SchedulerError,
+    SerdeError,
+    SpillBufferError,
+    UserCodeError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc_cls", [
+        ConfigError, SerdeError, DiskError, DfsError, SpillBufferError,
+        SchedulerError, JobFailedError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_cls):
+        assert issubclass(exc_cls, ReproError)
+
+    def test_user_code_error_carries_stage(self):
+        err = UserCodeError("map", "boom")
+        assert err.stage == "map"
+        assert "map()" in str(err)
+        assert isinstance(err, ReproError)
+
+
+class TestCostModel:
+    def test_with_overrides(self):
+        model = DEFAULT_COST_MODEL.with_overrides(sort_comparison=99.0)
+        assert model.sort_comparison == 99.0
+        assert model.net_byte == DEFAULT_COST_MODEL.net_byte
+        assert DEFAULT_COST_MODEL.sort_comparison != 99.0  # original untouched
+
+    def test_scaled(self):
+        model = DEFAULT_COST_MODEL.scaled(2.0)
+        assert model.sort_comparison == DEFAULT_COST_MODEL.sort_comparison * 2
+        assert model.read_byte == DEFAULT_COST_MODEL.read_byte * 2
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.sort_comparison = 1.0  # type: ignore[misc]
+
+    def test_user_costs_cpu_intensity(self):
+        costs = UserCodeCosts(map_record=100.0, map_byte=2.0)
+        scaled = costs.with_cpu_intensity(4.0)
+        assert scaled.map_record == 400.0
+        assert scaled.map_byte == 8.0
+        assert scaled.reduce_record == costs.reduce_record  # untouched
+
+
+class TestJobSpecDescribe:
+    def test_describe_flags(self, tiny_text=None):
+        from repro.config import Keys
+        from tests.conftest import make_wordcount_job
+
+        data = b"a b c\n"
+        assert "[baseline]" in make_wordcount_job(data).describe()
+        assert "freqbuf" in make_wordcount_job(
+            data, {Keys.FREQBUF_ENABLED: True}
+        ).describe()
+        both = make_wordcount_job(
+            data, {Keys.FREQBUF_ENABLED: True, Keys.SPILLMATCHER_ENABLED: True}
+        ).describe()
+        assert "freqbuf" in both and "spillmatcher" in both
+
+
+class TestWritableRegistry:
+    def test_lookup(self):
+        from repro.serde import Text, lookup_writable
+
+        assert lookup_writable("Text") is Text
+
+    def test_unknown(self):
+        from repro.serde import lookup_writable
+
+        with pytest.raises(SerdeError):
+            lookup_writable("NoSuchType")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.serde import Writable, register_writable
+
+        class Fake(Writable):
+            type_name = "Text"  # collides with the real Text
+
+            def to_bytes(self):
+                return b""
+
+            @classmethod
+            def from_bytes(cls, data):
+                return cls()
+
+        with pytest.raises(SerdeError):
+            register_writable(Fake)
+
+    def test_registry_snapshot(self):
+        from repro.serde import registered_writables
+
+        snapshot = registered_writables()
+        assert "Text" in snapshot and "VIntWritable" in snapshot

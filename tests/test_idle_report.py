@@ -1,0 +1,74 @@
+"""Unit tests for the idle-time report (Table II / Figure 9 metrics)."""
+
+import math
+
+import pytest
+
+from repro.analysis.idle import IdleReport, aggregate_idle, wait_removed_pct
+from repro.engine.pipeline import PipelineTimeline
+
+
+def make_pipeline(spills, capacity=1000):
+    timeline = PipelineTimeline(capacity)
+    for produce, consume, size in spills:
+        timeline.record_spill(produce, consume, size)
+    return timeline.finish()
+
+
+class TestAggregateIdle:
+    def test_sums_across_tasks(self):
+        a = make_pipeline([(10.0, 20.0, 500)] * 3)
+        b = make_pipeline([(10.0, 20.0, 500)] * 3)
+        report = aggregate_idle([a, b])
+        assert report.map_busy == pytest.approx(2 * a.map_busy)
+        assert report.elapsed == pytest.approx(2 * a.elapsed)
+
+    def test_drain_included_in_map_wait_not_block_wait(self):
+        result = make_pipeline([(10.0, 50.0, 800)] * 2)
+        report = aggregate_idle([result])
+        assert report.map_wait == pytest.approx(
+            result.map_wait + result.final_drain_wait
+        )
+        assert report.map_block_wait == pytest.approx(result.map_wait)
+
+    def test_empty(self):
+        report = aggregate_idle([])
+        assert report.map_idle_pct == 0.0
+        assert report.support_idle_pct == 0.0
+
+
+class TestSlowerThread:
+    def test_map_slower(self):
+        report = IdleReport(
+            map_busy=100, map_wait=5, support_busy=10, support_wait=80,
+            elapsed=110, map_block_wait=3,
+        )
+        assert report.slower_thread_wait == 5
+        assert report.slower_thread_block_wait == 3
+
+    def test_support_slower(self):
+        report = IdleReport(
+            map_busy=10, map_wait=80, support_busy=100, support_wait=7,
+            elapsed=110, map_block_wait=80,
+        )
+        assert report.slower_thread_wait == 7
+        assert report.slower_thread_block_wait == 7
+
+
+class TestWaitRemoved:
+    def base(self, block_wait: float) -> IdleReport:
+        return IdleReport(
+            map_busy=1000, map_wait=block_wait + 10, support_busy=100,
+            support_wait=0, elapsed=1200, map_block_wait=block_wait,
+        )
+
+    def test_removal_percentage(self):
+        optimized = self.base(20.0)
+        assert wait_removed_pct(self.base(200.0), optimized) == pytest.approx(90.0)
+
+    def test_nan_when_nothing_to_remove(self):
+        # Baseline block wait below 1% of busy: nothing to remove.
+        assert math.isnan(wait_removed_pct(self.base(5.0), self.base(5.0)))
+
+    def test_negative_when_optimizer_hurts(self):
+        assert wait_removed_pct(self.base(100.0), self.base(150.0)) < 0

@@ -1,0 +1,57 @@
+"""Tests for ASCII plotting."""
+
+import pytest
+
+from repro.analysis.plots import render_bars, render_scatter
+
+
+class TestScatter:
+    def test_basic_plot(self):
+        text = render_scatter("T", [1, 2, 3], {"s": [1.0, 2.0, 3.0]})
+        assert text.startswith("T")
+        assert "*" in text
+        assert "x: 1 .. 3" in text
+
+    def test_loglog(self):
+        xs = [1, 10, 100, 1000]
+        ys = [1000, 100, 10, 1]
+        text = render_scatter("zipf", xs, {"f": ys}, logx=True, logy=True)
+        assert "1e0.0 .. 1e3.0" in text
+
+    def test_log_drops_nonpositive(self):
+        text = render_scatter("T", [0, 1, 10], {"s": [0.0, 1.0, 2.0]}, logx=True, logy=True)
+        assert "no plottable points" not in text
+
+    def test_multiple_series_markers(self):
+        text = render_scatter(
+            "T", [1, 2], {"a": [1.0, 1.5], "b": [3.0, 4.0]}
+        )
+        assert "*=a" in text and "o=b" in text
+
+    def test_all_filtered_out(self):
+        text = render_scatter("T", [0], {"s": [0.0]}, logx=True)
+        assert "no plottable points" in text
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            render_scatter("T", [1], {"s": [1.0]}, width=2)
+
+
+class TestBars:
+    def test_scaled_to_peak(self):
+        text = render_bars("B", ["x", "yy"], [10.0, 5.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_unit_suffix(self):
+        text = render_bars("B", ["a"], [1.5], unit="s")
+        assert "1.5s" in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_bars("B", ["a"], [1.0, 2.0])
+
+    def test_zero_values(self):
+        text = render_bars("B", ["a", "b"], [0.0, 0.0])
+        assert "a" in text

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.cli run wordcount --config combined --scale 0.1
+    python -m repro.cli run wordcount --backend process --workers 4
     python -m repro.cli cluster invertedindex --cluster local --config freq --gantt
     python -m repro.cli experiment table3
     python -m repro.cli list
@@ -18,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from .analysis.breakdown import OP_ORDER, breakdown_from_ledger
 from .analysis.gantt import export_trace, render_gantt
@@ -63,9 +65,17 @@ def _build(args: argparse.Namespace, extra: dict | None = None):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    app = _build(args)
+    app = _build(args, extra={
+        Keys.EXEC_BACKEND: args.backend,
+        Keys.EXEC_WORKERS: args.workers,
+        Keys.EXEC_LIVE_PIPELINE: args.live_pipeline,
+    })
+    start = time.perf_counter()
     result = LocalJobRunner().run(app.job)
-    print(f"{app.job.describe()}: {len(result.output_pairs())} output records")
+    elapsed = time.perf_counter() - start
+    workers = f", workers={args.workers or 'auto'}" if args.backend != "serial" else ""
+    print(f"{app.job.describe()}: {len(result.output_pairs())} output records "
+          f"in {elapsed:.3f}s (backend={args.backend}{workers})")
     breakdown = breakdown_from_ledger(app.name, result.ledger)
     print(f"total work: {breakdown.total_work:.0f} units "
           f"(user {breakdown.user_share:.1%}, framework {breakdown.framework_share:.1%})")
@@ -125,6 +135,19 @@ def main(argv: list[str] | None = None) -> int:
 
     run_parser = sub.add_parser("run", help="run an app on the single-node engine")
     _add_common_app_args(run_parser)
+    run_parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default="serial",
+        help="execution backend for task attempts",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker count for parallel backends (0 = one per CPU)",
+    )
+    run_parser.add_argument(
+        "--live-pipeline", action="store_true",
+        help="run each map task's spill pipeline on a real support thread, "
+             "feeding the spill policy measured wall-clock rates",
+    )
     run_parser.set_defaults(fn=cmd_run)
 
     cluster_parser = sub.add_parser("cluster", help="run an app on a simulated cluster")

@@ -42,6 +42,11 @@ class Keys:
     SPILLMATCHER_MIN_PERCENT = "repro.spillmatcher.min.percent"
     SPILLMATCHER_MAX_PERCENT = "repro.spillmatcher.max.percent"
 
+    # --- execution backend (repro.exec) ---
+    EXEC_BACKEND = "repro.exec.backend"  # serial | thread | process
+    EXEC_WORKERS = "repro.exec.workers"  # worker count (0 = one per CPU)
+    EXEC_LIVE_PIPELINE = "repro.exec.live.pipeline"  # real support thread per map task
+
     # --- engine ---
     NUM_REDUCERS = "repro.job.reduces"
     COMBINER_MIN_SPILL_RECORDS = "repro.combine.min.spill.records"
@@ -69,6 +74,9 @@ DEFAULTS: dict[str, Any] = {
     Keys.FREQBUF_VALUES_PER_KEY: 8,
     Keys.FREQBUF_SHARE_ACROSS_TASKS: True,
     Keys.FREQBUF_PREDICTOR: "spacesaving",
+    Keys.EXEC_BACKEND: "serial",
+    Keys.EXEC_WORKERS: 0,
+    Keys.EXEC_LIVE_PIPELINE: False,
     Keys.SPILLMATCHER_ENABLED: False,
     Keys.SPILLMATCHER_MIN_PERCENT: 0.05,
     Keys.SPILLMATCHER_MAX_PERCENT: 0.95,

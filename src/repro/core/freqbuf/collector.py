@@ -148,6 +148,9 @@ class FrequencyBufferingCollector(MapOutputCollector):
     def spill_indices(self) -> list[SpillIndex]:
         return self.inner.spill_indices
 
+    def abort(self) -> None:
+        self.inner.abort()
+
     def note_input_progress(self, fraction: float) -> None:
         self._input_fraction = fraction
         if self.stage is Stage.PREPROFILE and fraction >= self.preprofile_fraction:

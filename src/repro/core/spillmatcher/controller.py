@@ -34,6 +34,7 @@ class SpillMatcherPolicy(SpillPolicy):
         self.max_percent = max_percent
         self.estimator = RateEstimator(smoothing)
         self.history: list[float] = []
+        self.observations: list[RateObservation] = []
 
     def spill_percent(self) -> float:
         if not self.estimator.has_estimate:
@@ -51,7 +52,9 @@ class SpillMatcherPolicy(SpillPolicy):
     def observe(self, produce_work: float, consume_work: float, size_bytes: int) -> None:
         if produce_work <= 0 or consume_work <= 0 or size_bytes <= 0:
             return  # degenerate measurement; keep the previous estimate
-        self.estimator.observe(RateObservation(produce_work, consume_work, size_bytes))
+        observation = RateObservation(produce_work, consume_work, size_bytes)
+        self.observations.append(observation)
+        self.estimator.observe(observation)
 
     def produce_consume_ratio(self) -> float | None:
         return self.estimator.produce_consume_ratio()

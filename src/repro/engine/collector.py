@@ -54,6 +54,13 @@ class MapOutputCollector(ABC):
         a percentage of the map task's input records); the standard
         collector ignores it."""
 
+    def abort(self) -> None:
+        """The task attempt failed before :meth:`flush`: release any
+        resources the collector holds.  Collectors that own a real
+        support thread (:mod:`repro.exec.livepipeline`) must stop it here
+        so a retried attempt never races a stale thread; the synchronous
+        collectors have nothing to do."""
+
 
 class StandardCollector(MapOutputCollector):
     """Hadoop's store-sort-combine-spill-merge dataflow, instrumented."""
@@ -139,16 +146,43 @@ class StandardCollector(MapOutputCollector):
     def _spill(self) -> None:
         if self.buffer.is_empty:
             return
-        model = self.cost_model
         instruments = self.instruments
         size_bytes = self.buffer.occupancy_bytes
         records = self.buffer.drain()
 
-        consume_work = 0.0
+        consume_work = self._consume_spill(
+            records, instruments, self.counters, self.combiner_runner
+        )
+
+        # --- pipeline bookkeeping ---
+        produce_work = instruments.map_thread_work - self._produce_mark
+        self._produce_mark = instruments.map_thread_work
+        self.timeline.record_spill(max(produce_work, 1e-9), max(consume_work, 1e-9), size_bytes)
+        self.policy.observe(produce_work, consume_work, size_bytes)
+        self._spill_target = self.timeline.expected_next_size(
+            self.policy.spill_percent(), self.policy.produce_consume_ratio()
+        )
+
+    def _consume_spill(
+        self,
+        records: list,
+        instruments: TaskInstruments,
+        counters: Counters,
+        combiner_runner: CombinerRunner | None,
+    ) -> float:
+        """Sort + combine + write one drained spill: the support thread's
+        job for one cycle.  Returns the modelled consume work ``T_c``.
+
+        The accounting sinks are parameters (instead of ``self.…``) so
+        the live pipeline can run this on a real support thread against
+        thread-private instruments/counters/combiner and merge them back
+        at join time, without sharing mutable state across threads.
+        """
+        model = self.cost_model
 
         # --- sort (support thread) ---
         ordered, sort_stats = sort_spill(records, self.exact_comparisons)
-        consume_work += instruments.charge_support_thread(
+        consume_work = instruments.charge_support_thread(
             Op.SORT,
             model.sort_comparison * sort_stats.comparisons
             + model.sort_byte_move * sort_stats.bytes_moved,
@@ -156,7 +190,7 @@ class StandardCollector(MapOutputCollector):
 
         # --- combine (support thread, user code) ---
         partitions = cut_partitions(ordered, self.num_partitions)
-        if self.combiner_runner is not None:
+        if combiner_runner is not None:
             combined: list[list[SerdePair]] = []
             for run in partitions:
                 out_run: list[SerdePair] = []
@@ -165,7 +199,9 @@ class StandardCollector(MapOutputCollector):
                 for kb, vb in run:
                     if kb != group_key:
                         if group_key is not None:
-                            out, work = self._run_combiner(group_key, group_values)
+                            out, work = self._run_combiner(
+                                group_key, group_values, instruments, combiner_runner
+                            )
                             out_run.extend(out)
                             consume_work += work
                         group_key = kb
@@ -173,7 +209,9 @@ class StandardCollector(MapOutputCollector):
                     else:
                         group_values.append(vb)
                 if group_key is not None:
-                    out, work = self._run_combiner(group_key, group_values)
+                    out, work = self._run_combiner(
+                        group_key, group_values, instruments, combiner_runner
+                    )
                     out_run.extend(out)
                     consume_work += work
                 combined.append(out_run)
@@ -187,32 +225,34 @@ class StandardCollector(MapOutputCollector):
             spill_io_work += model.compress_byte * index.total_raw_bytes
         consume_work += instruments.charge_support_thread(Op.SPILL_IO, spill_io_work)
         self.spill_indices.append(index)
-        self.counters.incr(Counter.SPILLS)
-        self.counters.incr(Counter.SPILLED_RECORDS, index.total_records)
-        self.counters.incr(Counter.SPILLED_BYTES, index.total_bytes)
-
-        # --- pipeline bookkeeping ---
-        produce_work = instruments.map_thread_work - self._produce_mark
-        self._produce_mark = instruments.map_thread_work
-        self.timeline.record_spill(max(produce_work, 1e-9), max(consume_work, 1e-9), size_bytes)
-        self.policy.observe(produce_work, consume_work, size_bytes)
-        self._spill_target = self.timeline.expected_next_size(
-            self.policy.spill_percent(), self.policy.produce_consume_ratio()
-        )
+        counters.incr(Counter.SPILLS)
+        counters.incr(Counter.SPILLED_RECORDS, index.total_records)
+        counters.incr(Counter.SPILLED_BYTES, index.total_bytes)
+        return consume_work
 
     def _run_combiner(
-        self, key_bytes: bytes, value_bytes: list[bytes]
+        self,
+        key_bytes: bytes,
+        value_bytes: list[bytes],
+        instruments: TaskInstruments,
+        combiner_runner: CombinerRunner,
     ) -> tuple[list[SerdePair], float]:
         """Combine one group on the support thread; returns (records, work)."""
-        assert self.combiner_runner is not None
         model = self.cost_model
-        out = self.combiner_runner.combine_serialized(key_bytes, value_bytes)
-        work = self.instruments.charge_support_thread(
+        out = combiner_runner.combine_serialized(key_bytes, value_bytes)
+        work = instruments.charge_support_thread(
             Op.COMBINE,
-            self.combiner_runner.last_work
+            combiner_runner.last_work
             + model.combine_record_overhead * len(value_bytes),
         )
         return out, work
+
+    def _join_support(self) -> None:
+        """Hook between the last spill and the final merge.  The live
+        pipeline (:mod:`repro.exec.livepipeline`) overrides this to wait
+        for its real support thread to finish every queued spill before
+        the merge reads the spill files; the modelled collector runs
+        spills inline, so there is nothing to wait for."""
 
     # ------------------------------------------------------------------
     # final merge
@@ -223,6 +263,7 @@ class StandardCollector(MapOutputCollector):
         self._flushed = True
         if not self.buffer.is_empty:
             self._spill()
+        self._join_support()
         self.timeline.finish()
 
         if not self.spill_indices:

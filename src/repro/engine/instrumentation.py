@@ -82,9 +82,17 @@ class Ledger:
     Work units are abstract cycles from :class:`~repro.engine.costmodel.
     CostModel`; dividing by a node's speed yields seconds.  Ledgers are
     additive: task ledgers merge into job ledgers.
+
+    Besides the per-op work totals, a ledger carries named *sample
+    series* — raw measurement lists such as the live pipeline's
+    wall-clock ``T_p``/``T_c`` per spill (:mod:`repro.exec.livepipeline`).
+    Samples merge by concatenation, so a job ledger holds every task's
+    measurements in task order.  Both parts pickle cleanly; worker
+    processes ship their task ledgers back to the parent for merging.
     """
 
     work: dict[Op, float] = field(default_factory=dict)
+    samples: dict[str, list[float]] = field(default_factory=dict)
 
     def charge(self, op: Op, amount: float) -> None:
         """Add *amount* work units to *op* (negative amounts are a bug)."""
@@ -113,10 +121,19 @@ class Ledger:
         wanted = set(ops)
         return sum(amount for op, amount in self.work.items() if op in wanted)
 
+    def add_sample(self, series: str, value: float) -> None:
+        """Append one raw measurement to a named sample series."""
+        self.samples.setdefault(series, []).append(value)
+
+    def get_samples(self, series: str) -> list[float]:
+        return self.samples.get(series, [])
+
     def merge(self, other: "Ledger") -> "Ledger":
         """Fold *other*'s charges into this ledger (returns self)."""
         for op, amount in other.work.items():
             self.work[op] = self.work.get(op, 0.0) + amount
+        for series, values in other.samples.items():
+            self.samples.setdefault(series, []).extend(values)
         return self
 
     def normalized(self) -> dict[Op, float]:

@@ -13,6 +13,7 @@ thread interleaving for Table II / Figure 9.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..errors import UserCodeError
@@ -39,6 +40,7 @@ class MapTaskResult:
     counters: Counters
     pipeline: PipelineResult
     host: str | None = None
+    wall_seconds: float = 0.0  # measured wall-clock duration of the attempt
 
     def partition_bytes(self, partition: int) -> int:
         return self.output_index.entry(partition).length
@@ -91,6 +93,19 @@ class MapTaskRunner:
         self.host = host
 
     def run(self) -> MapTaskResult:
+        start = time.perf_counter()
+        try:
+            result = self._run_task()
+        except BaseException:
+            # A failed attempt must release collector resources — in live
+            # pipeline mode the collector owns a real support thread that
+            # would otherwise leak into the retry attempt.
+            self.collector.abort()
+            raise
+        result.wall_seconds = time.perf_counter() - start
+        return result
+
+    def _run_task(self) -> MapTaskResult:
         job = self.job
         model = job.cost_model
         costs = job.user_costs

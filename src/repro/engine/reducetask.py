@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -27,6 +28,7 @@ class ReduceTaskResult:
     shuffle_bytes: int
     remote_shuffle_bytes: int
     host: str | None = None
+    wall_seconds: float = 0.0  # measured wall-clock duration of the attempt
 
     @property
     def output_records(self) -> int:
@@ -62,6 +64,12 @@ class ReduceTaskRunner:
         self.host = host
 
     def run(self) -> ReduceTaskResult:
+        start = time.perf_counter()
+        result = self._run_task()
+        result.wall_seconds = time.perf_counter() - start
+        return result
+
+    def _run_task(self) -> ReduceTaskResult:
         job = self.job
         model = job.cost_model
         costs = job.user_costs

@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..config import JobConf, Keys
-from ..errors import JobFailedError, UserCodeError
 from ..io.blockdisk import LocalDisk
 from ..serde.writable import Writable
 from .collector import MapOutputCollector, StandardCollector
@@ -25,9 +24,9 @@ from .combiner import CombinerRunner
 from .counters import Counters
 from .instrumentation import Ledger, TaskInstruments
 from .job import JobSpec
-from .maptask import MapTaskResult, MapTaskRunner
+from .maptask import MapTaskResult
 from .pipeline import PipelineResult
-from .reducetask import ReduceTaskResult, ReduceTaskRunner
+from .reducetask import ReduceTaskResult
 from .spillpolicy import SpillPolicy, StaticSpillPolicy
 
 
@@ -112,6 +111,7 @@ def build_collector(
 
         codec = codec_by_name(codec_name)
 
+    extra_kwargs: dict = {}
     grouping = conf.get_str(Keys.GROUPING)
     if grouping == "hash":
         from .hashgroup import HashGroupingCollector
@@ -119,6 +119,27 @@ def build_collector(
         collector_cls = HashGroupingCollector
     elif grouping == "sort":
         collector_cls = StandardCollector
+        if conf.get_bool(Keys.EXEC_LIVE_PIPELINE):
+            # Live mode: a real support thread runs sort/combine/spill
+            # concurrently with the map thread, and the spill policy is
+            # fed measured wall-clock rates.  (Hash grouping has no spill
+            # pipeline to make live, so the flag only applies to sort.)
+            from ..exec.livepipeline import LiveStandardCollector
+
+            collector_cls = LiveStandardCollector
+            if job.combiner_factory is not None:
+                # The support thread needs its own combiner charging its
+                # own counters; sharing the map thread's would race.
+                def support_combiner_factory(support_counters: Counters) -> CombinerRunner:
+                    return CombinerRunner(
+                        job.combiner_factory(),
+                        job.map_output_key_cls,
+                        job.map_output_value_cls,
+                        job.user_costs,
+                        support_counters,
+                    )
+
+                extra_kwargs["support_combiner_factory"] = support_combiner_factory
     else:
         raise ValueError(f"unknown grouping mode {grouping!r}; use 'sort' or 'hash'")
 
@@ -136,6 +157,7 @@ def build_collector(
         exact_comparisons=conf.get_bool(Keys.EXACT_COMPARISON_COUNTING),
         sort_factor=conf.get_positive_int(Keys.SORT_FACTOR),
         codec=codec,
+        **extra_kwargs,
     )
     if not freqbuf_enabled:
         return standard
@@ -154,88 +176,40 @@ def build_collector(
 
 
 class LocalJobRunner:
-    """Runs jobs sequentially in-process (one simulated node).
+    """Runs jobs in-process on a configurable execution backend.
+
+    The default (``serial``) backend is the original single-node
+    reference loop; ``thread`` and ``process`` backends parallelize task
+    attempts (:mod:`repro.exec`).  Which backend runs is taken from the
+    job's own configuration (``repro.exec.backend`` /
+    ``repro.exec.workers``), so applications and experiments opt in
+    without code changes — the same property the paper's optimizations
+    have.
 
     The cluster simulator (:mod:`repro.cluster`) reuses the same task
-    runners but schedules them over many nodes and a network model; this
-    runner is the single-node reference implementation and the substrate
-    for the engine-level experiments (Figures 2, 8, 9; Table II).
+    runners but schedules them over many nodes and a network model.
 
     Failed tasks (user-code exceptions) are retried with a fresh task
     attempt — fresh mapper/reducer objects, fresh disk, fresh collector —
     up to ``repro.task.max.attempts`` times, Hadoop's task-attempt
     semantics; a task that exhausts its attempts fails the job with
-    :class:`~repro.errors.JobFailedError`.
+    :class:`~repro.errors.JobFailedError`.  ``task_attempts`` mirrors the
+    executor's per-task attempt counts after (and during) a run.
     """
 
     def __init__(self, host: str = "localhost") -> None:
         self.host = host
         self.task_attempts: dict[str, int] = {}
 
-    def _attempt(self, task_id: str, max_attempts: int, make_attempt):
-        """Run one task with retry-on-user-failure semantics."""
-        last_error: UserCodeError | None = None
-        for attempt in range(max_attempts):
-            self.task_attempts[task_id] = attempt + 1
-            try:
-                return make_attempt()
-            except UserCodeError as exc:
-                last_error = exc
-        raise JobFailedError(
-            f"task {task_id} failed {max_attempts} attempts; last error: {last_error}"
-        ) from last_error
-
     def run(self, job: JobSpec) -> JobResult:
-        splits = job.input_format.splits()
-        if not splits:
-            raise ValueError(f"job {job.name!r} has no input splits")
-        max_attempts = job.conf.get_positive_int(Keys.TASK_MAX_ATTEMPTS)
+        from ..exec import create_executor
 
-        shared_state: dict = {}
-        map_results: list[MapTaskResult] = []
-        for index, split in enumerate(splits):
-            task_id = f"{job.name}.m{index:04d}"
-
-            def map_attempt(split=split, task_id=task_id) -> MapTaskResult:
-                disk = LocalDisk(f"{task_id}.disk")
-                instruments = TaskInstruments(Ledger())
-                counters = Counters()
-                collector = build_collector(
-                    job, task_id, disk, instruments, counters, shared_state
-                )
-                runner = MapTaskRunner(
-                    job, split, task_id, disk, collector, instruments, counters,
-                    self.host,
-                )
-                return runner.run()
-
-            map_results.append(self._attempt(task_id, max_attempts, map_attempt))
-
-        reduce_results: list[ReduceTaskResult] = []
-        for partition in range(job.num_reducers):
-            task_id = f"{job.name}.r{partition:04d}"
-
-            def reduce_attempt(partition=partition, task_id=task_id) -> ReduceTaskResult:
-                instruments = TaskInstruments(Ledger())
-                counters = Counters()
-                runner = ReduceTaskRunner(
-                    job, partition, map_results, task_id, instruments, counters,
-                    self.host,
-                )
-                return runner.run()
-
-            reduce_results.append(self._attempt(task_id, max_attempts, reduce_attempt))
-
-        ledger = Ledger.summed(
-            [r.ledger for r in map_results] + [r.ledger for r in reduce_results]
+        executor = create_executor(
+            job.conf.get_str(Keys.EXEC_BACKEND),
+            workers=job.conf.get_int(Keys.EXEC_WORKERS),
+            host=self.host,
         )
-        counters = Counters.summed(
-            [r.counters for r in map_results] + [r.counters for r in reduce_results]
-        )
-        return JobResult(
-            job_name=job.name,
-            map_results=map_results,
-            reduce_results=reduce_results,
-            ledger=ledger,
-            counters=counters,
-        )
+        # Share the dict so attempt counts are visible even when the run
+        # raises (tests and tools inspect them after a JobFailedError).
+        executor.task_attempts = self.task_attempts
+        return executor.run(job)

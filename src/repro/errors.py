@@ -40,12 +40,24 @@ class JobFailedError(ReproError):
     """A MapReduce job terminated without producing complete output."""
 
 
+class ExecBackendError(ReproError):
+    """The requested execution backend is unavailable or misconfigured."""
+
+
 class UserCodeError(ReproError):
     """User-supplied map/combine/reduce code raised an exception.
 
-    The original exception is available as ``__cause__``.
+    The original exception is available as ``__cause__``.  Instances
+    cross process boundaries (the ``process`` execution backend ships
+    worker failures back through a pickle), so reconstruction must go
+    through the two-argument constructor rather than ``Exception``'s
+    default ``args`` replay.
     """
 
     def __init__(self, stage: str, message: str) -> None:
         super().__init__(f"user {stage}() failed: {message}")
         self.stage = stage
+        self.message = message
+
+    def __reduce__(self):
+        return (UserCodeError, (self.stage, self.message))

@@ -1,0 +1,57 @@
+"""Execution backends for the repro engine (``repro.exec``).
+
+The engine's task machinery is execution-agnostic; this package decides
+*where* task attempts run:
+
+``serial``
+    The original in-order, in-thread loop — the reference backend.
+``thread``
+    Map/reduce tasks over a thread pool (GIL-bound for CPU work).
+``process``
+    Real OS worker processes with spills on real temp disk — the
+    backend that scales CPU-bound maps across cores.
+
+Select with the ``repro.exec.backend`` / ``repro.exec.workers`` conf
+keys or the CLI's ``--backend`` / ``--workers`` flags.  Independently,
+``repro.exec.live.pipeline`` swaps each map task's modelled spill
+pipeline for a real two-thread one
+(:class:`~repro.exec.livepipeline.LiveStandardCollector`), feeding the
+spill-matcher measured wall-clock rates.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExecBackendError
+from .base import Executor
+from .process import ProcessExecutor
+from .serial import SerialExecutor
+from .threaded import ThreadExecutor
+
+BACKENDS: dict[str, type[Executor]] = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+
+def create_executor(
+    backend: str, workers: int = 0, host: str = "localhost"
+) -> Executor:
+    """Instantiate the named backend (``serial`` | ``thread`` | ``process``)."""
+    try:
+        cls = BACKENDS[backend]
+    except KeyError:
+        raise ExecBackendError(
+            f"unknown execution backend {backend!r}; choose one of {sorted(BACKENDS)}"
+        ) from None
+    return cls(workers=workers, host=host)
+
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "create_executor",
+]

@@ -1,0 +1,180 @@
+"""Executor interface and the task-attempt machinery all backends share.
+
+An :class:`Executor` runs a whole :class:`~repro.engine.job.JobSpec` and
+returns a :class:`~repro.engine.runner.JobResult`.  The three backends
+differ only in *where* task attempts run — the calling thread
+(:mod:`repro.exec.serial`), a thread pool (:mod:`repro.exec.threaded`),
+or real OS processes (:mod:`repro.exec.process`) — so the attempt loop
+itself (Hadoop's retry-on-user-failure semantics) lives here as plain
+functions every backend calls, in-process or inside a worker.
+
+All backends preserve the engine's accounting contract: per-task ledgers
+and counters merge into the job totals in task order, so a job's summed
+:class:`~repro.engine.instrumentation.Ledger` is identical no matter
+which backend executed it (modulo the live pipeline, which measures wall
+clock instead of modelled work).
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from ..config import Keys
+from ..engine.counters import Counters
+from ..engine.instrumentation import Ledger, TaskInstruments
+from ..engine.job import JobSpec
+from ..engine.maptask import MapTaskResult, MapTaskRunner
+from ..engine.reducetask import ReduceTaskResult, ReduceTaskRunner
+from ..engine.runner import JobResult, build_collector
+from ..errors import ExecBackendError, JobFailedError, UserCodeError
+from ..io.blockdisk import LocalDisk
+from ..io.linereader import FileSplit
+
+
+def resolve_workers(requested: int) -> int:
+    """Map the ``repro.exec.workers`` setting to a concrete count
+    (0 means one worker per CPU, Hadoop's slots-per-node analogue)."""
+    if requested < 0:
+        raise ExecBackendError(f"worker count must be >= 0, got {requested}")
+    if requested == 0:
+        return os.cpu_count() or 1
+    return requested
+
+
+def map_task_id(job: JobSpec, index: int) -> str:
+    return f"{job.name}.m{index:04d}"
+
+
+def reduce_task_id(job: JobSpec, partition: int) -> str:
+    return f"{job.name}.r{partition:04d}"
+
+
+def run_map_with_retries(
+    job: JobSpec,
+    index: int,
+    split: FileSplit,
+    host: str,
+    shared_state: dict | None = None,
+    disk_factory: Callable[[str], LocalDisk] | None = None,
+    attempts_out: dict[str, int] | None = None,
+) -> tuple[MapTaskResult, int]:
+    """Run one map task with Hadoop's task-attempt semantics.
+
+    Each attempt gets a fresh mapper, disk, collector, ledger, and
+    counter set; a :class:`~repro.errors.UserCodeError` burns the attempt
+    and retries, any other exception propagates immediately.  Returns the
+    result and the number of attempts consumed.  *attempts_out*, when
+    given, is kept current attempt-by-attempt so callers observe the
+    count even when the task ultimately fails the job.
+    """
+    task_id = map_task_id(job, index)
+    max_attempts = job.conf.get_positive_int(Keys.TASK_MAX_ATTEMPTS)
+    last_error: UserCodeError | None = None
+    for attempt in range(max_attempts):
+        if attempts_out is not None:
+            attempts_out[task_id] = attempt + 1
+        if disk_factory is not None:
+            disk = disk_factory(task_id)
+        else:
+            disk = LocalDisk(f"{task_id}.disk")
+        instruments = TaskInstruments(Ledger())
+        counters = Counters()
+        state = shared_state if shared_state is not None else {}
+        collector = build_collector(job, task_id, disk, instruments, counters, state)
+        runner = MapTaskRunner(
+            job, split, task_id, disk, collector, instruments, counters, host
+        )
+        try:
+            return runner.run(), attempt + 1
+        except UserCodeError as exc:
+            last_error = exc
+    raise JobFailedError(
+        f"task {task_id} failed {max_attempts} attempts; last error: {last_error}"
+    ) from last_error
+
+
+def run_reduce_with_retries(
+    job: JobSpec,
+    partition: int,
+    map_results: list[MapTaskResult],
+    host: str,
+    attempts_out: dict[str, int] | None = None,
+) -> tuple[ReduceTaskResult, int]:
+    """Run one reduce task with the same attempt semantics as maps."""
+    task_id = reduce_task_id(job, partition)
+    max_attempts = job.conf.get_positive_int(Keys.TASK_MAX_ATTEMPTS)
+    last_error: UserCodeError | None = None
+    for attempt in range(max_attempts):
+        if attempts_out is not None:
+            attempts_out[task_id] = attempt + 1
+        instruments = TaskInstruments(Ledger())
+        counters = Counters()
+        runner = ReduceTaskRunner(
+            job, partition, map_results, task_id, instruments, counters, host
+        )
+        try:
+            return runner.run(), attempt + 1
+        except UserCodeError as exc:
+            last_error = exc
+    raise JobFailedError(
+        f"task {task_id} failed {max_attempts} attempts; last error: {last_error}"
+    ) from last_error
+
+
+def assemble_job_result(
+    job: JobSpec,
+    map_results: list[MapTaskResult],
+    reduce_results: list[ReduceTaskResult],
+) -> JobResult:
+    """Merge per-task accounting into a job result, in task order, so
+    every backend produces an identical ledger/counter aggregation."""
+    ledger = Ledger.summed(
+        [r.ledger for r in map_results] + [r.ledger for r in reduce_results]
+    )
+    counters = Counters.summed(
+        [r.counters for r in map_results] + [r.counters for r in reduce_results]
+    )
+    return JobResult(
+        job_name=job.name,
+        map_results=map_results,
+        reduce_results=reduce_results,
+        ledger=ledger,
+        counters=counters,
+    )
+
+
+def job_splits(job: JobSpec) -> list[FileSplit]:
+    splits = job.input_format.splits()
+    if not splits:
+        raise ValueError(f"job {job.name!r} has no input splits")
+    return splits
+
+
+class Executor(ABC):
+    """Runs every task of a job on some substrate and merges accounting.
+
+    Attributes
+    ----------
+    workers:
+        Resolved worker count (``repro.exec.workers``; 0 = one per CPU).
+        The serial backend ignores it.
+    task_attempts:
+        ``task_id -> attempts consumed``, mirrored by
+        :class:`~repro.engine.runner.LocalJobRunner` for compatibility.
+    """
+
+    name: str = "?"
+
+    def __init__(self, workers: int = 0, host: str = "localhost") -> None:
+        self.workers = resolve_workers(workers)
+        self.host = host
+        self.task_attempts: dict[str, int] = {}
+
+    @abstractmethod
+    def run(self, job: JobSpec) -> JobResult:
+        """Execute *job* to completion and return its merged result."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers}, host={self.host!r})"

@@ -1,0 +1,101 @@
+"""The process backend: task attempts in real OS worker processes.
+
+Map tasks fan out over a ``multiprocessing`` pool, spill to real temp
+disk through :class:`~repro.exec.diskio.FileDisk`, and ship their
+results (ledger, counters, spill index, disk handle) back by pickle;
+reduce tasks then fan out over the same pool, each reading its shuffle
+partition straight from the files the map workers wrote.  This is the
+backend that actually scales CPU-bound map work across cores.
+
+The pool uses the ``fork`` start method deliberately: application specs
+are built from closures and lambdas that cannot pickle, so the job is
+staged in :mod:`repro.exec.workers`' module global and inherited by the
+forked children instead of being sent to them.
+
+After the reduces finish, every map output is *materialized* — copied
+from its temp directory into an in-memory
+:class:`~repro.io.blockdisk.LocalDisk` (preserving the worker's disk
+stats) — and the temp tree is removed, so the returned
+:class:`~repro.engine.runner.JobResult` is as self-contained as a
+serial run's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import shutil
+import tempfile
+
+from ..engine.job import JobSpec
+from ..engine.maptask import MapTaskResult
+from ..engine.reducetask import ReduceTaskResult
+from ..engine.runner import JobResult
+from ..errors import ExecBackendError
+from ..io.blockdisk import LocalDisk
+from . import workers
+from .base import Executor, assemble_job_result, job_splits
+
+
+class ProcessExecutor(Executor):
+    """Runs task attempts in forked worker processes."""
+
+    name = "process"
+
+    def run(self, job: JobSpec) -> JobResult:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:
+            raise ExecBackendError(
+                "the process backend requires the 'fork' start method, "
+                "which this platform does not provide"
+            ) from exc
+
+        splits = job_splits(job)
+        tmp_root = tempfile.mkdtemp(prefix=f"repro-exec-{job.name}-")
+        workers.push_context(job, tmp_root, self.host)
+        try:
+            with ctx.Pool(processes=self.workers) as pool:
+                map_results = self._collect(
+                    pool.map(workers.map_entry, range(len(splits)))
+                )
+                reduce_results = self._collect(
+                    pool.map(
+                        workers.reduce_entry,
+                        [(p, map_results) for p in range(job.num_reducers)],
+                    )
+                )
+            for result in map_results:
+                self._materialize(result)
+        finally:
+            workers.pop_context()
+            shutil.rmtree(tmp_root, ignore_errors=True)
+
+        return assemble_job_result(job, map_results, reduce_results)
+
+    def _collect(self, outcomes) -> list:
+        """Record attempt counts, then fail on the first failed task (in
+        task order) — matching the serial backend's failure order."""
+        results = []
+        for task_id, attempts, result, error in outcomes:
+            if attempts:
+                self.task_attempts[task_id] = attempts
+            if error is not None:
+                raise error
+            results.append(result)
+        return results
+
+    @staticmethod
+    def _materialize(result: MapTaskResult) -> None:
+        """Copy a map task's temp-dir files into an in-memory disk so the
+        job result outlives the temp tree, keeping the worker's I/O
+        stats (the copy itself is not task work)."""
+        file_disk = result.disk
+        stats = file_disk.stats.snapshot()
+        local = LocalDisk(f"{result.task_id}.disk")
+        for path in file_disk.list_files():
+            with file_disk.open(path) as reader:
+                data = reader.read()
+            with local.create(path) as writer:
+                writer.write(data)
+        local.stats = stats
+        result.disk = local

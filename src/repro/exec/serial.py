@@ -1,0 +1,56 @@
+"""The serial backend: every task on the calling thread, in order.
+
+This is the engine's original execution loop, extracted behind the
+:class:`~repro.exec.base.Executor` interface.  It is the reference the
+parallel backends are tested against — results must be bit-for-bit
+identical to what :class:`~repro.engine.runner.LocalJobRunner` produced
+before backends existed, including the per-node *shared_state* dict the
+frequency-buffering collector uses to share its frequent-key set across
+the tasks of one node.
+"""
+
+from __future__ import annotations
+
+from ..engine.job import JobSpec
+from ..engine.maptask import MapTaskResult
+from ..engine.reducetask import ReduceTaskResult
+from ..engine.runner import JobResult
+from .base import (
+    Executor,
+    assemble_job_result,
+    job_splits,
+    run_map_with_retries,
+    run_reduce_with_retries,
+)
+
+
+class SerialExecutor(Executor):
+    """Runs maps then reduces sequentially on one simulated node."""
+
+    name = "serial"
+
+    def run(self, job: JobSpec) -> JobResult:
+        splits = job_splits(job)
+
+        shared_state: dict = {}
+        map_results: list[MapTaskResult] = []
+        for index, split in enumerate(splits):
+            result, _ = run_map_with_retries(
+                job,
+                index,
+                split,
+                self.host,
+                shared_state=shared_state,
+                attempts_out=self.task_attempts,
+            )
+            map_results.append(result)
+
+        reduce_results: list[ReduceTaskResult] = []
+        for partition in range(job.num_reducers):
+            result, _ = run_reduce_with_retries(
+                job, partition, map_results, self.host,
+                attempts_out=self.task_attempts,
+            )
+            reduce_results.append(result)
+
+        return assemble_job_result(job, map_results, reduce_results)

@@ -1,0 +1,73 @@
+"""The thread backend: map/reduce tasks over a shared thread pool.
+
+Pure-Python task bodies are GIL-bound, so this backend mostly buys
+overlap of real I/O and a cheap way to exercise the engine's
+thread-safety contract; the process backend is the one that scales CPU
+work.  Tasks get *fresh* per-task shared state (no cross-task
+frequent-key sharing — concurrent tasks have no well-defined "first
+task profiles" order), and results are collected in task order so the
+merged accounting matches the serial backend exactly.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from ..engine.job import JobSpec
+from ..engine.maptask import MapTaskResult
+from ..engine.reducetask import ReduceTaskResult
+from ..engine.runner import JobResult
+from .base import (
+    Executor,
+    assemble_job_result,
+    job_splits,
+    run_map_with_retries,
+    run_reduce_with_retries,
+)
+
+
+class ThreadExecutor(Executor):
+    """Runs task attempts on a ``ThreadPoolExecutor``."""
+
+    name = "thread"
+
+    def run(self, job: JobSpec) -> JobResult:
+        splits = job_splits(job)
+
+        with ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix=f"{job.name}.exec"
+        ) as pool:
+            map_futures = [
+                pool.submit(
+                    run_map_with_retries,
+                    job,
+                    index,
+                    split,
+                    self.host,
+                    attempts_out=self.task_attempts,
+                )
+                for index, split in enumerate(splits)
+            ]
+            # Collect in task order; the first failing task (in task
+            # order) fails the job, matching the serial backend.
+            map_results: list[MapTaskResult] = [
+                future.result()[0] for future in map_futures
+            ]
+
+            # Barrier: every reduce needs every map's output.
+            reduce_futures = [
+                pool.submit(
+                    run_reduce_with_retries,
+                    job,
+                    partition,
+                    map_results,
+                    self.host,
+                    attempts_out=self.task_attempts,
+                )
+                for partition in range(job.num_reducers)
+            ]
+            reduce_results: list[ReduceTaskResult] = [
+                future.result()[0] for future in reduce_futures
+            ]
+
+        return assemble_job_result(job, map_results, reduce_results)

@@ -1,0 +1,107 @@
+"""Worker-process entry points for the process backend.
+
+The job is handed to workers through a module global set *before* the
+pool is created under the ``fork`` start method: forked children inherit
+the parent's memory, so :class:`~repro.engine.job.JobSpec` objects with
+unpicklable pieces (the apps build mappers from lambdas and closures)
+never cross a pickle boundary.  Only task *results* are pickled back —
+ledgers, counters, spill indexes, and a :class:`~repro.exec.diskio.
+FileDisk` handle pointing at the spill files the worker left on real
+disk for the parent and the reduce workers to read.
+
+Entry points return ``(task_id, attempts, result, error)`` rather than
+raising, so the parent can record attempt counts before propagating the
+failure in task order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+
+from ..config import Keys
+from ..engine.job import JobSpec
+from ..engine.maptask import MapTaskResult
+from ..engine.reducetask import ReduceTaskResult
+from ..errors import JobFailedError
+from .base import map_task_id, reduce_task_id, run_map_with_retries, run_reduce_with_retries
+from .diskio import FileDisk
+
+
+@dataclass
+class WorkerContext:
+    """Everything a worker needs, inherited across fork."""
+
+    job: JobSpec
+    tmp_root: str
+    host: str
+
+
+_CTX: WorkerContext | None = None
+
+
+def push_context(job: JobSpec, tmp_root: str, host: str) -> None:
+    global _CTX
+    _CTX = WorkerContext(job=job, tmp_root=tmp_root, host=host)
+
+
+def pop_context() -> None:
+    global _CTX
+    _CTX = None
+
+
+def _context() -> WorkerContext:
+    if _CTX is None:
+        raise RuntimeError(
+            "worker context not set; process-backend entry points must run "
+            "in a pool forked after push_context()"
+        )
+    return _CTX
+
+
+def map_entry(index: int):
+    """Run map task *index* in this worker process."""
+    ctx = _context()
+    job = ctx.job
+    task_id = map_task_id(job, index)
+    # Splits are recomputed in the child (deterministic from the job's
+    # input format) so only the index crosses the process boundary.
+    split = job.input_format.splits()[index]
+    attempt_seq = itertools.count()
+
+    def disk_factory(tid: str) -> FileDisk:
+        # A fresh directory per attempt mirrors LocalDisk's
+        # fresh-instance-per-attempt semantics.
+        root = os.path.join(ctx.tmp_root, f"{tid}.attempt{next(attempt_seq)}")
+        return FileDisk(root, f"{tid}.disk")
+
+    attempts_seen: dict[str, int] = {}
+    try:
+        result, attempts = run_map_with_retries(
+            job,
+            index,
+            split,
+            ctx.host,
+            disk_factory=disk_factory,
+            attempts_out=attempts_seen,
+        )
+        return task_id, attempts, result, None
+    except JobFailedError as exc:
+        return task_id, attempts_seen.get(task_id, 0), None, exc
+
+
+def reduce_entry(work: tuple[int, list[MapTaskResult]]):
+    """Run one reduce partition against pickled map results."""
+    ctx = _context()
+    job = ctx.job
+    partition, map_results = work
+    task_id = reduce_task_id(job, partition)
+    attempts_seen: dict[str, int] = {}
+    try:
+        result, attempts = run_reduce_with_retries(
+            job, partition, map_results, ctx.host, attempts_out=attempts_seen
+        )
+        return task_id, attempts, result, None
+    except JobFailedError as exc:
+        return task_id, attempts_seen.get(task_id, 0), None, exc

@@ -120,6 +120,23 @@ class PairWritable(Writable):
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self._first!r}, {self._second!r})"
 
+    def __reduce__(self):
+        return (_rebuild_writable, (self.type_name, self.to_bytes()))
+
+
+def _rebuild_writable(type_name: str, payload: bytes) -> Writable:
+    """Pickle reconstructor for dynamically created writable types.
+
+    Concrete pair/array classes are built with :func:`type` at runtime,
+    so the default class-by-reference pickling cannot import them; an
+    instance instead pickles as (registered type name, serialized bytes)
+    and rebuilds through the writable registry — which the process
+    backend's parent has populated by constructing the job.
+    """
+    from .writable import lookup_writable
+
+    return lookup_writable(type_name).from_bytes(payload)
+
 
 _PAIR_CACHE: dict[tuple[str, str], Type[PairWritable]] = {}
 
@@ -197,6 +214,9 @@ class ArrayWritable(Writable):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({list(self._items)!r})"
+
+    def __reduce__(self):
+        return (_rebuild_writable, (self.type_name, self.to_bytes()))
 
 
 _ARRAY_CACHE: dict[str, Type[ArrayWritable]] = {}

@@ -1,0 +1,159 @@
+"""The live two-thread map pipeline: measured rates, Eq. (1), no deadlocks.
+
+With ``repro.exec.live.pipeline`` on, each map task runs a *real*
+support thread that sorts/combines/spills concurrently with the map
+thread, and the spill-matcher is fed measured wall-clock ``T_p``/``T_c``
+instead of modelled work units.  These tests pin down the contract:
+
+* results are semantically identical to the modelled pipeline's;
+* every spill leaves a (``pipeline.t_p``, ``pipeline.t_c``,
+  ``pipeline.x``) sample triple in the task ledger, and each chosen
+  threshold satisfies Eq. (1)'s bound
+  ``x* = max{T_p/(T_p+T_c), 1/2}`` (clamped to the configured range);
+* the handoff protocol never deadlocks, even on tiny buffers that spill
+  constantly, and failed attempts never leak their support thread.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.config import Keys
+from repro.core.spillmatcher.policy import optimal_from_times
+from repro.engine.runner import JobResult, LocalJobRunner
+from repro.exec.livepipeline import SAMPLE_T_C, SAMPLE_T_P, SAMPLE_X
+
+from ..conftest import make_wordcount_job
+
+WATCHDOG_SECONDS = 60.0
+
+LIVE_CONF = {
+    Keys.EXEC_LIVE_PIPELINE: True,
+    Keys.SPILLMATCHER_ENABLED: True,
+    Keys.SPILL_BUFFER_BYTES: 4096,  # well under the 64 KiB ceiling
+}
+
+
+def run_with_watchdog(job, timeout: float = WATCHDOG_SECONDS) -> JobResult:
+    """Run a job on a scratch thread; a hang fails the test instead of
+    wedging the whole suite (the no-deadlock assertion)."""
+    box: dict = {}
+
+    def target() -> None:
+        try:
+            box["result"] = LocalJobRunner().run(job)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            box["error"] = exc
+
+    worker = threading.Thread(target=target, daemon=True)
+    worker.start()
+    worker.join(timeout)
+    assert not worker.is_alive(), "live pipeline deadlocked (watchdog expired)"
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+def serialized_output(result: JobResult) -> list[tuple[bytes, bytes]]:
+    return [(k.to_bytes(), v.to_bytes()) for k, v in result.output_pairs()]
+
+
+def test_live_pipeline_matches_modelled_results(tiny_text, wordcount_truth) -> None:
+    reference = LocalJobRunner().run(
+        make_wordcount_job(tiny_text, {Keys.SPILLMATCHER_ENABLED: True})
+    )
+    live = run_with_watchdog(make_wordcount_job(tiny_text, dict(LIVE_CONF)))
+    assert serialized_output(live) == serialized_output(reference)
+    assert {str(k): v.value for k, v in live.output_pairs()} == wordcount_truth(tiny_text)
+
+
+def test_live_thresholds_satisfy_eq1_bound(tiny_text) -> None:
+    """Every chosen x comes from the measured T_p/T_c via Eq. (1)."""
+    job = make_wordcount_job(tiny_text, dict(LIVE_CONF))
+    min_percent = job.conf.get_fraction(Keys.SPILLMATCHER_MIN_PERCENT)
+    max_percent = job.conf.get_fraction(Keys.SPILLMATCHER_MAX_PERCENT)
+    result = run_with_watchdog(job)
+
+    total_samples = 0
+    for map_result in result.map_results:
+        t_p = map_result.ledger.get_samples(SAMPLE_T_P)
+        t_c = map_result.ledger.get_samples(SAMPLE_T_C)
+        x = map_result.ledger.get_samples(SAMPLE_X)
+        assert len(t_p) == len(t_c) == len(x)
+        total_samples += len(x)
+        for produce, consume, chosen in zip(t_p, t_c, x):
+            assert produce > 0 and consume > 0  # real measured seconds
+            expected = optimal_from_times(produce, consume, min_percent, max_percent)
+            assert chosen == pytest.approx(expected)
+            # Eq. (1): never below one half nor the produce share,
+            # modulo the configured clamp.
+            assert chosen >= min(max_percent, max(0.5, produce / (produce + consume)))
+
+    assert total_samples > 0, "no spills were measured — buffer too large?"
+
+    # The per-task samples aggregate into the job ledger by concatenation.
+    assert len(result.ledger.get_samples(SAMPLE_X)) == total_samples
+
+
+def test_live_pipeline_survives_constant_spilling(tiny_text) -> None:
+    """A near-degenerate buffer forces a spill every few records; the
+    queue-depth-1 handoff must keep making progress."""
+    conf = dict(LIVE_CONF)
+    conf[Keys.SPILL_BUFFER_BYTES] = 512
+    result = run_with_watchdog(make_wordcount_job(tiny_text, conf))
+    spills = sum(len(r.ledger.get_samples(SAMPLE_X)) for r in result.map_results)
+    assert spills >= 10
+
+
+def test_live_pipeline_with_frequency_buffering(tiny_text) -> None:
+    """Freqbuf (map thread) and the live support thread coexist: their
+    combiners and counters are separate, so results stay correct."""
+    conf = dict(LIVE_CONF)
+    conf.update({
+        Keys.FREQBUF_ENABLED: True,
+        Keys.FREQBUF_K: 4,
+        Keys.FREQBUF_SAMPLE_FRACTION: 0.3,
+        Keys.FREQBUF_SHARE_ACROSS_TASKS: False,
+    })
+    reference_conf = {
+        k: v for k, v in conf.items() if k != Keys.EXEC_LIVE_PIPELINE
+    }
+    reference = LocalJobRunner().run(make_wordcount_job(tiny_text, reference_conf))
+    live = run_with_watchdog(make_wordcount_job(tiny_text, conf))
+    assert serialized_output(live) == serialized_output(reference)
+
+
+def test_failed_attempt_stops_support_thread(tiny_text) -> None:
+    """A mapper that fails its first attempt must not leak the live
+    support thread into the retry; the job still completes and no
+    stray threads remain afterwards."""
+    from repro.engine.api import Mapper
+    from repro.serde.numeric import VIntWritable
+    from repro.serde.text import Text
+
+    failures: list[str] = []
+
+    class FlakyMapper(Mapper):
+        def map(self, key, value, emit):
+            if not failures:
+                failures.append("failed once")
+                raise RuntimeError("injected first-attempt failure")
+            for word in value.value.split():
+                emit(Text(word), VIntWritable(1))
+
+    baseline_threads = threading.active_count()
+    job = make_wordcount_job(tiny_text, dict(LIVE_CONF))
+    job.mapper_factory = FlakyMapper
+    result = run_with_watchdog(job)
+
+    assert failures == ["failed once"]
+    assert result.output_pairs()
+    # Support threads all joined: only the watchdog's own overhead may
+    # linger briefly, so poll down to the baseline.
+    for _ in range(50):
+        if threading.active_count() <= baseline_threads:
+            break
+        threading.Event().wait(0.05)
+    assert threading.active_count() <= baseline_threads

@@ -1,0 +1,102 @@
+"""Network shuffle scaling: bytes and wall time vs fetcher count.
+
+Runs WordCount under ``--shuffle net`` on the process backend at
+1/2/4 fetcher threads per reducer, with and without frequency
+buffering, then writes ``BENCH_shuffle.json`` with the measured shuffle
+bytes (from the servers' byte counters, i.e. what actually crossed the
+sockets) and wall times.
+
+The load-bearing claims: fetcher count must never change *what* is
+shuffled (same bytes on the wire at every concurrency), and frequency
+buffering must not inflate wire traffic while shrinking the map-side
+spill volume that feeds it.  (With WordCount's combiner the post-merge
+map output — hence the wire bytes — can legitimately tie; the spill
+reduction is where freqbuf shows up.)  Wall time vs fetcher count is
+recorded for the report but not asserted — localhost TCP at this scale
+is latency-bound and noisy, and a CI box proves nothing about it
+either way.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.config import Keys
+from repro.engine.counters import Counter
+from repro.engine.runner import LocalJobRunner
+from repro.experiments.common import build_app
+
+FETCHER_COUNTS = (1, 2, 4)
+CONFIGS = ("baseline", "freq")
+SCALE = 0.05
+NUM_SPLITS = 4
+OUTPUT_FILE = "BENCH_shuffle.json"
+
+
+def _run(config: str, fetchers: int) -> dict:
+    app = build_app(
+        "wordcount",
+        config,
+        scale=SCALE,
+        num_splits=NUM_SPLITS,
+        extra_conf={
+            Keys.EXEC_BACKEND: "process",
+            Keys.EXEC_WORKERS: 4,
+            Keys.SHUFFLE_MODE: "net",
+            Keys.SHUFFLE_FETCHERS: fetchers,
+        },
+    )
+    start = time.perf_counter()
+    result = LocalJobRunner().run(app.job)
+    seconds = time.perf_counter() - start
+    return {
+        "wall_seconds": round(seconds, 4),
+        "shuffle_bytes": sum(h.bytes_served for h in result.shuffle_hosts),
+        "fetches": result.counters.get(Counter.SHUFFLE_FETCHES),
+        "retries": result.counters.get(Counter.SHUFFLE_FETCH_RETRIES),
+        "fetch_seconds": round(
+            sum(result.ledger.get_samples("shuffle.fetch_seconds")), 4
+        ),
+        "spilled_bytes": result.counters.get(Counter.SPILLED_BYTES),
+        "output_records": len(result.output_pairs()),
+    }
+
+
+def test_shuffle_scaling() -> None:
+    report: dict[str, dict] = {
+        "app": "wordcount",
+        "scale": SCALE,
+        "num_splits": NUM_SPLITS,
+        "runs": {},
+    }
+    for config in CONFIGS:
+        for fetchers in FETCHER_COUNTS:
+            run = _run(config, fetchers)
+            report["runs"][f"{config}/fetchers={fetchers}"] = run
+            assert run["fetches"] > 0, "net shuffle must actually fetch"
+            assert run["shuffle_bytes"] > 0
+
+    with open(OUTPUT_FILE, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+    print()
+    print(json.dumps(report, indent=2))
+
+    # Fetcher count must not change what is shuffled, only when.
+    for config in CONFIGS:
+        sizes = {report["runs"][f"{config}/fetchers={f}"]["shuffle_bytes"]
+                 for f in FETCHER_COUNTS}
+        assert len(sizes) == 1, f"{config}: shuffle bytes varied with fetcher count"
+
+    # The paper's claim, now on real sockets: frequency buffering
+    # compacts the intermediate stream before it reaches the wire.
+    baseline = report["runs"]["baseline/fetchers=1"]
+    freq = report["runs"]["freq/fetchers=1"]
+    assert freq["shuffle_bytes"] <= baseline["shuffle_bytes"], (
+        f"freqbuf inflated measured shuffle traffic "
+        f"({freq['shuffle_bytes']} vs {baseline['shuffle_bytes']} bytes)"
+    )
+    assert freq["spilled_bytes"] < baseline["spilled_bytes"], (
+        f"freqbuf did not shrink the map-side spill volume "
+        f"({freq['spilled_bytes']} vs {baseline['spilled_bytes']} bytes)"
+    )

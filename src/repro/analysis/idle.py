@@ -27,6 +27,11 @@ class IdleReport:
     support_wait: float
     elapsed: float
     map_block_wait: float = 0.0
+    #: Network shuffle: reduce-side fetch attempts that failed and were
+    #: retried, and the wall time lost to those failures + backoff
+    #: sleeps.  Zero in ``mem`` mode — the modelled shuffle never waits.
+    fetch_retries: int = 0
+    fetch_wait: float = 0.0
 
     @property
     def map_idle_pct(self) -> float:
@@ -58,12 +63,18 @@ class IdleReport:
         return self.map_wait + self.support_wait
 
 
-def aggregate_idle(pipelines: Iterable[PipelineResult]) -> IdleReport:
+def aggregate_idle(
+    pipelines: Iterable[PipelineResult],
+    reduce_results: Iterable = (),
+) -> IdleReport:
     """Sum per-task pipeline results into one job-level report.
 
     The map thread's terminal join on the support thread
     (``final_drain_wait``) counts as map wait, as it does in Hadoop's
-    task accounting.
+    task accounting.  Pass the job's reduce task results as
+    *reduce_results* to fold the network shuffle's measured fetch
+    retries and backoff waits into the report (they stay zero under the
+    modelled ``mem`` shuffle).
     """
     map_busy = map_wait = support_busy = support_wait = elapsed = 0.0
     map_block_wait = 0.0
@@ -74,8 +85,14 @@ def aggregate_idle(pipelines: Iterable[PipelineResult]) -> IdleReport:
         support_busy += pipeline.support_busy
         support_wait += pipeline.support_wait
         elapsed += pipeline.elapsed
+    fetch_retries = 0
+    fetch_wait = 0.0
+    for reduce_result in reduce_results:
+        fetch_retries += getattr(reduce_result, "fetch_retries", 0)
+        fetch_wait += getattr(reduce_result, "fetch_wait_seconds", 0.0)
     return IdleReport(
-        map_busy, map_wait, support_busy, support_wait, elapsed, map_block_wait
+        map_busy, map_wait, support_busy, support_wait, elapsed, map_block_wait,
+        fetch_retries=fetch_retries, fetch_wait=fetch_wait,
     )
 
 

@@ -1,15 +1,24 @@
-"""Paper-vs-measured comparison records.
+"""Paper-vs-measured comparison records, plus run-level traffic reports.
 
 Every experiment emits :class:`Claim` rows — a named quantity from the
 paper, the measured value, and a qualitative *shape* check (direction /
 rough magnitude, never absolute seconds).  EXPERIMENTS.md is assembled
 from these.
+
+:func:`shuffle_traffic` / :func:`render_shuffle_traffic` summarize a
+job's *network* shuffle per host — bytes served by each node's shuffle
+server next to bytes fetched by its reducers, with retry and backoff
+totals — the shuffle-side sibling of the DFS ``DataNode``
+``bytes_served`` / ``bytes_received`` counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from ..engine.runner import JobResult
 
 
 @dataclass(frozen=True)
@@ -62,4 +71,94 @@ def render_claims(claims: list[Claim]) -> str:
         f"paper-vs-measured: {claims[0].experiment}",
         ["quantity", "paper", "measured", "shape holds", "note"],
         [c.row() for c in claims],
+    )
+
+
+@dataclass(frozen=True)
+class HostShuffleTraffic:
+    """One host's shuffle traffic: the serving side (its shuffle server)
+    and the fetching side (the reduce tasks that ran on it)."""
+
+    host: str
+    bytes_served: int
+    requests_served: int
+    faults_injected: int
+    bytes_fetched: int
+    fetches: int
+    retries: int
+    backoff_ms: int
+
+    def row(self) -> list[str]:
+        return [
+            self.host,
+            str(self.bytes_served),
+            str(self.requests_served),
+            str(self.faults_injected),
+            str(self.bytes_fetched),
+            str(self.fetches),
+            str(self.retries),
+            str(self.backoff_ms),
+        ]
+
+
+def shuffle_traffic(result: "JobResult") -> list[HostShuffleTraffic]:
+    """Per-host network-shuffle traffic for one finished job.
+
+    Serving-side numbers come from the per-node shuffle servers'
+    :class:`~repro.shuffle.server.ShuffleHostStats`; fetching-side
+    numbers aggregate the reduce tasks by the host they ran on.  Empty
+    in ``mem`` mode (no servers ran).
+    """
+    from ..engine.counters import Counter
+
+    served: dict[str, tuple[int, int, int]] = {}
+    for stats in result.shuffle_hosts:
+        prev = served.get(stats.host, (0, 0, 0))
+        served[stats.host] = (
+            prev[0] + stats.bytes_served,
+            prev[1] + stats.requests_served,
+            prev[2] + stats.total_faults,
+        )
+
+    fetched: dict[str, list[int]] = {}
+    for reduce_result in result.reduce_results:
+        host = reduce_result.host or "?"
+        agg = fetched.setdefault(host, [0, 0, 0, 0])
+        agg[0] += reduce_result.shuffle_bytes
+        agg[1] += reduce_result.counters.get(Counter.SHUFFLE_FETCHES)
+        agg[2] += reduce_result.fetch_retries
+        agg[3] += reduce_result.counters.get(Counter.SHUFFLE_BACKOFF_MS)
+
+    if not served:
+        return []
+    rows = []
+    for host in sorted(set(served) | set(fetched)):
+        srv = served.get(host, (0, 0, 0))
+        fch = fetched.get(host, [0, 0, 0, 0])
+        rows.append(
+            HostShuffleTraffic(
+                host=host,
+                bytes_served=srv[0],
+                requests_served=srv[1],
+                faults_injected=srv[2],
+                bytes_fetched=fch[0],
+                fetches=fch[1],
+                retries=fch[2],
+                backoff_ms=fch[3],
+            )
+        )
+    return rows
+
+
+def render_shuffle_traffic(result: "JobResult") -> str:
+    """The per-host shuffle-traffic table, or a placeholder in mem mode."""
+    from .tables import render_table
+
+    rows = shuffle_traffic(result)
+    if not rows:
+        return "(no network shuffle traffic: repro.shuffle.mode = mem)"
+    return render_table(
+        f"network shuffle traffic: {result.job_name}",
+        ["host", "served B", "reqs", "faults", "fetched B", "fetches", "retries", "backoff ms"],
+        [r.row() for r in rows],
     )

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.cli run wordcount --config combined --scale 0.1
     python -m repro.cli run wordcount --backend process --workers 4
+    python -m repro.cli run wordcount --backend process --shuffle net --shuffle-fetchers 8
     python -m repro.cli cluster invertedindex --cluster local --config freq --gantt
     python -m repro.cli experiment table3
     python -m repro.cli list
@@ -23,7 +24,7 @@ import time
 
 from .analysis.breakdown import OP_ORDER, breakdown_from_ledger
 from .analysis.gantt import export_trace, render_gantt
-from .analysis.report import render_claims
+from .analysis.report import render_claims, render_shuffle_traffic
 from .apps.registry import APP_NAMES, EXTRA_APP_NAMES, EXTRA_REGISTRY, REGISTRY
 from .cluster.jobtracker import ClusterJobRunner
 from .cluster.specs import PRESET_CLUSTERS
@@ -65,17 +66,24 @@ def _build(args: argparse.Namespace, extra: dict | None = None):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    app = _build(args, extra={
+    extra = {
         Keys.EXEC_BACKEND: args.backend,
         Keys.EXEC_WORKERS: args.workers,
         Keys.EXEC_LIVE_PIPELINE: args.live_pipeline,
-    })
+        Keys.SHUFFLE_MODE: args.shuffle,
+    }
+    if args.shuffle_fetchers is not None:
+        extra[Keys.SHUFFLE_FETCHERS] = args.shuffle_fetchers
+    app = _build(args, extra=extra)
     start = time.perf_counter()
     result = LocalJobRunner().run(app.job)
     elapsed = time.perf_counter() - start
     workers = f", workers={args.workers or 'auto'}" if args.backend != "serial" else ""
+    shuffle = f", shuffle={args.shuffle}" if args.shuffle != "mem" else ""
     print(f"{app.job.describe()}: {len(result.output_pairs())} output records "
-          f"in {elapsed:.3f}s (backend={args.backend}{workers})")
+          f"in {elapsed:.3f}s (backend={args.backend}{workers}{shuffle})")
+    if args.shuffle == "net":
+        print(render_shuffle_traffic(result))
     breakdown = breakdown_from_ledger(app.name, result.ledger)
     print(f"total work: {breakdown.total_work:.0f} units "
           f"(user {breakdown.user_share:.1%}, framework {breakdown.framework_share:.1%})")
@@ -147,6 +155,16 @@ def main(argv: list[str] | None = None) -> int:
         "--live-pipeline", action="store_true",
         help="run each map task's spill pipeline on a real support thread, "
              "feeding the spill policy measured wall-clock rates",
+    )
+    run_parser.add_argument(
+        "--shuffle", choices=("mem", "net"), default="mem",
+        help="shuffle transport: direct in-process reads with modelled "
+             "network charges (mem) or real per-node TCP shuffle servers "
+             "with measured charges (net)",
+    )
+    run_parser.add_argument(
+        "--shuffle-fetchers", type=int, default=None,
+        help="parallel fetcher threads per reduce task (net shuffle only)",
     )
     run_parser.set_defaults(fn=cmd_run)
 

@@ -47,6 +47,19 @@ class Keys:
     EXEC_WORKERS = "repro.exec.workers"  # worker count (0 = one per CPU)
     EXEC_LIVE_PIPELINE = "repro.exec.live.pipeline"  # real support thread per map task
 
+    # --- network shuffle (repro.shuffle) ---
+    SHUFFLE_MODE = "repro.shuffle.mode"  # mem (direct reads) | net (real sockets)
+    SHUFFLE_FETCHERS = "repro.shuffle.fetchers"  # parallel fetcher threads per reduce
+    SHUFFLE_FETCH_ATTEMPTS = "repro.shuffle.fetch.max.attempts"  # per segment
+    SHUFFLE_BACKOFF_BASE = "repro.shuffle.backoff.base.seconds"
+    SHUFFLE_BACKOFF_MAX = "repro.shuffle.backoff.max.seconds"
+    SHUFFLE_TIMEOUT = "repro.shuffle.timeout.seconds"  # connect/read timeout
+    SHUFFLE_FAULT_KIND = "repro.shuffle.fault.kind"  # none|refuse|drop|truncate|delay
+    SHUFFLE_FAULT_FRACTION = "repro.shuffle.fault.fraction"  # fraction of fetches hit
+    SHUFFLE_FAULT_ATTEMPTS = "repro.shuffle.fault.attempts"  # faulty attempts per fetch
+    SHUFFLE_FAULT_DELAY = "repro.shuffle.fault.delay.seconds"  # for kind=delay
+    SHUFFLE_FAULT_SEED = "repro.shuffle.fault.seed"
+
     # --- engine ---
     NUM_REDUCERS = "repro.job.reduces"
     COMBINER_MIN_SPILL_RECORDS = "repro.combine.min.spill.records"
@@ -77,6 +90,17 @@ DEFAULTS: dict[str, Any] = {
     Keys.EXEC_BACKEND: "serial",
     Keys.EXEC_WORKERS: 0,
     Keys.EXEC_LIVE_PIPELINE: False,
+    Keys.SHUFFLE_MODE: "mem",
+    Keys.SHUFFLE_FETCHERS: 4,
+    Keys.SHUFFLE_FETCH_ATTEMPTS: 4,
+    Keys.SHUFFLE_BACKOFF_BASE: 0.02,
+    Keys.SHUFFLE_BACKOFF_MAX: 0.25,
+    Keys.SHUFFLE_TIMEOUT: 10.0,
+    Keys.SHUFFLE_FAULT_KIND: "none",
+    Keys.SHUFFLE_FAULT_FRACTION: 0.0,
+    Keys.SHUFFLE_FAULT_ATTEMPTS: 1,
+    Keys.SHUFFLE_FAULT_DELAY: 0.05,
+    Keys.SHUFFLE_FAULT_SEED: 1234,
     Keys.SPILLMATCHER_ENABLED: False,
     Keys.SPILLMATCHER_MIN_PERCENT: 0.05,
     Keys.SPILLMATCHER_MAX_PERCENT: 0.95,

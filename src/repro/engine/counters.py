@@ -34,6 +34,9 @@ class Counter(str, Enum):
     FREQBUF_EVICTIONS = "freqbuf_evictions"
     FREQBUF_PROFILED_RECORDS = "freqbuf_profiled_records"
     SHUFFLE_BYTES = "shuffle_bytes"
+    SHUFFLE_FETCHES = "shuffle_fetches"  # network shuffle: successful fetches
+    SHUFFLE_FETCH_RETRIES = "shuffle_fetch_retries"  # failed attempts retried
+    SHUFFLE_BACKOFF_MS = "shuffle_backoff_ms"  # total retry backoff + lost-attempt wait
     REDUCE_INPUT_GROUPS = "reduce_input_groups"
     REDUCE_INPUT_RECORDS = "reduce_input_records"
     REDUCE_OUTPUT_RECORDS = "reduce_output_records"

@@ -41,6 +41,9 @@ class MapTaskResult:
     pipeline: PipelineResult
     host: str | None = None
     wall_seconds: float = 0.0  # measured wall-clock duration of the attempt
+    #: Where this output's shuffle server listens (host, port), set by the
+    #: executor when ``repro.shuffle.mode = net``; reducers fetch from it.
+    serve_address: tuple[str, int] | None = None
 
     def partition_bytes(self, partition: int) -> int:
         return self.output_index.entry(partition).length

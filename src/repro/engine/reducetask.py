@@ -29,6 +29,8 @@ class ReduceTaskResult:
     remote_shuffle_bytes: int
     host: str | None = None
     wall_seconds: float = 0.0  # measured wall-clock duration of the attempt
+    fetch_retries: int = 0  # network shuffle: failed fetch attempts retried
+    fetch_wait_seconds: float = 0.0  # network shuffle: backoff + lost-attempt wait
 
     @property
     def output_records(self) -> int:
@@ -77,16 +79,37 @@ class ReduceTaskRunner:
         counters = self.counters
 
         from ..config import Keys
+        from ..errors import ConfigError
         from ..io.blockdisk import LocalDisk
 
-        shuffle = ShuffleService(
-            model,
-            instruments,
-            counters,
-            self.host,
-            memory_budget_bytes=job.conf.get_positive_int(Keys.REDUCE_MEMORY_BYTES),
-            staging_disk=LocalDisk(f"{self.task_id}.disk"),
-        )
+        mode = job.conf.get_str(Keys.SHUFFLE_MODE)
+        if mode == "net":
+            # Real sockets: fetch from the per-node shuffle servers and
+            # charge Op.SHUFFLE from measured bytes and wall time.
+            from ..shuffle.service import NetShuffleService
+
+            shuffle = NetShuffleService(
+                model,
+                instruments,
+                counters,
+                conf=job.conf,
+                reduce_host=self.host,
+                memory_budget_bytes=job.conf.get_positive_int(Keys.REDUCE_MEMORY_BYTES),
+                staging_disk=LocalDisk(f"{self.task_id}.disk"),
+            )
+        elif mode == "mem":
+            shuffle = ShuffleService(
+                model,
+                instruments,
+                counters,
+                self.host,
+                memory_budget_bytes=job.conf.get_positive_int(Keys.REDUCE_MEMORY_BYTES),
+                staging_disk=LocalDisk(f"{self.task_id}.disk"),
+            )
+        else:
+            raise ConfigError(
+                f"{Keys.SHUFFLE_MODE}={mode!r} is not a shuffle mode; use 'mem' or 'net'"
+            )
         merged = shuffle.fetch_and_merge(self.map_results, self.partition)
 
         reducer = job.reducer_factory()
@@ -152,4 +175,6 @@ class ReduceTaskRunner:
             shuffle_bytes=shuffle.bytes_fetched,
             remote_shuffle_bytes=shuffle.remote_bytes_fetched,
             host=self.host,
+            fetch_retries=shuffle.fetch_retries,
+            fetch_wait_seconds=shuffle.fetch_wait_seconds,
         )

@@ -39,6 +39,10 @@ class JobResult:
     reduce_results: list[ReduceTaskResult]
     ledger: Ledger
     counters: Counters
+    #: Per-host shuffle-server traffic (network shuffle only; empty in
+    #: ``mem`` mode).  Elements are
+    #: :class:`~repro.shuffle.server.ShuffleHostStats`.
+    shuffle_hosts: list = field(default_factory=list)
 
     def output_pairs(self) -> list[tuple[Writable, Writable]]:
         """All reduce outputs, in partition order then key order."""

@@ -32,6 +32,25 @@ class ShuffleFetch:
     local: bool
 
 
+@dataclass
+class FetchedSegment:
+    """One acquired partition segment, however it travelled.
+
+    ``payload`` is the decompressed record-frame bytes; ``stored_length``
+    is what the wire (or the modelled wire) carried.  Network fetches
+    additionally report measured wall time, retry counts, and the idle
+    time lost to backoff + failed attempts, so the service can charge
+    :data:`~repro.engine.instrumentation.Op.SHUFFLE` from measurements.
+    """
+
+    payload: bytes
+    stored_length: int
+    local: bool
+    seconds: float | None = None  # measured wall time of the winning attempt
+    retries: int = 0
+    wait_seconds: float = 0.0  # backoff sleeps + failed-attempt durations
+
+
 class ShuffleService:
     """Fetches and merges the map-output segments for one reduce partition.
 
@@ -63,51 +82,56 @@ class ShuffleService:
         self.bytes_fetched = 0
         self.remote_bytes_fetched = 0
         self.disk_merge_passes = 0
+        self.fetch_retries = 0
+        self.fetch_wait_seconds = 0.0
 
     def fetch_and_merge(
         self, map_results: list[MapTaskResult], partition: int
     ) -> list[SerdePair]:
         """Fetch this partition's segment from every map output and k-way
-        merge them into a single sorted record run."""
+        merge them into a single sorted record run.
+
+        Segment *acquisition* is a template hook (:meth:`_fetch_segment` /
+        :meth:`_charge_fetch`): this base class reads map outputs directly
+        and charges the cost model's network rate, while
+        :class:`~repro.shuffle.service.NetShuffleService` pulls segments
+        over real sockets and charges measured bytes and wall time.  The
+        MergeManager-style budgeted merge below is shared by both.
+        """
         model = self.cost_model
         runs: list[list[SerdePair]] = []
         staged: list[SpillIndex] = []
         in_memory_bytes = 0
-        for result in map_results:
-            # The wire carries the *stored* (possibly compressed) bytes;
-            # the reduce side pays decompression CPU to recover records.
-            index = result.output_index
-            entry = index.entry(partition)
-            stored_length = entry.length
-            payload = segment_payload(result.disk, index, partition)
-            local = (
-                self.reduce_host is not None
-                and result.host is not None
-                and result.host == self.reduce_host
-            )
-            self.fetches.append(
-                ShuffleFetch(result.task_id, result.host, stored_length, local)
-            )
-            self.bytes_fetched += stored_length
-            if not local:
-                self.remote_bytes_fetched += stored_length
-                self.instruments.charge(Op.SHUFFLE, model.net_byte * stored_length)
-            if index.codec is not None:
-                self.instruments.charge(
-                    Op.SHUFFLE, model.decompress_byte * len(payload)
+        self._prepare(map_results, partition)
+        try:
+            for result in map_results:
+                segment = self._fetch_segment(result, partition)
+                self.fetches.append(
+                    ShuffleFetch(
+                        result.task_id, result.host, segment.stored_length,
+                        segment.local,
+                    )
                 )
-            runs.append(list(decode_records(payload)))
-            in_memory_bytes += len(payload)
+                self.bytes_fetched += segment.stored_length
+                if not segment.local:
+                    self.remote_bytes_fetched += segment.stored_length
+                self.fetch_retries += segment.retries
+                self.fetch_wait_seconds += segment.wait_seconds
+                self._charge_fetch(result, segment)
+                runs.append(list(decode_records(segment.payload)))
+                in_memory_bytes += len(segment.payload)
 
-            if (
-                self.memory_budget_bytes is not None
-                and self.staging_disk is not None
-                and in_memory_bytes > self.memory_budget_bytes
-                and len(runs) > 1
-            ):
-                staged.append(self._stage_to_disk(runs, partition, len(staged)))
-                runs = []
-                in_memory_bytes = 0
+                if (
+                    self.memory_budget_bytes is not None
+                    and self.staging_disk is not None
+                    and in_memory_bytes > self.memory_budget_bytes
+                    and len(runs) > 1
+                ):
+                    staged.append(self._stage_to_disk(runs, partition, len(staged)))
+                    runs = []
+                    in_memory_bytes = 0
+        finally:
+            self._finish()
 
         self.counters.incr(Counter.SHUFFLE_BYTES, self.bytes_fetched)
 
@@ -126,6 +150,42 @@ class ShuffleService:
             + model.merge_comparison * stats.comparisons,
         )
         return merged
+
+    # ------------------------------------------------------------------
+    # segment-acquisition hooks (overridden by the network shuffle)
+    # ------------------------------------------------------------------
+    def _prepare(self, map_results: list[MapTaskResult], partition: int) -> None:
+        """Called once before any segment is acquired."""
+
+    def _finish(self) -> None:
+        """Called once after the last segment (even on failure)."""
+
+    def _is_local(self, result: MapTaskResult) -> bool:
+        return (
+            self.reduce_host is not None
+            and result.host is not None
+            and result.host == self.reduce_host
+        )
+
+    def _fetch_segment(self, result: MapTaskResult, partition: int) -> FetchedSegment:
+        """Acquire one map output's segment by direct in-process read."""
+        entry = result.output_index.entry(partition)
+        payload = segment_payload(result.disk, result.output_index, partition)
+        return FetchedSegment(
+            payload=payload, stored_length=entry.length, local=self._is_local(result)
+        )
+
+    def _charge_fetch(self, result: MapTaskResult, segment: FetchedSegment) -> None:
+        """Charge the modelled transfer: the wire carries the *stored*
+        (possibly compressed) bytes, and the reduce side pays
+        decompression CPU to recover records."""
+        model = self.cost_model
+        if not segment.local:
+            self.instruments.charge(Op.SHUFFLE, model.net_byte * segment.stored_length)
+        if result.output_index.codec is not None:
+            self.instruments.charge(
+                Op.SHUFFLE, model.decompress_byte * len(segment.payload)
+            )
 
     def _stage_to_disk(
         self, runs: list[list[SerdePair]], partition: int, pass_index: int

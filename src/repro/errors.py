@@ -44,6 +44,19 @@ class ExecBackendError(ReproError):
     """The requested execution backend is unavailable or misconfigured."""
 
 
+class ShuffleError(ReproError):
+    """A network shuffle fetch ultimately failed (retries exhausted, a
+    map output was never registered, or the wire protocol was violated
+    beyond repair).  Instances cross process boundaries — reduce workers
+    on the ``process`` backend ship them back through a pickle."""
+
+
+class ShuffleTransportError(ShuffleError):
+    """One shuffle fetch *attempt* failed (connection refused or dropped,
+    read timeout, framing violation, CRC mismatch).  The fetcher retries
+    these with backoff; only exhaustion surfaces as :class:`ShuffleError`."""
+
+
 class UserCodeError(ReproError):
     """User-supplied map/combine/reduce code raised an exception.
 

@@ -127,6 +127,7 @@ def assemble_job_result(
     job: JobSpec,
     map_results: list[MapTaskResult],
     reduce_results: list[ReduceTaskResult],
+    shuffle_hosts: list | None = None,
 ) -> JobResult:
     """Merge per-task accounting into a job result, in task order, so
     every backend produces an identical ledger/counter aggregation."""
@@ -142,7 +143,28 @@ def assemble_job_result(
         reduce_results=reduce_results,
         ledger=ledger,
         counters=counters,
+        shuffle_hosts=shuffle_hosts or [],
     )
+
+
+def start_shuffle_server(job: JobSpec, host: str):
+    """Start this node's shuffle server when the job asks for the real
+    network shuffle (``repro.shuffle.mode = net``); returns ``None`` in
+    the default ``mem`` mode.  The caller owns the server's lifetime and
+    must ``stop()`` it (the executors do so in a ``finally``)."""
+    mode = job.conf.get_str(Keys.SHUFFLE_MODE)
+    if mode == "mem":
+        return None
+    if mode != "net":
+        from ..errors import ConfigError
+
+        raise ConfigError(
+            f"{Keys.SHUFFLE_MODE}={mode!r} is not a shuffle mode; use 'mem' or 'net'"
+        )
+    from ..shuffle.faults import FaultPlan
+    from ..shuffle.server import ShuffleServer
+
+    return ShuffleServer(host, fault_plan=FaultPlan.from_conf(job.conf)).start()
 
 
 def job_splits(job: JobSpec) -> list[FileSplit]:

@@ -33,7 +33,7 @@ from ..engine.runner import JobResult
 from ..errors import ExecBackendError
 from ..io.blockdisk import LocalDisk
 from . import workers
-from .base import Executor, assemble_job_result, job_splits
+from .base import Executor, assemble_job_result, job_splits, start_shuffle_server
 
 
 class ProcessExecutor(Executor):
@@ -52,7 +52,15 @@ class ProcessExecutor(Executor):
 
         splits = job_splits(job)
         tmp_root = tempfile.mkdtemp(prefix=f"repro-exec-{job.name}-")
-        workers.push_context(job, tmp_root, self.host)
+        # The shuffle server (net mode) lives in the parent: map workers
+        # register their FileDisk outputs with it over TCP, reduce
+        # workers fetch segments from it over TCP.
+        server = start_shuffle_server(job, self.host)
+        shuffle_hosts = []
+        workers.push_context(
+            job, tmp_root, self.host,
+            shuffle_address=server.address if server is not None else None,
+        )
         try:
             with ctx.Pool(processes=self.workers) as pool:
                 map_results = self._collect(
@@ -68,9 +76,15 @@ class ProcessExecutor(Executor):
                 self._materialize(result)
         finally:
             workers.pop_context()
+            if server is not None:
+                # Stop serving before the spill files vanish with tmp_root.
+                server.stop()
+                shuffle_hosts.append(server.snapshot())
             shutil.rmtree(tmp_root, ignore_errors=True)
 
-        return assemble_job_result(job, map_results, reduce_results)
+        return assemble_job_result(
+            job, map_results, reduce_results, shuffle_hosts=shuffle_hosts
+        )
 
     def _collect(self, outcomes) -> list:
         """Record attempt counts, then fail on the first failed task (in

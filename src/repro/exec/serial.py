@@ -21,6 +21,7 @@ from .base import (
     job_splits,
     run_map_with_retries,
     run_reduce_with_retries,
+    start_shuffle_server,
 )
 
 
@@ -32,25 +33,37 @@ class SerialExecutor(Executor):
     def run(self, job: JobSpec) -> JobResult:
         splits = job_splits(job)
 
-        shared_state: dict = {}
-        map_results: list[MapTaskResult] = []
-        for index, split in enumerate(splits):
-            result, _ = run_map_with_retries(
-                job,
-                index,
-                split,
-                self.host,
-                shared_state=shared_state,
-                attempts_out=self.task_attempts,
-            )
-            map_results.append(result)
+        server = start_shuffle_server(job, self.host)
+        shuffle_hosts = []
+        try:
+            shared_state: dict = {}
+            map_results: list[MapTaskResult] = []
+            for index, split in enumerate(splits):
+                result, _ = run_map_with_retries(
+                    job,
+                    index,
+                    split,
+                    self.host,
+                    shared_state=shared_state,
+                    attempts_out=self.task_attempts,
+                )
+                if server is not None:
+                    server.register(result.task_id, result.output_index, result.disk)
+                    result.serve_address = server.address
+                map_results.append(result)
 
-        reduce_results: list[ReduceTaskResult] = []
-        for partition in range(job.num_reducers):
-            result, _ = run_reduce_with_retries(
-                job, partition, map_results, self.host,
-                attempts_out=self.task_attempts,
-            )
-            reduce_results.append(result)
+            reduce_results: list[ReduceTaskResult] = []
+            for partition in range(job.num_reducers):
+                result, _ = run_reduce_with_retries(
+                    job, partition, map_results, self.host,
+                    attempts_out=self.task_attempts,
+                )
+                reduce_results.append(result)
+        finally:
+            if server is not None:
+                server.stop()
+                shuffle_hosts.append(server.snapshot())
 
-        return assemble_job_result(job, map_results, reduce_results)
+        return assemble_job_result(
+            job, map_results, reduce_results, shuffle_hosts=shuffle_hosts
+        )

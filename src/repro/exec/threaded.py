@@ -23,6 +23,7 @@ from .base import (
     job_splits,
     run_map_with_retries,
     run_reduce_with_retries,
+    start_shuffle_server,
 )
 
 
@@ -34,40 +35,57 @@ class ThreadExecutor(Executor):
     def run(self, job: JobSpec) -> JobResult:
         splits = job_splits(job)
 
-        with ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix=f"{job.name}.exec"
-        ) as pool:
-            map_futures = [
-                pool.submit(
-                    run_map_with_retries,
-                    job,
-                    index,
-                    split,
-                    self.host,
-                    attempts_out=self.task_attempts,
-                )
-                for index, split in enumerate(splits)
-            ]
-            # Collect in task order; the first failing task (in task
-            # order) fails the job, matching the serial backend.
-            map_results: list[MapTaskResult] = [
-                future.result()[0] for future in map_futures
-            ]
+        server = start_shuffle_server(job, self.host)
+        shuffle_hosts = []
+        try:
+            with ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix=f"{job.name}.exec"
+            ) as pool:
+                map_futures = [
+                    pool.submit(
+                        run_map_with_retries,
+                        job,
+                        index,
+                        split,
+                        self.host,
+                        attempts_out=self.task_attempts,
+                    )
+                    for index, split in enumerate(splits)
+                ]
+                # Collect in task order; the first failing task (in task
+                # order) fails the job, matching the serial backend.
+                map_results: list[MapTaskResult] = [
+                    future.result()[0] for future in map_futures
+                ]
+                if server is not None:
+                    # The map barrier above means every output is final
+                    # before any reducer fetches.
+                    for result in map_results:
+                        server.register(
+                            result.task_id, result.output_index, result.disk
+                        )
+                        result.serve_address = server.address
 
-            # Barrier: every reduce needs every map's output.
-            reduce_futures = [
-                pool.submit(
-                    run_reduce_with_retries,
-                    job,
-                    partition,
-                    map_results,
-                    self.host,
-                    attempts_out=self.task_attempts,
-                )
-                for partition in range(job.num_reducers)
-            ]
-            reduce_results: list[ReduceTaskResult] = [
-                future.result()[0] for future in reduce_futures
-            ]
+                # Barrier: every reduce needs every map's output.
+                reduce_futures = [
+                    pool.submit(
+                        run_reduce_with_retries,
+                        job,
+                        partition,
+                        map_results,
+                        self.host,
+                        attempts_out=self.task_attempts,
+                    )
+                    for partition in range(job.num_reducers)
+                ]
+                reduce_results: list[ReduceTaskResult] = [
+                    future.result()[0] for future in reduce_futures
+                ]
+        finally:
+            if server is not None:
+                server.stop()
+                shuffle_hosts.append(server.snapshot())
 
-        return assemble_job_result(job, map_results, reduce_results)
+        return assemble_job_result(
+            job, map_results, reduce_results, shuffle_hosts=shuffle_hosts
+        )

@@ -36,14 +36,25 @@ class WorkerContext:
     job: JobSpec
     tmp_root: str
     host: str
+    #: The parent's shuffle server, when ``repro.shuffle.mode = net``:
+    #: map workers register their finished output with it over TCP and
+    #: reducers fetch from it.
+    shuffle_address: tuple[str, int] | None = None
 
 
 _CTX: WorkerContext | None = None
 
 
-def push_context(job: JobSpec, tmp_root: str, host: str) -> None:
+def push_context(
+    job: JobSpec,
+    tmp_root: str,
+    host: str,
+    shuffle_address: tuple[str, int] | None = None,
+) -> None:
     global _CTX
-    _CTX = WorkerContext(job=job, tmp_root=tmp_root, host=host)
+    _CTX = WorkerContext(
+        job=job, tmp_root=tmp_root, host=host, shuffle_address=shuffle_address
+    )
 
 
 def pop_context() -> None:
@@ -86,6 +97,20 @@ def map_entry(index: int):
             disk_factory=disk_factory,
             attempts_out=attempts_seen,
         )
+        if ctx.shuffle_address is not None:
+            # Announce the finished output to this node's shuffle server
+            # over the wire; the server reads the worker's spill files
+            # itself when reducers ask for segments.
+            from ..shuffle.fetcher import register_output
+
+            register_output(
+                ctx.shuffle_address,
+                task_id,
+                result.disk.root,
+                result.disk.name,
+                result.output_index,
+            )
+            result.serve_address = ctx.shuffle_address
         return task_id, attempts, result, None
     except JobFailedError as exc:
         return task_id, attempts_seen.get(task_id, 0), None, exc

@@ -1,0 +1,51 @@
+"""Real network shuffle (``repro.shuffle``).
+
+The engine's default shuffle hands reducers map-output segments by
+direct in-process reads and only *models* the network.  This package
+replaces the transport with real localhost TCP:
+
+``server``
+    A per-node :class:`~repro.shuffle.server.ShuffleServer` serves
+    framed, CRC-checked partition segments from registered map outputs
+    (in-memory disks registered in-process; ``FileDisk``-backed outputs
+    registered over the wire by the map workers that wrote them).
+``fetcher``
+    A reduce-side fetcher pool pulls segments concurrently with a
+    bounded in-flight window, retrying with exponential backoff +
+    deterministic jitter on connection failure, timeout, or CRC
+    mismatch.
+``service``
+    :class:`~repro.shuffle.service.NetShuffleService` feeds the fetched
+    segments into the engine's MergeManager-style budgeted merge and
+    charges ``Op.SHUFFLE`` from measured socket bytes and wall time.
+``faults``
+    A deterministic fault-injection plan (refuse / drop / truncate /
+    delay a configurable fraction of fetches) so the retry paths are
+    exercised on demand.
+
+Select with ``repro.shuffle.mode = net`` (CLI: ``--shuffle net
+--shuffle-fetchers N``); the default ``mem`` keeps the modelled path.
+"""
+
+from __future__ import annotations
+
+from ..errors import ShuffleError, ShuffleTransportError
+from .faults import FAULT_KINDS, FaultPlan
+from .fetcher import FetcherPool, FetchPlanEntry, FetchResult, RetryPolicy, register_output
+from .server import ShuffleHostStats, ShuffleServer
+from .service import NetShuffleService
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FetchPlanEntry",
+    "FetchResult",
+    "FetcherPool",
+    "NetShuffleService",
+    "RetryPolicy",
+    "ShuffleError",
+    "ShuffleHostStats",
+    "ShuffleServer",
+    "ShuffleTransportError",
+    "register_output",
+]

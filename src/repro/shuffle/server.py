@@ -1,0 +1,300 @@
+"""The per-node shuffle server.
+
+One :class:`ShuffleServer` plays the role of Hadoop's per-TaskTracker
+``MapOutputServlet``: it owns the map outputs of one simulated host and
+serves their partition segments to reducers over localhost TCP.  Map
+outputs reach it two ways:
+
+* **in-process registration** (:meth:`ShuffleServer.register`) for the
+  serial/thread backends, whose spills live in in-memory ``LocalDisk``
+  instances the server can read directly;
+* **wire registration** (the ``REG`` opcode) for the process backend,
+  whose map *workers* announce their finished ``FileDisk``-backed
+  output — path, name, and spill index — from their own process; the
+  server opens the files itself when segments are requested.
+
+Every ``GET`` response carries the spill index entry's CRC so the
+fetcher can validate the bytes it actually received.  A configured
+:class:`~repro.shuffle.faults.FaultPlan` is applied between lookup and
+response, deterministically refusing / dropping / truncating / delaying
+the selected fraction of fetches.
+
+The server is plain ``socket`` + thread-per-connection: connections are
+one-request-one-response and segment counts are small (maps x reduces),
+so connection reuse buys nothing at this scale and the code stays
+readable.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import DiskError, SerdeError, ShuffleError
+from ..io.blockdisk import LocalDisk
+from ..io.spillfile import SegmentIndexEntry, SpillIndex, segment_bytes
+from .faults import FaultPlan
+from . import wire
+
+
+@dataclass(frozen=True)
+class ShuffleHostStats:
+    """One host's shuffle-serving traffic, for the analysis reports."""
+
+    host: str
+    port: int
+    bytes_served: int
+    requests_served: int
+    registrations: int
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    errors: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults_injected.values())
+
+
+def index_to_json(index: SpillIndex) -> dict:
+    return {
+        "path": index.path,
+        "codec": index.codec,
+        "entries": [
+            [e.partition, e.offset, e.length, e.records, e.raw_length, e.crc]
+            for e in index.entries
+        ],
+    }
+
+
+def index_from_json(obj: dict) -> SpillIndex:
+    return SpillIndex(
+        path=obj["path"],
+        codec=obj["codec"],
+        entries=tuple(
+            SegmentIndexEntry(
+                partition=p, offset=o, length=ln, records=r, raw_length=raw, crc=crc
+            )
+            for p, o, ln, r, raw, crc in obj["entries"]
+        ),
+    )
+
+
+class ShuffleServer:
+    """Serves registered map-output segments for one simulated host."""
+
+    def __init__(
+        self,
+        host_label: str = "localhost",
+        fault_plan: FaultPlan | None = None,
+        bind_host: str = "127.0.0.1",
+    ) -> None:
+        self.host_label = host_label
+        self.fault_plan = fault_plan or FaultPlan()
+        self.bind_host = bind_host
+        self._outputs: dict[str, tuple[LocalDisk, SpillIndex]] = {}
+        self._lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._handlers: list[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._port = -1
+        self._fault_attempts: dict[tuple[str, int], int] = {}
+        # --- stats (guarded by _lock) ---
+        self._bytes_served = 0
+        self._requests_served = 0
+        self._registrations = 0
+        self._faults: dict[str, int] = {}
+        self._errors = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShuffleServer":
+        if self._listener is not None:
+            raise ShuffleError(f"shuffle server for {self.host_label!r} already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.bind_host, 0))
+        listener.listen(64)
+        # A blocking accept() does not reliably wake when another thread
+        # closes the socket; poll with a short timeout so stop() returns
+        # promptly.
+        listener.settimeout(0.1)
+        self._listener = listener
+        self._port = listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"shuffle-server.{self.host_label}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._listener is None:
+            raise ShuffleError(f"shuffle server for {self.host_label!r} not started")
+        return (self.bind_host, self._port)
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        for thread in self._handlers:
+            thread.join(timeout=5.0)
+        self._handlers.clear()
+        self._listener = None
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, task_id: str, index: SpillIndex, disk: LocalDisk) -> None:
+        """Register a finished map output served straight from *disk*
+        (in-memory or file-backed; the server only reads)."""
+        with self._lock:
+            self._outputs[task_id] = (disk, index)
+            self._registrations += 1
+
+    def registered_tasks(self) -> list[str]:
+        with self._lock:
+            return sorted(self._outputs)
+
+    def snapshot(self) -> ShuffleHostStats:
+        with self._lock:
+            return ShuffleHostStats(
+                host=self.host_label,
+                port=self._port,
+                bytes_served=self._bytes_served,
+                requests_served=self._requests_served,
+                registrations=self._registrations,
+                faults_injected=dict(self._faults),
+                errors=self._errors,
+            )
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except socket.timeout:
+                continue  # poll the stop flag
+            except OSError:
+                break  # listener closed by stop()
+            thread = threading.Thread(
+                target=self._handle, args=(conn,), daemon=True,
+                name=f"shuffle-handler.{self.host_label}",
+            )
+            thread.start()
+            self._handlers.append(thread)
+            # Reap finished handlers so the list stays bounded.
+            self._handlers = [t for t in self._handlers if t.is_alive()]
+
+    def _handle(self, conn: socket.socket) -> None:
+        try:
+            with conn:
+                conn.settimeout(30.0)
+                opcode, payload = wire.recv_frame(conn)
+                if opcode == wire.OP_REG:
+                    self._handle_reg(conn, wire.decode_json(payload))
+                elif opcode == wire.OP_GET:
+                    self._handle_get(conn, wire.decode_json(payload))
+                else:
+                    wire.send_json(conn, wire.OP_ERR, {
+                        "code": "BADOP",
+                        "message": f"unexpected opcode {opcode:#x}",
+                    })
+        except (ShuffleError, OSError, KeyError, TypeError, ValueError):
+            # A dying client mid-write or a malformed frame must never
+            # take the server down; the fetcher's retry loop owns recovery.
+            with self._lock:
+                self._errors += 1
+
+    def _handle_reg(self, conn: socket.socket, obj: dict) -> None:
+        from ..exec.diskio import FileDisk
+
+        task_id = obj["task"]
+        index = index_from_json(obj["index"])
+        disk = FileDisk(obj["root"], obj["name"])
+        self.register(task_id, index, disk)
+        wire.send_frame(conn, wire.OP_OK)
+
+    def _handle_get(self, conn: socket.socket, obj: dict) -> None:
+        task_id = obj["task"]
+        partition = int(obj["partition"])
+        with self._lock:
+            entry = self._outputs.get(task_id)
+        if entry is None:
+            wire.send_json(conn, wire.OP_ERR, {
+                "code": "NOTFOUND",
+                "message": f"no registered map output {task_id!r} on {self.host_label}",
+            })
+            return
+        disk, index = entry
+
+        fault = self._next_fault(task_id, partition)
+        if fault == "refuse":
+            wire.send_json(conn, wire.OP_ERR, {
+                "code": "BUSY",
+                "message": f"{self.host_label} refusing {task_id}/p{partition} (injected)",
+            })
+            return
+        if fault == "drop":
+            return  # close without a single response byte: mid-stream EOF
+
+        try:
+            stored = segment_bytes(disk, index, partition)
+            segment = index.entry(partition)
+        except (DiskError, SerdeError) as exc:
+            wire.send_json(conn, wire.OP_ERR, {"code": "READFAIL", "message": str(exc)})
+            with self._lock:
+                self._errors += 1
+            return
+
+        if fault == "delay":
+            time.sleep(self.fault_plan.delay_seconds)
+        header = {
+            "length": segment.length,
+            "raw_length": segment.raw_length,
+            "records": segment.records,
+            "crc": segment.crc,
+            "codec": index.codec,
+        }
+        body = stored
+        if fault == "truncate":
+            # Keep the framing honest but cut the stream: the declared
+            # lengths and CRC describe the true bytes, the body does not.
+            half = len(stored) // 2
+            body = stored[:half] + b"\x00" * (len(stored) - half)
+        wire.send_frame(conn, wire.OP_DATA, wire.encode_data(header, body))
+        with self._lock:
+            self._requests_served += 1
+            self._bytes_served += len(body)
+
+    def _next_fault(self, task_id: str, partition: int) -> str | None:
+        """The fault to apply to this request, or None.  Only the first
+        ``plan.attempts`` requests for a selected (task, partition) are
+        faulted, so bounded retries deterministically converge."""
+        plan = self.fault_plan
+        if not plan.selects(task_id, partition):
+            return None
+        key = (task_id, partition)
+        with self._lock:
+            seen = self._fault_attempts.get(key, 0) + 1
+            self._fault_attempts[key] = seen
+            if seen > plan.attempts:
+                return None
+            self._faults[plan.kind] = self._faults.get(plan.kind, 0) + 1
+        return plan.kind
+
+    def __repr__(self) -> str:
+        return f"ShuffleServer({self.host_label!r}, port={self._port})"

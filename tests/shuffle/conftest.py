@@ -1,0 +1,42 @@
+"""Fixtures for the network-shuffle suite.
+
+Tests that bind real sockets carry ``@pytest.mark.network``; the
+autouse fixture below arms a per-test wall-clock alarm for them so a
+hung fetcher or a never-returning accept loop fails the test fast
+instead of stalling the whole run (pytest-timeout is not a dependency;
+SIGALRM does the job on the POSIX CI runners).  Tune with
+``REPRO_NETWORK_TEST_TIMEOUT`` (seconds).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+DEFAULT_TIMEOUT_SECONDS = 60
+
+
+@pytest.fixture(autouse=True)
+def network_test_timeout(request):
+    if request.node.get_closest_marker("network") is None or not hasattr(
+        signal, "SIGALRM"
+    ):
+        yield
+        return
+    seconds = int(os.environ.get("REPRO_NETWORK_TEST_TIMEOUT", DEFAULT_TIMEOUT_SECONDS))
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"network test exceeded its {seconds}s per-test timeout "
+            "(hung fetcher or server?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

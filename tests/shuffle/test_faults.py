@@ -1,0 +1,188 @@
+"""Fault injection: every failure mode retries, none of them hang.
+
+Each injected fault exercises one leg of the fetcher's retry loop —
+connection refused (``ERR BUSY``), mid-stream EOF (``drop``), CRC
+mismatch (``truncate``), slow peer (``delay`` past the client timeout).
+Because fault selection is a stable hash and only the first
+``attempts`` requests per selected segment are faulted, every test is
+deterministic: retries are *bounded* and the job always completes —
+or, when the fault outlives the retry budget, fails with a clean
+:class:`~repro.errors.ShuffleError` rather than a hang.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import JobConf, Keys
+from repro.engine.counters import Counter
+from repro.engine.runner import LocalJobRunner
+from repro.errors import ConfigError, ShuffleError
+from repro.experiments.common import build_app
+from repro.io.blockdisk import LocalDisk
+from repro.io.spillfile import write_spill
+from repro.shuffle.faults import ENV_OVERRIDE, FaultPlan
+from repro.shuffle.fetcher import FetchPlanEntry, RetryPolicy, fetch_segment
+from repro.shuffle.server import ShuffleServer
+
+
+class TestFaultPlan:
+    def test_selection_is_deterministic_and_proportional(self):
+        plan = FaultPlan(kind="refuse", fraction=0.3, seed=7)
+        picks = [plan.selects(f"job.m{i:04d}", i % 4) for i in range(400)]
+        assert picks == [plan.selects(f"job.m{i:04d}", i % 4) for i in range(400)]
+        assert 0.2 < sum(picks) / len(picks) < 0.4
+
+    def test_disabled_plans_select_nothing(self):
+        assert not FaultPlan().selects("job.m0000", 0)
+        assert not FaultPlan(kind="drop", fraction=0.0).selects("job.m0000", 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="unknown shuffle fault kind"):
+            FaultPlan(kind="gremlins")
+        with pytest.raises(ConfigError, match=r"\[0, 1\]"):
+            FaultPlan(kind="drop", fraction=1.5)
+        with pytest.raises(ConfigError, match=">= 1"):
+            FaultPlan(kind="drop", fraction=0.5, attempts=0)
+
+    def test_env_override_beats_conf(self, monkeypatch):
+        conf = JobConf({Keys.SHUFFLE_FAULT_KIND: "refuse",
+                        Keys.SHUFFLE_FAULT_FRACTION: 0.1})
+        monkeypatch.setenv(ENV_OVERRIDE, "truncate:0.25:2")
+        plan = FaultPlan.from_conf(conf)
+        assert (plan.kind, plan.fraction, plan.attempts) == ("truncate", 0.25, 2)
+
+    def test_env_override_malformed(self, monkeypatch):
+        monkeypatch.setenv(ENV_OVERRIDE, "truncate")
+        with pytest.raises(ConfigError, match="kind:fraction"):
+            FaultPlan.from_conf(JobConf())
+        monkeypatch.setenv(ENV_OVERRIDE, "truncate:lots")
+        with pytest.raises(ConfigError, match="malformed"):
+            FaultPlan.from_conf(JobConf())
+
+
+# ----------------------------------------------------------------------
+# one segment, one injected fault kind, direct fetch
+# ----------------------------------------------------------------------
+
+FAST = RetryPolicy(
+    max_attempts=4, backoff_base_seconds=0.005, backoff_max_seconds=0.02,
+    timeout_seconds=5.0,
+)
+
+
+def serve_one_segment(plan: FaultPlan) -> tuple[ShuffleServer, FetchPlanEntry]:
+    disk = LocalDisk("m0.disk")
+    index = write_spill(disk, "m0.out", [[(b"key", b"value")]])
+    server = ShuffleServer("faulty-node", fault_plan=plan).start()
+    server.register("job.m0000", index, disk)
+    return server, FetchPlanEntry(server.address, "job.m0000", 0)
+
+
+@pytest.mark.network
+@pytest.mark.parametrize("kind", ("refuse", "drop", "truncate"))
+def test_fault_kinds_recover_within_bounded_retries(kind):
+    plan = FaultPlan(kind=kind, fraction=1.0, attempts=2)
+    server, entry = serve_one_segment(plan)
+    try:
+        result = fetch_segment(entry, FAST)
+    finally:
+        server.stop()
+    assert result.attempts == 3  # two faulted attempts, then success
+    assert result.wait_seconds > 0
+    assert server.snapshot().faults_injected == {kind: 2}
+
+
+@pytest.mark.network
+def test_slow_peer_times_out_then_recovers():
+    # Client timeout far below the injected delay: the first attempt is
+    # a read timeout, the second (no longer faulted) succeeds.
+    plan = FaultPlan(kind="delay", fraction=1.0, attempts=1, delay_seconds=2.0)
+    server, entry = serve_one_segment(plan)
+    policy = RetryPolicy(
+        max_attempts=3, backoff_base_seconds=0.005, backoff_max_seconds=0.02,
+        timeout_seconds=0.2,
+    )
+    try:
+        result = fetch_segment(entry, policy)
+    finally:
+        server.stop()
+    assert result.attempts == 2
+    assert server.snapshot().faults_injected == {"delay": 1}
+
+
+@pytest.mark.network
+def test_exhausted_retries_raise_clean_shuffle_error():
+    # The fault outlives the retry budget: clean failure, not a hang.
+    plan = FaultPlan(kind="drop", fraction=1.0, attempts=99)
+    server, entry = serve_one_segment(plan)
+    try:
+        with pytest.raises(ShuffleError, match="failed after 4 attempts"):
+            fetch_segment(entry, FAST)
+    finally:
+        server.stop()
+
+
+# ----------------------------------------------------------------------
+# whole jobs under injected faults
+# ----------------------------------------------------------------------
+
+def run_faulted(kind: str, fraction: float, backend: str = "process", **conf):
+    extra = {
+        Keys.EXEC_BACKEND: backend,
+        Keys.EXEC_WORKERS: 4,
+        Keys.SHUFFLE_MODE: "net",
+        Keys.SHUFFLE_FAULT_KIND: kind,
+        Keys.SHUFFLE_FAULT_FRACTION: fraction,
+        Keys.SHUFFLE_BACKOFF_BASE: 0.005,
+        Keys.SHUFFLE_BACKOFF_MAX: 0.02,
+        **conf,
+    }
+    app = build_app("wordcount", "baseline", scale=0.02, num_splits=3,
+                    extra_conf=extra)
+    return LocalJobRunner().run(app.job)
+
+
+@pytest.mark.network
+def test_job_survives_ten_percent_fetch_failures():
+    """The ISSUE's acceptance run: WordCount on the process backend
+    completes with 10% of fetches injected to fail, retries visible."""
+    clean = run_faulted("none", 0.0)
+    faulted = run_faulted("drop", 0.10, **{Keys.SHUFFLE_FAULT_SEED: 99})
+
+    pairs = lambda r: [(k.to_bytes(), v.to_bytes()) for k, v in r.output_pairs()]
+    assert pairs(faulted) == pairs(clean)
+
+    injected = sum(h.total_faults for h in faulted.shuffle_hosts)
+    assert injected > 0, "seed 99 must select at least one fetch at 10%"
+    assert faulted.counters.get(Counter.SHUFFLE_FETCH_RETRIES) == injected
+    assert faulted.counters.get(Counter.SHUFFLE_BACKOFF_MS) > 0
+    assert sum(r.fetch_retries for r in faulted.reduce_results) == injected
+    assert clean.counters.get(Counter.SHUFFLE_FETCH_RETRIES) == 0
+
+
+@pytest.mark.network
+@pytest.mark.parametrize("kind", ("refuse", "truncate"))
+def test_job_survives_heavy_faults_on_serial_backend(kind):
+    result = run_faulted(kind, 0.5, backend="serial")
+    assert result.output_pairs()
+    assert result.counters.get(Counter.SHUFFLE_FETCH_RETRIES) > 0
+    injected = {k: n for h in result.shuffle_hosts
+                for k, n in h.faults_injected.items()}
+    assert set(injected) == {kind}
+
+
+@pytest.mark.network
+def test_unrecoverable_faults_fail_the_job_cleanly():
+    """A fault that outlives the retry budget is a framework failure,
+    not a user-code one: the attempt loop does not burn task attempts on
+    it, the :class:`ShuffleError` propagates — crucially without a hang,
+    naming the segment and the last transport error."""
+    with pytest.raises(ShuffleError, match="failed after 2 attempts"):
+        run_faulted(
+            "drop", 1.0,
+            **{
+                Keys.SHUFFLE_FAULT_ATTEMPTS: 99,
+                Keys.SHUFFLE_FETCH_ATTEMPTS: 2,
+            },
+        )

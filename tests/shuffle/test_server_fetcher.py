@@ -1,0 +1,112 @@
+"""Server + fetcher round trips over real localhost sockets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ShuffleError
+from repro.exec.diskio import FileDisk
+from repro.io.blockdisk import LocalDisk
+from repro.io.spillfile import segment_bytes, write_spill
+from repro.shuffle.fetcher import (
+    FetcherPool,
+    FetchPlanEntry,
+    RetryPolicy,
+    fetch_segment,
+    register_output,
+)
+from repro.shuffle.server import ShuffleServer
+
+pytestmark = pytest.mark.network
+
+FAST_RETRIES = RetryPolicy(
+    max_attempts=3, backoff_base_seconds=0.005, backoff_max_seconds=0.02,
+    timeout_seconds=5.0,
+)
+
+PARTITIONS = [
+    [(b"alpha", b"1"), (b"beta", b"2")],
+    [(b"gamma", b"3")],
+    [],  # empty partitions must still serve cleanly
+]
+
+
+@pytest.fixture
+def server():
+    srv = ShuffleServer("node-a").start()
+    yield srv
+    srv.stop()
+
+
+def test_fetch_matches_local_read(server):
+    disk = LocalDisk("m0.disk")
+    index = write_spill(disk, "m0.out", PARTITIONS)
+    server.register("job.m0000", index, disk)
+
+    for partition in range(len(PARTITIONS)):
+        entry = FetchPlanEntry(server.address, "job.m0000", partition)
+        result = fetch_segment(entry, FAST_RETRIES)
+        assert result.payload == segment_bytes(disk, index, partition)
+        assert result.stored_length == index.entry(partition).length
+        assert result.records == index.entry(partition).records
+        assert result.attempts == 1
+        assert result.seconds > 0
+
+    stats = server.snapshot()
+    assert stats.requests_served == len(PARTITIONS)
+    assert stats.bytes_served == index.total_bytes
+
+
+def test_unknown_task_exhausts_retries_cleanly(server):
+    entry = FetchPlanEntry(server.address, "job.m9999", 0)
+    with pytest.raises(ShuffleError, match="3 attempts"):
+        fetch_segment(entry, FAST_RETRIES)
+
+
+def test_dead_port_is_connection_refused_not_hang():
+    # Grab a free port, then close it: nothing listens there.
+    probe = ShuffleServer("ghost").start()
+    address = probe.address
+    probe.stop()
+    entry = FetchPlanEntry(address, "job.m0000", 0)
+    with pytest.raises(ShuffleError, match="failed after 3 attempts"):
+        fetch_segment(entry, FAST_RETRIES)
+
+
+def test_wire_registration_from_file_disk(server, tmp_path):
+    disk = FileDisk(str(tmp_path / "worker0"), "m1.disk")
+    index = write_spill(disk, "m1.out", PARTITIONS)
+    register_output(server.address, "job.m0001", disk.root, disk.name, index)
+    assert server.registered_tasks() == ["job.m0001"]
+
+    entry = FetchPlanEntry(server.address, "job.m0001", 0)
+    result = fetch_segment(entry, FAST_RETRIES)
+    assert result.payload == segment_bytes(disk, index, 0)
+
+
+def test_fetcher_pool_preserves_plan_order(server):
+    indexes = {}
+    for m in range(6):
+        disk = LocalDisk(f"m{m}.disk")
+        rows = [[(f"k{m:02d}".encode(), str(m).encode())]]
+        indexes[m] = (disk, write_spill(disk, f"m{m}.out", rows))
+        server.register(f"job.m{m:04d}", indexes[m][1], disk)
+
+    plan = [FetchPlanEntry(server.address, f"job.m{m:04d}", 0) for m in range(6)]
+    pool = FetcherPool(plan, fetchers=3, policy=FAST_RETRIES).start()
+    try:
+        got = [pool.next_result() for _ in range(len(plan))]
+    finally:
+        pool.close()
+    assert [r.entry.map_task_id for r in got] == [e.map_task_id for e in plan]
+    for m, result in enumerate(got):
+        assert result.payload == segment_bytes(*indexes[m], 0)
+
+
+def test_fetcher_pool_rejects_overconsumption(server):
+    pool = FetcherPool([], fetchers=1, policy=FAST_RETRIES).start()
+    try:
+        with pytest.raises(ShuffleError, match="exhausted"):
+            pool.next_result()
+    finally:
+        pool.close()

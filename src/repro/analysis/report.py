@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:
     from ..engine.runner import JobResult
+    from ..lint import LintReport
 
 
 @dataclass(frozen=True)
@@ -162,3 +163,33 @@ def render_shuffle_traffic(result: "JobResult") -> str:
         ["host", "served B", "reqs", "faults", "fetched B", "fetches", "retries", "backoff ms"],
         [r.row() for r in rows],
     )
+
+
+def render_lint_report(report: "LintReport") -> str:
+    """The static analyzer's findings as a text report.
+
+    Shows the findings table (rule, severity, ``file:line`` anchor,
+    message), the combiner fold-like verdict, every gating decision the
+    runner applied (the paper-facing part: *why* freqbuf ran or did not
+    run for this job), and any analyzer notes.
+    """
+    from .tables import render_table
+
+    lines: list[str] = []
+    if report.findings:
+        lines.append(
+            render_table(
+                f"lint findings: {report.subject}",
+                ["rule", "severity", "where", "message"],
+                [f.row() for f in report.findings],
+            )
+        )
+    else:
+        lines.append(f"lint: {report.subject}: no findings")
+    if report.fold_like is not None:
+        lines.append(f"combiner fold-like: {report.fold_like}")
+    for decision in report.gating:
+        lines.append(f"gating: {decision.describe()}")
+    for note in report.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 
-from .lexicon import NUM_TAGS, TAG_INDEX, TAGS, emission_log_probs
+from .lexicon import NUM_TAGS, TAGS, emission_log_probs
 
 _RAW_TRANSITIONS: dict[str, dict[str, float]] = {
     "NOUN": {"VERB": 4, "PREP": 3, "CONJ": 2, "NOUN": 2, "OTHER": 1},

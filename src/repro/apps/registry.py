@@ -77,6 +77,18 @@ EXTRA_REGISTRY: dict[str, AppEntry] = {
 
 EXTRA_APP_NAMES: tuple[str, ...] = tuple(EXTRA_REGISTRY)
 
+# Lint fixtures: deliberately rule-violating jobs kept out of the
+# benchmark registries (they exist to be *rejected* by `repro lint`,
+# never measured), but reachable by name so the CLI can demo findings.
+from .unsafe import build_unsafewordcount  # noqa: E402
+
+FIXTURE_REGISTRY: dict[str, AppEntry] = {
+    "unsafewordcount": AppEntry(
+        "unsafewordcount", build_unsafewordcount, True,
+        "WordCount variant violating every lint rule (analyzer fixture)",
+    ),
+}
+
 
 def build_application(
     name: str,
@@ -85,10 +97,10 @@ def build_application(
     **kwargs: Any,
 ) -> AppJob:
     """Build a registered application's job at the given dataset scale."""
-    entry = REGISTRY.get(name) or EXTRA_REGISTRY.get(name)
+    entry = REGISTRY.get(name) or EXTRA_REGISTRY.get(name) or FIXTURE_REGISTRY.get(name)
     if entry is None:
         raise KeyError(
             f"unknown application {name!r}; have "
-            f"{sorted(REGISTRY) + sorted(EXTRA_REGISTRY)}"
+            f"{sorted(REGISTRY) + sorted(EXTRA_REGISTRY) + sorted(FIXTURE_REGISTRY)}"
         )
     return entry.builder(scale=scale, conf_overrides=conf_overrides, **kwargs)

@@ -13,7 +13,6 @@ from __future__ import annotations
 from collections import Counter as PyCounter
 from typing import Any, Iterator, Mapping
 
-from ..config import Keys
 from ..engine.api import Combiner, Emitter, Mapper, Reducer
 from ..engine.costmodel import UserCodeCosts
 from ..engine.inputformat import TextInput

@@ -7,12 +7,16 @@ Usage::
     python -m repro.cli run wordcount --backend process --shuffle net --shuffle-fetchers 8
     python -m repro.cli cluster invertedindex --cluster local --config freq --gantt
     python -m repro.cli experiment table3
+    python -m repro.cli lint wordcount
+    python -m repro.cli lint all --json
     python -m repro.cli list
 
 ``run`` executes an application on the single-node engine and prints
 output stats plus the work breakdown; ``cluster`` runs it on a simulated
 cluster with optional Gantt chart; ``experiment`` regenerates one of the
-paper's tables/figures.
+paper's tables/figures; ``lint`` statically analyzes an application's
+user code against the job-safety rule catalog (``all`` sweeps every
+registered app plus the engine's own thread-contract self-lint).
 """
 
 from __future__ import annotations
@@ -24,8 +28,15 @@ import time
 
 from .analysis.breakdown import OP_ORDER, breakdown_from_ledger
 from .analysis.gantt import export_trace, render_gantt
-from .analysis.report import render_claims, render_shuffle_traffic
-from .apps.registry import APP_NAMES, EXTRA_APP_NAMES, EXTRA_REGISTRY, REGISTRY
+from .analysis.report import render_claims, render_lint_report, render_shuffle_traffic
+from .apps.registry import (
+    APP_NAMES,
+    EXTRA_APP_NAMES,
+    EXTRA_REGISTRY,
+    FIXTURE_REGISTRY,
+    REGISTRY,
+    build_application,
+)
 from .cluster.jobtracker import ClusterJobRunner
 from .cluster.specs import PRESET_CLUSTERS
 from .config import Keys
@@ -71,6 +82,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         Keys.EXEC_WORKERS: args.workers,
         Keys.EXEC_LIVE_PIPELINE: args.live_pipeline,
         Keys.SHUFFLE_MODE: args.shuffle,
+        Keys.LINT_MODE: args.lint,
     }
     if args.shuffle_fetchers is not None:
         extra[Keys.SHUFFLE_FETCHERS] = args.shuffle_fetchers
@@ -84,6 +96,8 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"in {elapsed:.3f}s (backend={args.backend}{workers}{shuffle})")
     if args.shuffle == "net":
         print(render_shuffle_traffic(result))
+    if result.lint_report is not None:
+        print(render_lint_report(result.lint_report))
     breakdown = breakdown_from_ledger(app.name, result.ledger)
     print(f"total work: {breakdown.total_work:.0f} units "
           f"(user {breakdown.user_share:.1%}, framework {breakdown.framework_share:.1%})")
@@ -119,6 +133,30 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     print()
     print(render_claims(result.claims))
     return 0 if all(c.holds for c in result.claims) else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import analyze_app, analyze_engine
+
+    reports = []
+    if args.app == "engine":
+        reports.append(analyze_engine())
+    else:
+        names = (
+            list(REGISTRY) + list(EXTRA_REGISTRY) if args.app == "all" else [args.app]
+        )
+        for name in names:
+            app = build_application(name, scale=args.scale)
+            reports.append(analyze_app(app))
+        if args.app == "all":
+            reports.append(analyze_engine())
+
+    if args.json:
+        print(json.dumps([r.as_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(render_lint_report(report))
+    return 1 if any(r.has_errors for r in reports) else 0
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -166,6 +204,11 @@ def main(argv: list[str] | None = None) -> int:
         "--shuffle-fetchers", type=int, default=None,
         help="parallel fetcher threads per reduce task (net shuffle only)",
     )
+    run_parser.add_argument(
+        "--lint", choices=("off", "warn", "strict"), default="off",
+        help="static job-safety analysis at submit: warn analyzes and "
+             "gates unproven optimizations, strict refuses unsafe jobs",
+    )
     run_parser.set_defaults(fn=cmd_run)
 
     cluster_parser = sub.add_parser("cluster", help="run an app on a simulated cluster")
@@ -178,6 +221,21 @@ def main(argv: list[str] | None = None) -> int:
     exp_parser = sub.add_parser("experiment", help="regenerate one paper table/figure")
     exp_parser.add_argument("name")
     exp_parser.set_defaults(fn=cmd_experiment)
+
+    lint_parser = sub.add_parser(
+        "lint", help="statically analyze an app's user code for job safety"
+    )
+    lint_parser.add_argument(
+        "app",
+        choices=APP_NAMES + EXTRA_APP_NAMES + tuple(FIXTURE_REGISTRY) + ("all", "engine"),
+        help="an application, 'all' (every registered app + engine "
+             "self-lint), or 'engine' (thread-contract self-lint only)",
+    )
+    lint_parser.add_argument("--scale", type=float, default=0.01,
+                             help="dataset scale used to materialize the job")
+    lint_parser.add_argument("--json", action="store_true",
+                             help="emit machine-readable reports")
+    lint_parser.set_defaults(fn=cmd_lint)
 
     list_parser = sub.add_parser("list", help="list applications and experiments")
     list_parser.set_defaults(fn=cmd_list)

@@ -60,6 +60,9 @@ class Keys:
     SHUFFLE_FAULT_DELAY = "repro.shuffle.fault.delay.seconds"  # for kind=delay
     SHUFFLE_FAULT_SEED = "repro.shuffle.fault.seed"
 
+    # --- static job-safety analysis (repro.lint) ---
+    LINT_MODE = "repro.lint.mode"  # off | warn | strict
+
     # --- engine ---
     NUM_REDUCERS = "repro.job.reduces"
     COMBINER_MIN_SPILL_RECORDS = "repro.combine.min.spill.records"
@@ -101,6 +104,7 @@ DEFAULTS: dict[str, Any] = {
     Keys.SHUFFLE_FAULT_ATTEMPTS: 1,
     Keys.SHUFFLE_FAULT_DELAY: 0.05,
     Keys.SHUFFLE_FAULT_SEED: 1234,
+    Keys.LINT_MODE: "off",
     Keys.SPILLMATCHER_ENABLED: False,
     Keys.SPILLMATCHER_MIN_PERCENT: 0.05,
     Keys.SPILLMATCHER_MAX_PERCENT: 0.95,

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from .rng import rng_for
 from .zipfian import ZipfSampler

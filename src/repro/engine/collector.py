@@ -17,7 +17,6 @@ they enter the buffer; spill-matcher plugs in as the
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Type
 
 from ..errors import SpillBufferError
 from ..io.blockdisk import LocalDisk
@@ -289,7 +288,6 @@ class StandardCollector(MapOutputCollector):
         intermediate merge passes; we reproduce that so merge I/O scales
         the same way.
         """
-        model = self.cost_model
         while len(indices) > self.sort_factor:
             batch, indices = indices[: self.sort_factor], indices[self.sort_factor :]
             merged = self._merge_batch(batch, f"{self.task_id}.m{len(self.spill_indices)}")

@@ -19,7 +19,6 @@ from ..serde.writable import SerdePair, Writable
 from .api import Combiner
 from .costmodel import UserCodeCosts
 from .counters import Counter, Counters
-from .instrumentation import Op
 
 
 class CombinerRunner:

@@ -31,7 +31,7 @@ from math import log2
 
 from ..errors import SpillBufferError
 from ..io.spillfile import SpillIndex, write_spill
-from ..serde.writable import SerdePair, Writable
+from ..serde.writable import SerdePair
 from .collector import StandardCollector
 from .counters import Counter
 from .instrumentation import Op
@@ -95,7 +95,7 @@ class HashGroupingCollector(StandardCollector):
         return self.buffer.capacity_bytes
 
     def _combine_group(self, slot: tuple[int, bytes]) -> None:
-        partition, key_bytes = slot
+        _, key_bytes = slot
         values = self._groups[slot]
         before = sum(len(v) for v in values)
         out = self.combiner_runner.combine_serialized(key_bytes, values)  # type: ignore[union-attr]

@@ -14,13 +14,12 @@ thread interleaving for Table II / Figure 9.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import UserCodeError
 from ..io.blockdisk import LocalDisk
 from ..io.linereader import FileSplit
 from ..io.spillfile import SpillIndex
-from ..serde.writable import Writable
 from .collector import MapOutputCollector
 from .counters import Counter, Counters
 from .instrumentation import Ledger, Op, TaskInstruments
@@ -99,7 +98,7 @@ class MapTaskRunner:
         start = time.perf_counter()
         try:
             result = self._run_task()
-        except BaseException:
+        except BaseException:  # noqa: BLE001 - cleanup, then always re-raised
             # A failed attempt must release collector resources — in live
             # pipeline mode the collector owns a real support thread that
             # would otherwise leak into the retry attempt.

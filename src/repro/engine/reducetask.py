@@ -3,12 +3,11 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Iterator
+from dataclasses import dataclass
 
 from ..errors import UserCodeError
 from ..io.merger import group_sorted, group_sorted_by
-from ..serde.writable import SerdePair, Writable
+from ..serde.writable import Writable
 from .counters import Counter, Counters
 from .instrumentation import Ledger, Op, TaskInstruments
 from .job import JobSpec

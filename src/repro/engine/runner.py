@@ -16,7 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from ..config import JobConf, Keys
+from ..errors import ConfigError, LintError
 from ..io.blockdisk import LocalDisk
 from ..serde.writable import Writable
 from .collector import MapOutputCollector, StandardCollector
@@ -28,6 +31,9 @@ from .maptask import MapTaskResult
 from .pipeline import PipelineResult
 from .reducetask import ReduceTaskResult
 from .spillpolicy import SpillPolicy, StaticSpillPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - lint layers on engine; typing only
+    from ..lint import LintReport
 
 
 @dataclass
@@ -43,6 +49,10 @@ class JobResult:
     #: ``mem`` mode).  Elements are
     #: :class:`~repro.shuffle.server.ShuffleHostStats`.
     shuffle_hosts: list = field(default_factory=list)
+    #: Static-analysis report (``repro.lint.mode`` = warn/strict only;
+    #: ``None`` when linting was off).  Carries any gating decisions the
+    #: runner applied, e.g. freqbuf forced off for an unverified combiner.
+    lint_report: "LintReport | None" = None
 
     def output_pairs(self) -> list[tuple[Writable, Writable]]:
         """All reduce outputs, in partition order then key order."""
@@ -208,6 +218,7 @@ class LocalJobRunner:
     def run(self, job: JobSpec) -> JobResult:
         from ..exec import create_executor
 
+        job, lint_report = lint_at_submit(job)
         executor = create_executor(
             job.conf.get_str(Keys.EXEC_BACKEND),
             workers=job.conf.get_int(Keys.EXEC_WORKERS),
@@ -216,4 +227,47 @@ class LocalJobRunner:
         # Share the dict so attempt counts are visible even when the run
         # raises (tests and tools inspect them after a JobFailedError).
         executor.task_attempts = self.task_attempts
-        return executor.run(job)
+        result = executor.run(job)
+        result.lint_report = lint_report
+        return result
+
+
+def lint_at_submit(job: JobSpec) -> "tuple[JobSpec, LintReport | None]":
+    """Apply ``repro.lint.mode`` to a job about to run.
+
+    ``off``
+        No analysis; the job runs exactly as configured.
+    ``warn``
+        Analyze and *gate*: optimizations the analyzer cannot prove
+        safe (today: frequency-buffering without a verified fold-like
+        combiner) are switched off in the returned job; findings ride
+        along in the report but never block the run.
+    ``strict``
+        As ``warn``, but a job with error-severity findings is refused
+        outright with :class:`~repro.errors.LintError` before any task
+        runs — the Manimal stance that an optimizing runtime should not
+        execute code it cannot reason about.
+    """
+    mode = job.conf.get_str(Keys.LINT_MODE)
+    if mode == "off":
+        return job, None
+    if mode not in ("warn", "strict"):
+        raise ConfigError(
+            f"{Keys.LINT_MODE}={mode!r} is not one of 'off', 'warn', 'strict'"
+        )
+    from ..lint import analyze_job, gate_job
+
+    report = analyze_job(job)
+    if mode == "strict" and report.has_errors:
+        summary = "; ".join(
+            f"{f.rule_id} at {f.anchor}" for f in report.errors[:4]
+        )
+        more = len(report.errors) - 4
+        if more > 0:
+            summary += f" (+{more} more)"
+        raise LintError(
+            f"job {job.name!r} refused by static analysis "
+            f"({len(report.errors)} error finding(s)): {summary}",
+            report=report,
+        )
+    return gate_job(job, report), report

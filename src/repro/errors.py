@@ -57,6 +57,19 @@ class ShuffleTransportError(ShuffleError):
     these with backoff; only exhaustion surfaces as :class:`ShuffleError`."""
 
 
+class LintError(ReproError):
+    """Static analysis refused the job (``repro.lint.mode = strict``).
+
+    Raised at submit time, before any task runs, when the analyzer finds
+    error-severity rule violations in the job's user code.  The full
+    report is attached as ``report`` so callers can render the findings.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class UserCodeError(ReproError):
     """User-supplied map/combine/reduce code raised an exception.
 

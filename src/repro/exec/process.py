@@ -28,7 +28,6 @@ import tempfile
 
 from ..engine.job import JobSpec
 from ..engine.maptask import MapTaskResult
-from ..engine.reducetask import ReduceTaskResult
 from ..engine.runner import JobResult
 from ..errors import ExecBackendError
 from ..io.blockdisk import LocalDisk

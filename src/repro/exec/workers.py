@@ -20,10 +20,8 @@ import itertools
 import os
 from dataclasses import dataclass
 
-from ..config import Keys
 from ..engine.job import JobSpec
 from ..engine.maptask import MapTaskResult
-from ..engine.reducetask import ReduceTaskResult
 from ..errors import JobFailedError
 from .base import map_task_id, reduce_task_id, run_map_with_retries, run_reduce_with_retries
 from .diskio import FileDisk

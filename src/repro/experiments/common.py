@@ -18,7 +18,6 @@ vocabulary the same coverage the paper's k gave theirs.
 
 from __future__ import annotations
 
-import math
 from typing import Any, Mapping
 
 from ..analysis.breakdown import Breakdown, breakdown_from_ledger

@@ -22,7 +22,6 @@ from ..core.freqbuf.predictors import (
 )
 from ..data.accesslog import AccessLogSpec, generate_user_visits
 from ..data.textcorpus import CorpusSpec, generate_corpus
-from .common import PAPER_TEXT_S
 
 EXPERIMENT = "fig7"
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from ..analysis.report import Claim, check
 from ..analysis.tables import render_table
-from ..cluster.jobtracker import ClusterJobResult, ClusterJobRunner
+from ..cluster.jobtracker import ClusterJobRunner
 from ..cluster.specs import ec2_cluster
 from ..config import Keys
 from .common import OPTIMIZATION_CONFIGS, build_app

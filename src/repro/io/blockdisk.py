@@ -13,7 +13,7 @@ parameters, and lets tests assert exact I/O volumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from ..errors import DiskError

@@ -16,7 +16,7 @@ ledger can charge it.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import log2
 from typing import Callable, Iterable, Iterator
 

@@ -1,0 +1,112 @@
+"""The analyzer entry points: run the catalog, verdict, gate.
+
+:func:`analyze_job` runs every per-job rule over a
+:class:`~repro.engine.job.JobSpec` and distils the combiner findings
+into a fold-like verdict; :func:`gate_job` turns that verdict into the
+Manimal move — an optimization the analysis cannot prove safe is
+switched off for this job, and the decision is recorded rather than
+silently applied.  :func:`analyze_engine` runs the engine's own
+thread-contract self-lint, which has no job target.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from ..config import Keys
+from ..engine.job import JobSpec
+from .findings import (
+    FOLD_NO_COMBINER,
+    FOLD_UNVERIFIED,
+    FOLD_VERIFIED,
+    FOLD_VIOLATED,
+    GatingDecision,
+    LintReport,
+)
+from .rules import EngineConcurrencyRule, job_rules
+from .target import resolve_target
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..apps.base import AppJob
+
+#: Rule-id prefix whose findings decide the fold-like verdict.
+_COMBINER_PREFIX = "combiner-"
+
+
+def analyze_job(job: JobSpec, subject: str | None = None) -> LintReport:
+    """Run the full rule catalog over one job."""
+    target = resolve_target(job)
+    report = LintReport(subject=subject or job.name)
+    report.notes.extend(target.notes)
+    for rule in job_rules():
+        report.extend(rule.check(target))
+    report.fold_like = _fold_verdict(target, report)
+    report.sort()
+    return report
+
+
+def analyze_app(app: "AppJob") -> LintReport:
+    """Analyze a registered benchmark application's job."""
+    return analyze_job(app.job, subject=app.name)
+
+
+def analyze_engine() -> LintReport:
+    """Self-lint the engine's documented thread contracts."""
+    rule = EngineConcurrencyRule()
+    report = LintReport(subject="engine")
+    report.notes.extend(c.describe() for c in rule.contracts)
+    report.extend(rule.check_engine())
+    report.sort()
+    return report
+
+
+def _fold_verdict(target, report: LintReport) -> str:
+    if target.combiner is None:
+        return FOLD_NO_COMBINER
+    if not target.combiner.analyzable:
+        return FOLD_UNVERIFIED
+    if report.findings_for(_COMBINER_PREFIX):
+        return FOLD_VIOLATED
+    return FOLD_VERIFIED
+
+
+def gate_job(job: JobSpec, report: LintReport) -> JobSpec:
+    """Apply the report's verdicts to the job's optimization switches.
+
+    Frequency-buffering eagerly re-applies the combiner inside the hash
+    buffer, so it is sound only for a verified fold-like combiner.  When
+    the job asks for it and the verdict is anything weaker, the returned
+    job runs with it forced off; the decision (either way) is appended
+    to ``report.gating``.  The input job is never mutated.
+    """
+    if not job.conf.get_bool(Keys.FREQBUF_ENABLED):
+        return job
+    if report.fold_like == FOLD_VERIFIED:
+        report.gating.append(
+            GatingDecision(
+                optimization="freqbuf",
+                action="kept",
+                reason="combiner statically verified fold-like",
+            )
+        )
+        return job
+    combiner_rules = tuple(
+        sorted({f.rule_id for f in report.findings_for(_COMBINER_PREFIX)})
+    )
+    reasons = {
+        FOLD_VIOLATED: "combiner violates the fold contract",
+        FOLD_UNVERIFIED: "combiner could not be statically verified",
+        FOLD_NO_COMBINER: "job declares no combiner to buffer with",
+    }
+    report.gating.append(
+        GatingDecision(
+            optimization="freqbuf",
+            action="disabled",
+            reason=reasons.get(report.fold_like, "combiner not verified"),
+            rule_ids=combiner_rules,
+        )
+    )
+    conf = job.conf.copy()
+    conf.set(Keys.FREQBUF_ENABLED, False)
+    return dataclasses.replace(job, conf=conf)

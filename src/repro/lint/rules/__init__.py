@@ -1,0 +1,38 @@
+"""The rule catalog.
+
+``JOB_RULES`` is the ordered set of per-job rules :func:`repro.lint.
+analyze_job` runs; :class:`EngineConcurrencyRule` is the engine
+self-lint (it has no job target and runs via :func:`repro.lint.
+analyze_engine` instead).
+"""
+
+from __future__ import annotations
+
+from .base import Rule
+from .combiner import CombinerAlgebraRule
+from .concurrency import EngineConcurrencyRule, ThreadContract
+from .pickling import PicklabilityRule
+from .purity import PurityRule
+from .serde import SerdeConsistencyRule
+
+
+def job_rules() -> tuple[Rule, ...]:
+    """Fresh instances of every per-job rule, in report order."""
+    return (
+        CombinerAlgebraRule(),
+        PurityRule(),
+        SerdeConsistencyRule(),
+        PicklabilityRule(),
+    )
+
+
+__all__ = [
+    "CombinerAlgebraRule",
+    "EngineConcurrencyRule",
+    "PicklabilityRule",
+    "PurityRule",
+    "Rule",
+    "SerdeConsistencyRule",
+    "ThreadContract",
+    "job_rules",
+]

@@ -1,0 +1,191 @@
+"""Self-lint: thread discipline of the engine's own shared classes.
+
+The live pipeline (:mod:`repro.exec.livepipeline`) runs parts of the
+collector stack on a real support thread while the map thread keeps
+collecting.  Its safety argument is a *written* protocol: the support
+thread works against thread-private accounting objects and may publish
+only through a small documented set of shared attributes; the map
+thread must never touch the support thread's private state outside the
+join points.  This rule turns that prose into a check, so a refactor
+that quietly adds a cross-thread write fails ``repro lint --engine``
+(and CI) instead of corrupting accounting one run in a thousand.
+
+Contract model (:class:`ThreadContract`), per class:
+
+* ``support_methods`` run on (or are invoked from) the support thread.
+  They may assign or mutate **only** ``shared_writes`` (the documented
+  cross-thread attributes, e.g. the parked ``_support_error``) and
+  ``support_private`` (the support thread's own accounting).
+* Every other method is map-side and may not read **or** write
+  ``support_private`` — except the ``join_methods``, where the two
+  sides legitimately meet (``__init__``, ``_join_support``, ``abort``).
+
+Mutation means attribute assignment or an in-place container-mutator
+call (``append``, ``update``, ...) on a ``self`` attribute.  Deeper
+aliasing is out of scope — the point is to freeze the documented
+protocol, not to prove the program.
+
+``engine-thread-safety`` (error) findings anchor to the offending
+statement in the engine source.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..findings import Finding, Severity
+from ..source import class_source
+from .base import MUTATOR_METHODS, finding
+
+RULE_ID = "engine-thread-safety"
+
+
+@dataclass(frozen=True)
+class ThreadContract:
+    """The documented thread protocol of one engine class."""
+
+    cls: type
+    support_methods: tuple[str, ...]
+    #: Attributes either side may write (the documented handoff surface).
+    shared_writes: tuple[str, ...] = ()
+    #: The support thread's private state; map-side code must not touch.
+    support_private: tuple[str, ...] = ()
+    #: Methods where both sides legitimately meet; exempt from checks.
+    join_methods: tuple[str, ...] = ("__init__",)
+
+    def describe(self) -> str:
+        return (
+            f"{self.cls.__module__}.{self.cls.__qualname__}: support side = "
+            f"{', '.join(self.support_methods) or '(none)'}"
+        )
+
+
+def _default_contracts() -> tuple[ThreadContract, ...]:
+    # Imported lazily so `repro.lint` does not drag the execution stack
+    # in at import time (core already layers on engine).
+    from ...engine.collector import StandardCollector
+    from ...exec.livepipeline import LiveStandardCollector
+
+    return (
+        # The modelled collector's consume path doubles as the live
+        # support thread's work loop: accounting sinks are parameters,
+        # and the only self-mutation allowed is publishing the finished
+        # spill index (map side reads it after join, in flush()).
+        ThreadContract(
+            cls=StandardCollector,
+            support_methods=("_consume_spill", "_run_combiner"),
+            shared_writes=("spill_indices",),
+        ),
+        # The live pipeline: support loop may park an error and publish
+        # the next spill target; its accounting stays in _support_*
+        # privates that map-side code must not touch until join.  The
+        # spill buffer itself is map-private — it is drained *before*
+        # the handoff, so any support-side touch of `buffer` is a bug
+        # this contract catches.
+        ThreadContract(
+            cls=LiveStandardCollector,
+            support_methods=("_support_loop", "_observe"),
+            shared_writes=("_support_error", "_spill_target", "spill_indices"),
+            support_private=("_support_instruments", "_support_counters", "_support_combiner"),
+            join_methods=("__init__", "_join_support", "abort"),
+        ),
+    )
+
+
+@dataclass
+class EngineConcurrencyRule:
+    """Checks engine thread contracts (runs in self-lint, not per job)."""
+
+    prefix: str = RULE_ID
+    contracts: tuple[ThreadContract, ...] = field(default_factory=_default_contracts)
+
+    def check_engine(self) -> Iterable[Finding]:
+        for contract in self.contracts:
+            yield from self._check_contract(contract)
+
+    def _check_contract(self, contract: ThreadContract) -> Iterator[Finding]:
+        source = class_source(contract.cls)
+        if source is None:
+            # An unresolvable engine class is itself a regression worth
+            # failing on: the contract silently stopped being checked.
+            file = getattr(contract.cls, "__module__", "<unknown>")
+            yield Finding(RULE_ID, Severity.ERROR, file, 0,
+                          f"cannot resolve source for contracted class {contract.describe()}")
+            return
+        allowed_support = set(contract.shared_writes) | set(contract.support_private)
+        for func in source.methods():
+            if func.name in contract.join_methods:
+                continue
+            if func.name in contract.support_methods:
+                yield from self._check_support_side(contract, source.file, func, allowed_support)
+            else:
+                yield from self._check_map_side(contract, source.file, func)
+
+    def _check_support_side(
+        self, contract: ThreadContract, file: str, func: ast.FunctionDef, allowed: set[str]
+    ) -> Iterator[Finding]:
+        cls_name = contract.cls.__name__
+        for node, attr in _self_writes(func):
+            if attr not in allowed:
+                yield finding(
+                    RULE_ID, Severity.ERROR, file, node,
+                    f"{cls_name}.{func.name}() runs on the support thread but "
+                    f"writes self.{attr}, which is not in the documented "
+                    f"shared set {sorted(allowed)}",
+                )
+
+    def _check_map_side(
+        self, contract: ThreadContract, file: str, func: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        if not contract.support_private:
+            return
+        cls_name = contract.cls.__name__
+        private = set(contract.support_private)
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in private
+            ):
+                yield finding(
+                    RULE_ID, Severity.ERROR, file, node,
+                    f"{cls_name}.{func.name}() is map-side but touches the "
+                    f"support thread's private self.{node.attr} outside the "
+                    f"join methods {sorted(contract.join_methods)}",
+                )
+
+
+def _self_writes(func: ast.FunctionDef) -> Iterator[tuple[ast.AST, str]]:
+    """Attribute assignments and container-mutator calls on ``self``."""
+    for node in ast.walk(func):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for tgt in targets:
+            if (
+                isinstance(tgt, ast.Attribute)
+                and isinstance(tgt.value, ast.Name)
+                and tgt.value.id == "self"
+            ):
+                yield node, tgt.attr
+            elif (
+                isinstance(tgt, ast.Subscript)
+                and isinstance(tgt.value, ast.Attribute)
+                and isinstance(tgt.value.value, ast.Name)
+                and tgt.value.value.id == "self"
+            ):
+                yield node, tgt.value.attr
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATOR_METHODS
+            and isinstance(node.func.value, ast.Attribute)
+            and isinstance(node.func.value.value, ast.Name)
+            and node.func.value.value.id == "self"
+        ):
+            yield node, node.func.value.attr

@@ -1,0 +1,106 @@
+"""Picklability of what actually crosses the process boundary.
+
+The process backend forks its workers, so job specs — lambdas,
+closures, and all — are inherited, never pickled (see
+:mod:`repro.exec.workers`).  What *is* pickled is results: spill
+indexes, counters, and reduce output, which contains live
+:class:`~repro.serde.writable.Writable` instances.  A writable class
+that pickle cannot find by qualified name dies mid-run, after the maps
+have already burned their CPU — the exact failure mode this rule
+rejects at submit time:
+
+``pickle-local-writable`` (error)
+    A declared map-output class (or a class a per-record method
+    resolvably emits) defined inside a function body (``<locals>`` in
+    its qualname) with no custom ``__reduce__``/``__getstate__``:
+    ``pickle.dumps`` on an instance raises ``PicklingError`` in the
+    worker.  Dynamically-manufactured classes that implement
+    ``__reduce__`` (e.g. ``repro.serde.composite``'s Pair/Array types)
+    pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..findings import Finding, Severity
+from ..source import ClassSource, class_location
+from ..target import JobTarget
+from .base import Rule, iter_emit_calls, method_params
+from .serde import _emitted_class  # shared emit-argument resolution
+
+
+def _custom_pickle_protocol(cls: type) -> bool:
+    """Does the class (not ``object``) define its own pickling hooks?"""
+    return any(
+        name in ancestor.__dict__
+        for ancestor in cls.__mro__[:-1]  # exclude object
+        for name in ("__reduce__", "__reduce_ex__", "__getstate__")
+    )
+
+
+def _unpicklable_by_name(cls: type) -> bool:
+    return "<locals>" in getattr(cls, "__qualname__", "") and not _custom_pickle_protocol(cls)
+
+
+class PicklabilityRule(Rule):
+    prefix = "pickle-"
+    description = "emitted writables must survive the process backend's result pickle"
+
+    def check(self, target: JobTarget) -> Iterable[Finding]:
+        seen: set[type] = set()
+        for declared, which in (
+            (target.job.map_output_key_cls, "map-output key"),
+            (target.job.map_output_value_cls, "map-output value"),
+        ):
+            if declared in seen:
+                continue
+            seen.add(declared)
+            if _unpicklable_by_name(declared):
+                file, line = class_location(declared)
+                yield Finding(
+                    rule_id="pickle-local-writable",
+                    severity=Severity.ERROR,
+                    file=file,
+                    line=line,
+                    message=(
+                        f"declared {which} class {declared.__name__} is "
+                        f"function-local ({declared.__qualname__}) with no "
+                        "__reduce__: the process backend cannot pickle its "
+                        "instances back from workers"
+                    ),
+                )
+
+        # Reduce output is pickled back verbatim; check what reduce()
+        # resolvably constructs too.
+        reducer = target.reducer
+        if reducer.analyzable:
+            assert reducer.source is not None
+            yield from self._check_reduce_emits(reducer.source, seen)
+
+    def _check_reduce_emits(
+        self, source: ClassSource, seen: set[type]
+    ) -> Iterable[Finding]:
+        func = source.method("reduce")
+        if func is None:
+            return
+        _, _, emit_name = method_params(func)
+        for call in iter_emit_calls(func, emit_name):
+            for arg in call.args[:2]:
+                emitted = _emitted_class(arg, source.namespace)
+                if emitted is None or emitted in seen:
+                    continue
+                seen.add(emitted)
+                if _unpicklable_by_name(emitted):
+                    yield Finding(
+                        rule_id="pickle-local-writable",
+                        severity=Severity.ERROR,
+                        file=source.file,
+                        line=getattr(arg, "lineno", 0),
+                        message=(
+                            f"{source.cls.__name__}.reduce() emits "
+                            f"function-local class {emitted.__qualname__} "
+                            "with no __reduce__: reduce output is pickled "
+                            "back from process-backend workers"
+                        ),
+                    )

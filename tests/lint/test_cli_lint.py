@@ -1,0 +1,62 @@
+"""The ``repro lint`` CLI surface: exit codes, text and JSON reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.registry import EXTRA_REGISTRY, REGISTRY
+from repro.cli import main
+
+ALL_APPS = sorted(REGISTRY) + sorted(EXTRA_REGISTRY)
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+def test_every_registered_app_exits_zero(name, capsys):
+    assert main(["lint", name]) == 0
+    out = capsys.readouterr().out
+    assert "no findings" in out
+
+
+def test_unsafe_fixture_exits_nonzero(capsys):
+    assert main(["lint", "unsafewordcount"]) == 1
+    out = capsys.readouterr().out
+    assert "purity-global-write" in out
+    assert "unsafe.py:" in out  # real file:line anchors in the table
+
+
+def test_engine_selflint(capsys):
+    assert main(["lint", "engine"]) == 0
+    out = capsys.readouterr().out
+    assert "no findings" in out
+
+
+def test_lint_all_sweeps_apps_and_engine(capsys):
+    assert main(["lint", "all"]) == 0
+    out = capsys.readouterr().out
+    for name in ALL_APPS:
+        assert name in out
+    assert "engine" in out
+
+
+def test_json_reports_parse(capsys):
+    assert main(["lint", "unsafewordcount", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert isinstance(payload, list) and len(payload) == 1
+    report = payload[0]
+    assert report["subject"] == "unsafewordcount"
+    rule_ids = {f["rule_id"] for f in report["findings"]}
+    assert {"purity-global-write", "combiner-key-rewrite"} <= rule_ids
+    assert all(f["line"] > 0 for f in report["findings"])
+
+
+def test_run_with_lint_flag_prints_report(capsys):
+    code = main([
+        "run", "wordcount", "--scale", "0.01", "--splits", "2",
+        "--lint", "warn",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "lint: wordcount: no findings" in out
+    assert "fold-like: verified" in out

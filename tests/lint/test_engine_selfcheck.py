@@ -1,0 +1,68 @@
+"""The engine's thread-contract self-lint: clean today, and able to catch
+the regressions it exists for (verified against deliberately broken
+classes checked under synthetic contracts)."""
+
+from __future__ import annotations
+
+from repro.lint import analyze_engine
+from repro.lint.rules.concurrency import EngineConcurrencyRule, ThreadContract
+
+
+def test_shipped_engine_contracts_hold():
+    report = analyze_engine()
+    assert report.clean, [f.message for f in report.findings]
+    assert report.subject == "engine"
+    # The contracts under check are surfaced, so a silently-empty
+    # self-lint is distinguishable from a passing one.
+    assert any("StandardCollector" in note for note in report.notes)
+    assert any("LiveStandardCollector" in note for note in report.notes)
+
+
+class LeakyWorker:
+    """Support loop writes an attribute outside its documented set, and a
+    map-side method reads the support thread's private state."""
+
+    def __init__(self):
+        self._done = False
+        self._support_buf = []
+        self.results = []
+
+    def _support_loop(self):
+        self._support_buf.append(1)  # allowed: support-private
+        self.results.append(2)  # violation: undeclared shared write
+
+    def collect(self, record):
+        return len(self._support_buf)  # violation: map-side touch
+
+    def _join(self):
+        self._done = True  # join method: exempt
+
+
+LEAKY_CONTRACT = ThreadContract(
+    cls=LeakyWorker,
+    support_methods=("_support_loop",),
+    shared_writes=("_done",),
+    support_private=("_support_buf",),
+    join_methods=("__init__", "_join"),
+)
+
+
+def test_support_side_and_map_side_violations_detected():
+    rule = EngineConcurrencyRule(contracts=(LEAKY_CONTRACT,))
+    findings = list(rule.check_engine())
+    messages = [f.message for f in findings]
+    assert len(findings) == 2
+    assert all(f.rule_id == "engine-thread-safety" for f in findings)
+    assert any("writes self.results" in m for m in messages)
+    assert any("touches the support thread's private self._support_buf" in m
+               for m in messages)
+    # Anchored to this test file, at real lines.
+    assert all(f.file.endswith("test_engine_selfcheck.py") for f in findings)
+    assert all(f.line > 0 for f in findings)
+
+
+def test_join_methods_are_exempt():
+    rule = EngineConcurrencyRule(contracts=(LEAKY_CONTRACT,))
+    flagged_methods = {f.message.split("(")[0] for f in rule.check_engine()}
+    assert "LeakyWorker._join" not in flagged_methods
+    assert "LeakyWorker.__init__" not in flagged_methods

@@ -1,0 +1,137 @@
+"""Submit-time behavior of ``repro.lint.mode``: warn gates, strict refuses.
+
+The gating end-to-end case uses a combiner that is *correct* (its
+second emit adds zero) but statically unverifiable (two unconditional
+emits), so the job genuinely runs both ways and we can assert that
+warn-mode forces freqbuf off without changing output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.registry import build_application
+from repro.config import JobConf, Keys
+from repro.engine.api import Combiner
+from repro.engine.inputformat import TextInput
+from repro.engine.job import JobSpec
+from repro.engine.runner import LocalJobRunner, lint_at_submit
+from repro.errors import ConfigError, LintError
+from repro.lint.findings import FOLD_VIOLATED
+from repro.serde.numeric import VIntWritable
+from repro.serde.text import Text
+
+from tests.conftest import SumReducer, TokenMapper
+
+
+class NoisyButCorrectCombiner(Combiner):
+    """Sums, then also emits a zero — harmless for addition, but two
+    unconditional emits fail the fold check (combiner-multi-emit)."""
+
+    def combine(self, key, values, emit):
+        emit(key, VIntWritable(sum(v.value for v in values)))
+        emit(key, VIntWritable(0))
+
+
+def noisy_job(data: bytes, mode: str, freqbuf: bool) -> JobSpec:
+    conf = JobConf({
+        Keys.SPILL_BUFFER_BYTES: 4096,
+        Keys.NUM_REDUCERS: 2,
+        Keys.LINT_MODE: mode,
+        Keys.FREQBUF_ENABLED: freqbuf,
+    })
+    return JobSpec(
+        name="noisy-wc",
+        input_format=TextInput(data, split_size=max(1, len(data) // 2)),
+        mapper_factory=TokenMapper,
+        reducer_factory=SumReducer,
+        combiner_factory=NoisyButCorrectCombiner,
+        map_output_key_cls=Text,
+        map_output_value_cls=VIntWritable,
+        conf=conf,
+    )
+
+
+def test_off_mode_runs_without_analysis(tiny_text):
+    result = LocalJobRunner().run(noisy_job(tiny_text, "off", freqbuf=False))
+    assert result.lint_report is None
+
+
+def test_warn_mode_gates_freqbuf_off_and_still_runs(tiny_text, wordcount_truth):
+    job = noisy_job(tiny_text, "warn", freqbuf=True)
+    result = LocalJobRunner().run(job)
+
+    report = result.lint_report
+    assert report is not None
+    assert report.fold_like == FOLD_VIOLATED
+    assert "combiner-multi-emit" in report.rule_ids()
+    decisions = {(g.optimization, g.action) for g in report.gating}
+    assert ("freqbuf", "disabled") in decisions
+    assert any("combiner-multi-emit" in g.rule_ids for g in report.gating)
+
+    # The caller's JobSpec is untouched; the gate acted on a copy.
+    assert job.conf.get_bool(Keys.FREQBUF_ENABLED) is True
+
+    # And the output is still exactly right.
+    truth = wordcount_truth(tiny_text)
+    got = {k.value: v.value for k, v in result.output_pairs()}
+    assert got == truth
+
+
+def test_warn_mode_keeps_verified_freqbuf(tiny_text):
+    from tests.conftest import make_wordcount_job
+
+    job = make_wordcount_job(
+        tiny_text,
+        conf_overrides={Keys.LINT_MODE: "warn", Keys.FREQBUF_ENABLED: True},
+    )
+    gated, report = lint_at_submit(job)
+    assert gated.conf.get_bool(Keys.FREQBUF_ENABLED) is True
+    assert [(g.optimization, g.action) for g in report.gating] == [("freqbuf", "kept")]
+
+
+def test_gating_decision_visible_in_rendered_report(tiny_text):
+    from repro.analysis.report import render_lint_report
+
+    result = LocalJobRunner().run(noisy_job(tiny_text, "warn", freqbuf=True))
+    text = render_lint_report(result.lint_report)
+    assert "freqbuf disabled" in text
+    assert "combiner-multi-emit" in text
+    assert "fold-like: violated" in text
+
+
+def test_strict_refuses_unsafe_job():
+    app = build_application(
+        "unsafewordcount", scale=0.005,
+        conf_overrides={Keys.LINT_MODE: "strict"},
+    )
+    with pytest.raises(LintError) as excinfo:
+        LocalJobRunner().run(app.job)
+    assert "refused by static analysis" in str(excinfo.value)
+    assert excinfo.value.report is not None
+    assert excinfo.value.report.has_errors
+
+
+def test_strict_allows_warning_only_jobs(tiny_text, wordcount_truth):
+    # Warnings gate optimizations but never refuse the job.
+    result = LocalJobRunner().run(noisy_job(tiny_text, "strict", freqbuf=True))
+    assert result.lint_report is not None
+    got = {k.value: v.value for k, v in result.output_pairs()}
+    assert got == wordcount_truth(tiny_text)
+
+
+def test_unknown_mode_rejected(tiny_text):
+    with pytest.raises(ConfigError):
+        LocalJobRunner().run(noisy_job(tiny_text, "paranoid", freqbuf=False))
+
+
+def test_registered_apps_run_clean_under_strict():
+    app = build_application(
+        "wordcount", scale=0.01,
+        conf_overrides={Keys.LINT_MODE: "strict", Keys.FREQBUF_ENABLED: True},
+    )
+    result = LocalJobRunner().run(app.job)
+    assert result.lint_report.clean
+    assert [(g.optimization, g.action) for g in result.lint_report.gating] == [
+        ("freqbuf", "kept")
+    ]

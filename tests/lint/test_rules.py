@@ -1,0 +1,188 @@
+"""Unit tests for individual rules over purpose-built job specs.
+
+Classes live at module level so ``inspect`` can recover their source —
+the same requirement real user jobs meet.
+"""
+
+from __future__ import annotations
+
+from repro.engine.api import Combiner, FnMapper, Mapper, Reducer
+from repro.engine.inputformat import TextInput
+from repro.engine.job import JobSpec
+from repro.lint import analyze_job
+from repro.lint.findings import FOLD_UNVERIFIED, FOLD_VERIFIED
+from repro.serde.numeric import VIntWritable
+from repro.serde.text import Text
+
+
+class OkMapper(Mapper):
+    def map(self, key, value, emit):
+        for word in value.value.split():
+            emit(Text(word), VIntWritable(1))
+
+
+class OkReducer(Reducer):
+    def reduce(self, key, values, emit):
+        emit(key, VIntWritable(sum(v.value for v in values)))
+
+
+class OkCombiner(Combiner):
+    def combine(self, key, values, emit):
+        emit(key, VIntWritable(sum(v.value for v in values)))
+
+
+def make_job(mapper=OkMapper, reducer=OkReducer, combiner=None,
+             key_cls=Text, value_cls=VIntWritable):
+    return JobSpec(
+        name="lint-unit",
+        input_format=TextInput(b"a b a\n", split_size=6),
+        mapper_factory=mapper,
+        reducer_factory=reducer,
+        combiner_factory=combiner,
+        map_output_key_cls=key_cls,
+        map_output_value_cls=value_cls,
+    )
+
+
+# ----------------------------------------------------------------------
+# combiner algebra
+# ----------------------------------------------------------------------
+class SilentCombiner(Combiner):
+    def combine(self, key, values, emit):
+        total = sum(v.value for v in values)  # computed, never emitted
+        self.last = total
+
+
+class LoopingCombiner(Combiner):
+    """PageRank-shaped: emits inside a loop, same key every time."""
+
+    def combine(self, key, values, emit):
+        total = 0
+        for v in values:
+            if v.value < 0:
+                emit(key, v)
+            else:
+                total += v.value
+        if total:
+            emit(key, VIntWritable(total))
+
+
+def test_missing_emit_and_stateful():
+    report = analyze_job(make_job(combiner=SilentCombiner))
+    assert "combiner-missing-emit" in report.rule_ids()
+    assert "combiner-stateful" in report.rule_ids()
+
+
+def test_conditional_and_loop_emits_are_not_multi_emit():
+    report = analyze_job(make_job(combiner=LoopingCombiner))
+    assert "combiner-multi-emit" not in report.rule_ids()
+    assert "combiner-key-rewrite" not in report.rule_ids()
+    assert report.fold_like == FOLD_VERIFIED
+
+
+def test_clean_combiner_verified():
+    report = analyze_job(make_job(combiner=OkCombiner))
+    assert report.clean
+    assert report.fold_like == FOLD_VERIFIED
+
+
+# ----------------------------------------------------------------------
+# purity
+# ----------------------------------------------------------------------
+class FileReadingMapper(Mapper):
+    def map(self, key, value, emit):
+        with open("/etc/hostname") as fh:  # noqa - deliberate
+            emit(Text(fh.read()), VIntWritable(1))
+
+
+class SetupStateMapper(Mapper):
+    """State in setup() is the documented pattern and must pass."""
+
+    def setup(self):
+        self.table = {}
+
+    def map(self, key, value, emit):
+        emit(Text(value.value), VIntWritable(len(self.table)))
+
+
+def test_per_record_io_warns():
+    report = analyze_job(make_job(mapper=FileReadingMapper))
+    assert "purity-io" in report.rule_ids()
+
+
+def test_setup_state_is_exempt():
+    report = analyze_job(make_job(mapper=SetupStateMapper))
+    assert "purity-task-state" not in report.rule_ids()
+    assert report.clean
+
+
+# ----------------------------------------------------------------------
+# serde consistency
+# ----------------------------------------------------------------------
+class WrongKeyMapper(Mapper):
+    def map(self, key, value, emit):
+        emit(VIntWritable(1), VIntWritable(1))  # declared key is Text
+
+
+def test_key_mismatch():
+    report = analyze_job(make_job(mapper=WrongKeyMapper))
+    assert "serde-key-mismatch" in report.rule_ids()
+    assert "serde-value-mismatch" not in report.rule_ids()
+
+
+# ----------------------------------------------------------------------
+# picklability
+# ----------------------------------------------------------------------
+def _local_cls():
+    class Hidden(VIntWritable):
+        pass
+
+    return Hidden
+
+
+Hidden = _local_cls()
+
+
+class HiddenEmittingReducer(Reducer):
+    def reduce(self, key, values, emit):
+        emit(key, Hidden(sum(v.value for v in values)))
+
+
+def test_reduce_emitting_local_class_flagged():
+    report = analyze_job(make_job(reducer=HiddenEmittingReducer))
+    assert "pickle-local-writable" in report.rule_ids()
+
+
+def test_dynamic_writables_with_reduce_pass():
+    from repro.serde.composite import array_writable_type
+
+    arr = array_writable_type(VIntWritable)
+    report = analyze_job(make_job(value_cls=arr))
+    assert "pickle-local-writable" not in report.rule_ids()
+
+
+# ----------------------------------------------------------------------
+# unanalyzable targets stay honest
+# ----------------------------------------------------------------------
+def test_fn_adapter_is_noted_not_guessed():
+    job = make_job(
+        mapper=lambda: FnMapper(lambda k, v, emit: None),
+        combiner=OkCombiner,
+    )
+    report = analyze_job(job)
+    assert any("adapter" in note for note in report.notes)
+    # The analyzable combiner is still verified.
+    assert report.fold_like == FOLD_VERIFIED
+
+
+class UnverifiableCombinerFactory:
+    """A factory that raises, so the combiner cannot be probed."""
+
+    def __call__(self):
+        raise RuntimeError("no instance for you")
+
+
+def test_unprobeable_combiner_is_unverified():
+    report = analyze_job(make_job(combiner=UnverifiableCombinerFactory()))
+    assert report.fold_like == FOLD_UNVERIFIED
+    assert any("factory raised" in note for note in report.notes)

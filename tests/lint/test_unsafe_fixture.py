@@ -1,0 +1,91 @@
+"""The deliberately-unsafe fixture must trip every rule, at the right line.
+
+Line expectations are located by scanning the fixture's source for the
+offending snippet, so the assertions survive edits that merely move
+code around — what matters is that each finding anchors to the actual
+offending statement.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import repro.apps.unsafe as unsafe_mod
+from repro.apps.registry import FIXTURE_REGISTRY, build_application
+from repro.lint import analyze_app
+from repro.lint.findings import FOLD_VIOLATED, Severity
+
+
+def _line_of(snippet: str) -> int:
+    source = inspect.getsource(unsafe_mod)
+    for i, line in enumerate(source.splitlines(), start=1):
+        if snippet in line:
+            return i
+    raise AssertionError(f"snippet {snippet!r} not found in fixture source")
+
+
+def _report():
+    app = build_application("unsafewordcount", scale=0.005)
+    return analyze_app(app)
+
+
+def test_fixture_registered_outside_benchmarks():
+    assert "unsafewordcount" in FIXTURE_REGISTRY
+    from repro.apps.registry import EXTRA_REGISTRY, REGISTRY
+
+    assert "unsafewordcount" not in REGISTRY
+    assert "unsafewordcount" not in EXTRA_REGISTRY
+
+
+def test_at_least_four_distinct_rules_fire():
+    report = _report()
+    assert len(report.rule_ids()) >= 4, sorted(report.rule_ids())
+    assert report.has_errors
+    assert report.fold_like == FOLD_VIOLATED
+
+
+EXPECTED = {
+    "purity-global-write": "global RECORDS_SEEN",
+    "purity-nondeterministic": "self.last_stamp = time.time()",
+    "purity-task-state": "self.last_stamp = time.time()",
+    "serde-value-mismatch": "emit(Text(word), Text(word))",
+    "combiner-count-dependent": "batch = len(values)",
+    "combiner-key-rewrite": "emit(Text(key.value.upper())",
+    "combiner-multi-emit": "emit(key, VIntWritable(0))",
+    "pickle-local-writable": "class LocalCounter(VIntWritable):",
+}
+
+
+def test_each_rule_fires_with_correct_anchor():
+    report = _report()
+    by_rule = {f.rule_id: f for f in report.findings}
+    fixture_file = inspect.getsourcefile(unsafe_mod)
+    for rule_id, snippet in EXPECTED.items():
+        assert rule_id in by_rule, f"{rule_id} did not fire"
+        finding = by_rule[rule_id]
+        assert finding.file == fixture_file
+        assert finding.line == _line_of(snippet), (
+            f"{rule_id} anchored to line {finding.line}, "
+            f"expected the line of {snippet!r}"
+        )
+
+
+def test_severities():
+    report = _report()
+    by_rule = {f.rule_id: f.severity for f in report.findings}
+    assert by_rule["purity-global-write"] is Severity.ERROR
+    assert by_rule["purity-nondeterministic"] is Severity.ERROR
+    assert by_rule["purity-task-state"] is Severity.WARNING
+    assert by_rule["combiner-multi-emit"] is Severity.WARNING
+    assert by_rule["combiner-key-rewrite"] is Severity.ERROR
+    assert by_rule["pickle-local-writable"] is Severity.ERROR
+
+
+def test_report_serializes():
+    report = _report()
+    payload = report.as_dict()
+    assert payload["subject"] == "unsafewordcount"
+    assert payload["fold_like"] == FOLD_VIOLATED
+    assert all({"rule_id", "severity", "file", "line", "message"} <= set(f)
+               for f in payload["findings"])
+    assert "purity-global-write" in report.to_json()

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:
+    from ..dag.result import PipelineResult
     from ..engine.runner import JobResult
     from ..lint import LintReport
 
@@ -163,6 +164,67 @@ def render_shuffle_traffic(result: "JobResult") -> str:
         ["host", "served B", "reqs", "faults", "fetched B", "fetches", "retries", "backoff ms"],
         [r.row() for r in rows],
     )
+
+
+def job_stamp(result: "JobResult") -> str:
+    """One-line provenance for a finished job: the deterministic job id
+    plus the output content digest (truncated) — enough to recognize a
+    rerun of the same job producing the same bytes."""
+    job_id = result.job_id or "?"
+    return f"job {job_id}  output sha256:{result.output_digest()[:12]}"
+
+
+def render_pipeline_report(result: "PipelineResult") -> str:
+    """The per-stage table of one pipeline run.
+
+    One row per stage — status, whether the result cache satisfied it,
+    the iterative driver's iteration count, wall time, bytes handed off
+    through the DFS, and provenance (job id + output digest) — followed
+    by the cache totals and any failure/skip detail.
+    """
+    from ..dag.result import StageStatus
+    from ..engine.counters import Counter
+    from .tables import render_table
+
+    rows = []
+    for stage in result.stages:
+        if stage.status is StageStatus.DONE:
+            iters = str(stage.iterations) if stage.iterations else "-"
+            if stage.converged is False:
+                iters += " (no fixpoint)"
+            rows.append([
+                stage.stage,
+                stage.status.value,
+                "hit" if stage.cache_hit else "miss",
+                iters,
+                f"{stage.seconds:.3f}",
+                str(stage.output_bytes),
+                stage.job_id or "-",
+                stage.output_digest[:12] if stage.output_digest else "-",
+            ])
+        else:
+            rows.append([
+                stage.stage, stage.status.value, "-", "-",
+                f"{stage.seconds:.3f}", "-", "-", "-",
+            ])
+    lines = [
+        render_table(
+            f"pipeline {result.pipeline}: {result.seconds:.3f}s",
+            ["stage", "status", "cache", "iters", "seconds", "out bytes", "job id", "output"],
+            rows,
+        )
+    ]
+    hits = result.counters.get(Counter.PIPELINE_CACHE_HITS)
+    misses = result.counters.get(Counter.PIPELINE_CACHE_MISSES)
+    handoff = result.counters.get(Counter.PIPELINE_HANDOFF_BYTES)
+    lines.append(
+        f"cache: {hits} hit(s), {misses} miss(es); "
+        f"{handoff} dataset byte(s) handed off via DFS"
+    )
+    for stage in result.stages:
+        if stage.status in (StageStatus.FAILED, StageStatus.SKIPPED):
+            lines.append(stage.describe())
+    return "\n".join(lines)
 
 
 def render_lint_report(report: "LintReport") -> str:

@@ -73,6 +73,29 @@ def invertedindex_oracle(data: bytes) -> dict[str, str]:
     return {word: ",".join(str(p) for p in sorted(ps)) for word, ps in postings.items()}
 
 
+def invertedindex_jobspec(
+    data: bytes,
+    conf_overrides: Mapping[str, Any] | None = None,
+    num_splits: int = 4,
+    path: str = "corpus.txt",
+    name: str = "invertedindex",
+) -> JobSpec:
+    """An InvertedIndex job over *data* — any text dataset, including
+    another stage's rendered output in a pipeline."""
+    split_size = max(1, len(data) // num_splits)
+    return JobSpec(
+        name=name,
+        input_format=TextInput(data, split_size=split_size, path=path),
+        mapper_factory=InvertedIndexMapper,
+        reducer_factory=InvertedIndexReducer,
+        combiner_factory=InvertedIndexCombiner,
+        map_output_key_cls=Text,
+        map_output_value_cls=Text,
+        conf=make_conf(conf_overrides),
+        user_costs=INVERTEDINDEX_COSTS,
+    )
+
+
 def build_invertedindex(
     scale: float = 0.1,
     conf_overrides: Mapping[str, Any] | None = None,
@@ -82,20 +105,7 @@ def build_invertedindex(
     """Assemble an InvertedIndex job over a generated corpus."""
     spec = CorpusSpec(seed=seed).scaled(scale)
     data = generate_corpus(spec)
-    conf = make_conf(conf_overrides)
-    split_size = max(1, len(data) // num_splits)
-
-    job = JobSpec(
-        name="invertedindex",
-        input_format=TextInput(data, split_size=split_size, path="corpus.txt"),
-        mapper_factory=InvertedIndexMapper,
-        reducer_factory=InvertedIndexReducer,
-        combiner_factory=InvertedIndexCombiner,
-        map_output_key_cls=Text,
-        map_output_value_cls=Text,
-        conf=conf,
-        user_costs=INVERTEDINDEX_COSTS,
-    )
+    job = invertedindex_jobspec(data, conf_overrides, num_splits)
     return AppJob(
         app_name="invertedindex",
         text_centric=True,

@@ -84,6 +84,54 @@ class PageRankReducer(Reducer):
         emit(key, Text(f"{rank_sum:.10f}\t{links_text}"))
 
 
+def pagerank_jobspec(
+    data: bytes,
+    conf_overrides: Mapping[str, Any] | None = None,
+    num_splits: int = 4,
+    path: str = "crawl.dat",
+    name: str = "pagerank",
+) -> JobSpec:
+    """One PageRank iteration over *data* (``url<TAB>rank<TAB>links``
+    lines).  The reducer's output renders back to the same line format,
+    so the iterative driver can feed each iteration's output straight in
+    as the next iteration's input."""
+    split_size = max(1, len(data) // num_splits)
+    return JobSpec(
+        name=name,
+        input_format=TextInput(data, split_size=split_size, path=path),
+        mapper_factory=PageRankMapper,
+        reducer_factory=PageRankReducer,
+        combiner_factory=PageRankCombiner,
+        map_output_key_cls=Text,
+        map_output_value_cls=Text,
+        conf=make_conf(conf_overrides),
+        user_costs=PAGERANK_COSTS,
+    )
+
+
+def parse_ranks(state: bytes) -> dict[str, float]:
+    """``url -> rank`` from a crawl-format dataset (state of the
+    iterative PageRank pipeline)."""
+    ranks: dict[str, float] = {}
+    for line in state.decode("utf-8").splitlines():
+        if not line:
+            continue
+        url, rank_text, _links = line.split("\t")
+        ranks[url] = float(rank_text)
+    return ranks
+
+
+def max_rank_delta(previous: bytes, current: bytes) -> float:
+    """Largest absolute per-URL rank change between two states — the
+    convergence measure of the iterative driver."""
+    before = parse_ranks(previous)
+    after = parse_ranks(current)
+    return max(
+        (abs(after.get(url, 0.0) - rank) for url, rank in before.items()),
+        default=0.0,
+    )
+
+
 def build_pagerank(
     scale: float = 0.1,
     conf_overrides: Mapping[str, Any] | None = None,
@@ -93,20 +141,7 @@ def build_pagerank(
     """Assemble one PageRank iteration over a generated crawl."""
     spec = WebGraphSpec(seed=seed).scaled(scale)
     data = generate_webgraph(spec)
-    conf = make_conf(conf_overrides)
-    split_size = max(1, len(data) // num_splits)
-
-    job = JobSpec(
-        name="pagerank",
-        input_format=TextInput(data, split_size=split_size, path="crawl.dat"),
-        mapper_factory=PageRankMapper,
-        reducer_factory=PageRankReducer,
-        combiner_factory=PageRankCombiner,
-        map_output_key_cls=Text,
-        map_output_value_cls=Text,
-        conf=conf,
-        user_costs=PAGERANK_COSTS,
-    )
+    job = pagerank_jobspec(data, conf_overrides, num_splits)
 
     def oracle() -> dict:
         graph = parse_webgraph(data)

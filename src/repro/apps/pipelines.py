@@ -1,0 +1,165 @@
+"""Registered multi-job pipelines (``repro pipeline <name>``).
+
+Where :mod:`repro.apps.registry` names single benchmark jobs, this
+module names ready-to-run *dataflow pipelines* over them
+(:mod:`repro.dag`): the chained text suite, the fan-out variant that
+exercises concurrent scheduling, and PageRank driven to fixpoint by the
+iterative driver.
+
+Stage builders here are deliberately small module-level functions (not
+lambdas): their source text participates in the result cache's code
+identity, and a named function with a docstring makes a much better
+provenance record than ``<lambda>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..dag import IterativeStage, JobStage, Pipeline, SourceStage, StageContext
+from ..data.textcorpus import CorpusSpec, generate_corpus
+from ..data.webgraph import WebGraphSpec, generate_webgraph
+from ..engine.job import JobSpec
+from .invertedindex import invertedindex_jobspec
+from .pagerank import max_rank_delta, pagerank_jobspec
+from .wordcount import wordcount_jobspec
+
+#: Convergence bound for the registered PageRank pipeline: the rendered
+#: state quantizes ranks at 1e-10 (the ``%.10f`` line format), so the
+#: tightest honest bound sits comfortably above that.
+PAGERANK_TOLERANCE = 1e-8
+PAGERANK_MAX_ITERATIONS = 100
+
+
+# ----------------------------------------------------------------------
+# stage builders
+# ----------------------------------------------------------------------
+def _wordcount_stage(ctx: StageContext) -> JobSpec:
+    """WordCount over the corpus dataset."""
+    return wordcount_jobspec(ctx.inputs["corpus"], path="corpus.txt")
+
+
+def _invertedindex_of_counts_stage(ctx: StageContext) -> JobSpec:
+    """InvertedIndex over WordCount's rendered count table — the chained
+    stage: its input is another stage's output, not source data."""
+    return invertedindex_jobspec(
+        ctx.inputs["wordcount"], path="wordcount.tsv", name="invertedindex"
+    )
+
+
+def _invertedindex_of_corpus_stage(ctx: StageContext) -> JobSpec:
+    """InvertedIndex over the same corpus WordCount reads — runs
+    concurrently with it in the fan-out pipeline."""
+    return invertedindex_jobspec(ctx.inputs["corpus"], path="corpus.txt")
+
+
+def _pagerank_stage(ctx: StageContext) -> JobSpec:
+    """One PageRank iteration over the current crawl state."""
+    return pagerank_jobspec(ctx.inputs["crawl"], path="crawl.dat")
+
+
+def _pagerank_converged(previous: bytes, current: bytes, iteration: int) -> bool:
+    return max_rank_delta(previous, current) < PAGERANK_TOLERANCE
+
+
+# ----------------------------------------------------------------------
+# pipeline builders
+# ----------------------------------------------------------------------
+def build_textindex(scale: float = 0.05, seed: int = 0) -> Pipeline:
+    """corpus -> wordcount -> invertedindex, a genuinely chained flow:
+    the index stage consumes the count table WordCount handed off."""
+    spec = CorpusSpec(seed=seed).scaled(scale)
+    pipeline = Pipeline("textindex")
+    pipeline.add(
+        SourceStage("corpus", generate=lambda: generate_corpus(spec), params=spec)
+    )
+    pipeline.add(JobStage("wordcount", build=_wordcount_stage, inputs=("corpus",)))
+    pipeline.add(
+        JobStage(
+            "invertedindex",
+            build=_invertedindex_of_counts_stage,
+            inputs=("wordcount",),
+        )
+    )
+    return pipeline
+
+
+def build_textfan(scale: float = 0.05, seed: int = 0) -> Pipeline:
+    """corpus -> {wordcount, invertedindex}: the paper's two headline
+    text jobs over one shared corpus, scheduled concurrently."""
+    spec = CorpusSpec(seed=seed).scaled(scale)
+    pipeline = Pipeline("textfan")
+    pipeline.add(
+        SourceStage("corpus", generate=lambda: generate_corpus(spec), params=spec)
+    )
+    pipeline.add(JobStage("wordcount", build=_wordcount_stage, inputs=("corpus",)))
+    pipeline.add(
+        JobStage(
+            "invertedindex",
+            build=_invertedindex_of_corpus_stage,
+            inputs=("corpus",),
+        )
+    )
+    return pipeline
+
+
+def build_pagerank_pipeline(scale: float = 0.05, seed: int = 0) -> Pipeline:
+    """crawl -> pagerank iterated to fixpoint by the iterative driver."""
+    spec = WebGraphSpec(seed=seed).scaled(scale)
+    pipeline = Pipeline("pagerank")
+    pipeline.add(
+        SourceStage("crawl", generate=lambda: generate_webgraph(spec), params=spec)
+    )
+    pipeline.add(
+        IterativeStage(
+            "pagerank",
+            build=_pagerank_stage,
+            converged=_pagerank_converged,
+            inputs=("crawl",),
+            state_input="crawl",
+            max_iterations=PAGERANK_MAX_ITERATIONS,
+        )
+    )
+    return pipeline
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PipelineEntry:
+    """Registry metadata for one named pipeline."""
+
+    name: str
+    builder: Callable[..., Pipeline]
+    description: str
+
+
+PIPELINE_REGISTRY: dict[str, PipelineEntry] = {
+    "textindex": PipelineEntry(
+        "textindex", build_textindex,
+        "corpus -> wordcount -> invertedindex (chained text suite)",
+    ),
+    "textfan": PipelineEntry(
+        "textfan", build_textfan,
+        "corpus -> {wordcount, invertedindex} run concurrently",
+    ),
+    "pagerank": PipelineEntry(
+        "pagerank", build_pagerank_pipeline,
+        "crawl -> pagerank iterated to fixpoint (iterative driver)",
+    ),
+}
+
+PIPELINE_NAMES: tuple[str, ...] = tuple(PIPELINE_REGISTRY)
+
+
+def build_pipeline(name: str, scale: float = 0.05, seed: int = 0) -> Pipeline:
+    """Build a registered pipeline at the given dataset scale."""
+    try:
+        entry = PIPELINE_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pipeline {name!r}; have {sorted(PIPELINE_REGISTRY)}"
+        ) from None
+    return entry.builder(scale=scale, seed=seed)

@@ -94,13 +94,27 @@ def build_application(
     name: str,
     scale: float = 0.1,
     conf_overrides: Mapping[str, Any] | None = None,
+    include_fixtures: bool = False,
     **kwargs: Any,
 ) -> AppJob:
-    """Build a registered application's job at the given dataset scale."""
-    entry = REGISTRY.get(name) or EXTRA_REGISTRY.get(name) or FIXTURE_REGISTRY.get(name)
+    """Build a registered application's job at the given dataset scale.
+
+    Lint fixtures (:data:`FIXTURE_REGISTRY`) are deliberately broken
+    jobs; they resolve only under ``include_fixtures=True`` — the lint
+    CLI's escape hatch — so ``repro run``, experiments, and benchmarks
+    can never execute one as an ordinary app by name.
+    """
+    entry = REGISTRY.get(name) or EXTRA_REGISTRY.get(name)
+    if entry is None and include_fixtures:
+        entry = FIXTURE_REGISTRY.get(name)
     if entry is None:
-        raise KeyError(
-            f"unknown application {name!r}; have "
-            f"{sorted(REGISTRY) + sorted(EXTRA_REGISTRY) + sorted(FIXTURE_REGISTRY)}"
+        known = sorted(REGISTRY) + sorted(EXTRA_REGISTRY)
+        if include_fixtures:
+            known += sorted(FIXTURE_REGISTRY)
+        hint = (
+            " (a lint fixture; pass include_fixtures=True to analyze it)"
+            if name in FIXTURE_REGISTRY
+            else ""
         )
+        raise KeyError(f"unknown application {name!r}{hint}; have {known}")
     return entry.builder(scale=scale, conf_overrides=conf_overrides, **kwargs)

@@ -62,6 +62,29 @@ def wordcount_oracle(data: bytes) -> dict[str, int]:
     return dict(counts)
 
 
+def wordcount_jobspec(
+    data: bytes,
+    conf_overrides: Mapping[str, Any] | None = None,
+    num_splits: int = 4,
+    path: str = "corpus.txt",
+    name: str = "wordcount",
+) -> JobSpec:
+    """A WordCount job over *data* — any text, not just the generated
+    corpus; pipeline stages feed upstream datasets through here."""
+    split_size = max(1, len(data) // num_splits)
+    return JobSpec(
+        name=name,
+        input_format=TextInput(data, split_size=split_size, path=path),
+        mapper_factory=WordCountMapper,
+        reducer_factory=WordCountReducer,
+        combiner_factory=WordCountCombiner,
+        map_output_key_cls=Text,
+        map_output_value_cls=VIntWritable,
+        conf=make_conf(conf_overrides),
+        user_costs=WORDCOUNT_COSTS,
+    )
+
+
 def build_wordcount(
     scale: float = 0.1,
     conf_overrides: Mapping[str, Any] | None = None,
@@ -71,20 +94,7 @@ def build_wordcount(
     """Assemble a WordCount job over a generated corpus."""
     spec = CorpusSpec(seed=seed).scaled(scale)
     data = generate_corpus(spec)
-    conf = make_conf(conf_overrides)
-    split_size = max(1, len(data) // num_splits)
-
-    job = JobSpec(
-        name="wordcount",
-        input_format=TextInput(data, split_size=split_size, path="corpus.txt"),
-        mapper_factory=WordCountMapper,
-        reducer_factory=WordCountReducer,
-        combiner_factory=WordCountCombiner,
-        map_output_key_cls=Text,
-        map_output_value_cls=VIntWritable,
-        conf=conf,
-        user_costs=WORDCOUNT_COSTS,
-    )
+    job = wordcount_jobspec(data, conf_overrides, num_splits)
     return AppJob(
         app_name="wordcount",
         text_centric=True,

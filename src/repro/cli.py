@@ -5,6 +5,8 @@ Usage::
     python -m repro.cli run wordcount --config combined --scale 0.1
     python -m repro.cli run wordcount --backend process --workers 4
     python -m repro.cli run wordcount --backend process --shuffle net --shuffle-fetchers 8
+    python -m repro.cli pipeline textindex --backend thread
+    python -m repro.cli pipeline pagerank --scale 0.03
     python -m repro.cli cluster invertedindex --cluster local --config freq --gantt
     python -m repro.cli experiment table3
     python -m repro.cli lint wordcount
@@ -12,11 +14,13 @@ Usage::
     python -m repro.cli list
 
 ``run`` executes an application on the single-node engine and prints
-output stats plus the work breakdown; ``cluster`` runs it on a simulated
-cluster with optional Gantt chart; ``experiment`` regenerates one of the
-paper's tables/figures; ``lint`` statically analyzes an application's
-user code against the job-safety rule catalog (``all`` sweeps every
-registered app plus the engine's own thread-contract self-lint).
+output stats plus the work breakdown; ``pipeline`` runs a registered
+multi-job dataflow pipeline (``repro.dag``) with per-stage result
+caching; ``cluster`` runs an app on a simulated cluster with optional
+Gantt chart; ``experiment`` regenerates one of the paper's
+tables/figures; ``lint`` statically analyzes an application's user code
+against the job-safety rule catalog (``all`` sweeps every registered
+app plus the engine's own thread-contract self-lint).
 """
 
 from __future__ import annotations
@@ -28,7 +32,14 @@ import time
 
 from .analysis.breakdown import OP_ORDER, breakdown_from_ledger
 from .analysis.gantt import export_trace, render_gantt
-from .analysis.report import render_claims, render_lint_report, render_shuffle_traffic
+from .analysis.report import (
+    job_stamp,
+    render_claims,
+    render_lint_report,
+    render_pipeline_report,
+    render_shuffle_traffic,
+)
+from .apps.pipelines import PIPELINE_NAMES, PIPELINE_REGISTRY, build_pipeline
 from .apps.registry import (
     APP_NAMES,
     EXTRA_APP_NAMES,
@@ -94,6 +105,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     shuffle = f", shuffle={args.shuffle}" if args.shuffle != "mem" else ""
     print(f"{app.job.describe()}: {len(result.output_pairs())} output records "
           f"in {elapsed:.3f}s (backend={args.backend}{workers}{shuffle})")
+    print(job_stamp(result))
     if args.shuffle == "net":
         print(render_shuffle_traffic(result))
     if result.lint_report is not None:
@@ -106,6 +118,27 @@ def cmd_run(args: argparse.Namespace) -> int:
         if share > 0:
             print(f"  {op.value:10s} {share:7.2%}  {'#' * int(share * 60)}")
     return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    from .config import JobConf
+    from .dag import PipelineRunner
+
+    pipeline = build_pipeline(args.name, scale=args.scale)
+    conf = JobConf({Keys.PIPELINE_CACHE: not args.no_cache})
+    if args.cache_dir:
+        conf.set(Keys.PIPELINE_CACHE_DIR, args.cache_dir)
+    stage_conf = {
+        Keys.EXEC_BACKEND: args.backend,
+        Keys.EXEC_WORKERS: args.workers,
+        Keys.SHUFFLE_MODE: args.shuffle,
+        Keys.LINT_MODE: args.lint,
+    }
+    if args.shuffle_fetchers is not None:
+        stage_conf[Keys.SHUFFLE_FETCHERS] = args.shuffle_fetchers
+    result = PipelineRunner(conf=conf, stage_conf=stage_conf).run(pipeline)
+    print(render_pipeline_report(result))
+    return 0 if result.ok else 1
 
 
 def cmd_cluster(args: argparse.Namespace) -> int:
@@ -146,7 +179,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
             list(REGISTRY) + list(EXTRA_REGISTRY) if args.app == "all" else [args.app]
         )
         for name in names:
-            app = build_application(name, scale=args.scale)
+            # Fixtures are resolvable here (and only here): the lint CLI
+            # exists to analyze them, never to run them.
+            app = build_application(name, scale=args.scale, include_fixtures=True)
             reports.append(analyze_app(app))
         if args.app == "all":
             reports.append(analyze_engine())
@@ -169,9 +204,17 @@ def cmd_list(_args: argparse.Namespace) -> int:
     for name, entry in EXTRA_REGISTRY.items():
         print(f"  {name:15s} {entry.description}")
     print()
+    print("pipelines (multi-job dataflows, `repro pipeline <name>`):")
+    for name, pipe_entry in PIPELINE_REGISTRY.items():
+        print(f"  {name:15s} {pipe_entry.description}")
+    print()
     print("experiments:")
     for exp_id, title, _ in runall.EXPERIMENTS:
         print(f"  {exp_id:8s} {title}")
+    print()
+    print("lint fixtures (`repro lint <name>` only; not runnable):")
+    for name, fixture_entry in FIXTURE_REGISTRY.items():
+        print(f"  {name:15s} {fixture_entry.description}")
     return 0
 
 
@@ -210,6 +253,41 @@ def main(argv: list[str] | None = None) -> int:
              "gates unproven optimizations, strict refuses unsafe jobs",
     )
     run_parser.set_defaults(fn=cmd_run)
+
+    pipe_parser = sub.add_parser(
+        "pipeline", help="run a registered multi-job dataflow pipeline"
+    )
+    pipe_parser.add_argument("name", choices=PIPELINE_NAMES)
+    pipe_parser.add_argument("--scale", type=float, default=0.05, help="dataset scale knob")
+    pipe_parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default="serial",
+        help="execution backend every stage's job runs on",
+    )
+    pipe_parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker count for parallel backends (0 = one per CPU)",
+    )
+    pipe_parser.add_argument(
+        "--shuffle", choices=("mem", "net"), default="mem",
+        help="shuffle transport for every stage's job",
+    )
+    pipe_parser.add_argument(
+        "--shuffle-fetchers", type=int, default=None,
+        help="parallel fetcher threads per reduce task (net shuffle only)",
+    )
+    pipe_parser.add_argument(
+        "--lint", choices=("off", "warn", "strict"), default="off",
+        help="static job-safety analysis applied at every stage's submit",
+    )
+    pipe_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-hash result cache (recompute every stage)",
+    )
+    pipe_parser.add_argument(
+        "--cache-dir", default=None,
+        help="persist the result cache here so repeated invocations warm-start",
+    )
+    pipe_parser.set_defaults(fn=cmd_pipeline)
 
     cluster_parser = sub.add_parser("cluster", help="run an app on a simulated cluster")
     _add_common_app_args(cluster_parser)

@@ -63,6 +63,13 @@ class Keys:
     # --- static job-safety analysis (repro.lint) ---
     LINT_MODE = "repro.lint.mode"  # off | warn | strict
 
+    # --- dataflow pipelines (repro.dag) ---
+    PIPELINE_CACHE = "repro.pipeline.cache.enabled"  # skip unchanged stages
+    PIPELINE_CACHE_DIR = "repro.pipeline.cache.dir"  # "" = in-memory only
+    PIPELINE_MAX_CONCURRENT = "repro.pipeline.max.concurrent.stages"
+    PIPELINE_MAX_ITERATIONS = "repro.pipeline.max.iterations"  # iterative-driver cap
+    PIPELINE_DFS_HOSTS = "repro.pipeline.dfs.hosts"  # datanodes backing dataset handoff
+
     # --- engine ---
     NUM_REDUCERS = "repro.job.reduces"
     COMBINER_MIN_SPILL_RECORDS = "repro.combine.min.spill.records"
@@ -105,6 +112,11 @@ DEFAULTS: dict[str, Any] = {
     Keys.SHUFFLE_FAULT_DELAY: 0.05,
     Keys.SHUFFLE_FAULT_SEED: 1234,
     Keys.LINT_MODE: "off",
+    Keys.PIPELINE_CACHE: True,
+    Keys.PIPELINE_CACHE_DIR: "",
+    Keys.PIPELINE_MAX_CONCURRENT: 4,
+    Keys.PIPELINE_MAX_ITERATIONS: 100,
+    Keys.PIPELINE_DFS_HOSTS: 3,
     Keys.SPILLMATCHER_ENABLED: False,
     Keys.SPILLMATCHER_MIN_PERCENT: 0.05,
     Keys.SPILLMATCHER_MAX_PERCENT: 0.95,

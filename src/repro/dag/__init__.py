@@ -1,0 +1,73 @@
+"""Multi-job dataflow pipelines (``repro.dag``).
+
+Single jobs stop being the unit of work here: users declare a
+:class:`~repro.dag.pipeline.Pipeline` — a DAG of
+:class:`~repro.dag.stage.Stage` nodes joined by named datasets — and the
+:class:`~repro.dag.scheduler.PipelineRunner` executes it: independent
+stages run concurrently on the existing execution backends,
+intermediate datasets are handed off through the DFS layer
+(:class:`~repro.dag.store.DfsDatasetStore`), and a content-hash result
+cache (:mod:`repro.dag.cache`) skips any stage whose inputs, user code,
+and semantic configuration are unchanged.  An iterative driver
+(:class:`~repro.dag.stage.IterativeStage`) runs a job to fixpoint under
+a convergence predicate — how PageRank finally iterates to convergence
+instead of stopping after one pass.
+
+Quick tour::
+
+    from repro.dag import JobStage, Pipeline, SourceStage, run_pipeline
+
+    p = Pipeline("counts")
+    p.add(SourceStage("corpus", generate=make_corpus, params=spec))
+    p.add(JobStage("wordcount", build=wc_job, inputs=("corpus",)))
+    result = run_pipeline(p)
+    counts = result.output("wordcount")          # bytes, via the DFS
+    result.counters.get(Counter.PIPELINE_CACHE_HITS)  # 2 on a warm rerun
+
+Registered, ready-to-run pipelines live in
+:mod:`repro.apps.pipelines`; ``repro pipeline <name>`` runs them from
+the CLI.
+"""
+
+from __future__ import annotations
+
+from .cache import (
+    CacheEntry,
+    DiskStageCache,
+    MemoryStageCache,
+    StageCache,
+    stage_cache_key,
+)
+from .pipeline import Pipeline
+from .result import PipelineResult, StageResult, StageStatus
+from .scheduler import PipelineRunner, run_pipeline
+from .stage import (
+    IterativeStage,
+    JobStage,
+    SourceStage,
+    Stage,
+    StageContext,
+    render_tsv,
+)
+from .store import DfsDatasetStore
+
+__all__ = [
+    "CacheEntry",
+    "DfsDatasetStore",
+    "DiskStageCache",
+    "IterativeStage",
+    "JobStage",
+    "MemoryStageCache",
+    "Pipeline",
+    "PipelineResult",
+    "PipelineRunner",
+    "SourceStage",
+    "Stage",
+    "StageCache",
+    "StageContext",
+    "StageResult",
+    "StageStatus",
+    "render_tsv",
+    "run_pipeline",
+    "stage_cache_key",
+]

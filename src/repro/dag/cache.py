@@ -1,0 +1,158 @@
+"""Content-hash result cache: skip stages whose inputs and code are unchanged.
+
+A stage's cache key digests three things:
+
+* **input identity** — the DFS block digests of every input dataset
+  (:meth:`~repro.dfs.client.DfsClient.block_digests`), so touching one
+  input block invalidates exactly the stages that read that dataset
+  (and, transitively, their downstream — their inputs change too);
+* **code identity** — the source text of the stage's builder/renderer
+  plus the built job's user classes
+  (:meth:`~repro.engine.job.JobSpec.source_digest`), so editing a
+  mapper is a miss while re-running unchanged code is a hit;
+* **semantic configuration** — the job's conf minus the non-semantic
+  namespaces (:data:`~repro.engine.job.NON_SEMANTIC_CONF_PREFIXES`), so
+  switching execution backend or shuffle transport — which cannot change
+  the output — keeps hitting, while changing reducer count or an
+  optimization switch misses.
+
+Two stores implement the protocol: :class:`MemoryStageCache` (per
+process; the default) and :class:`DiskStageCache` (a directory of
+``<key>.json`` + ``<key>.bin`` entries, so repeated CLI invocations
+warm-start).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """What a hit restores: the stage's dataset plus its provenance."""
+
+    output: bytes
+    output_digest: str
+    job_id: str = ""
+    iterations: int = 0
+    converged: bool | None = None
+
+
+class StageCache(Protocol):
+    """Minimal store surface the scheduler needs."""
+
+    def get(self, key: str) -> CacheEntry | None: ...
+
+    def put(self, key: str, entry: CacheEntry) -> None: ...
+
+
+def stage_cache_key(
+    kind: str,
+    input_digests: dict[str, tuple[str, ...]],
+    source_parts: Iterable[str],
+    conf_items: Iterable[tuple[str, str]] = (),
+) -> str:
+    """Derive the cache key for one stage execution.
+
+    *kind* separates stage classes so a source and a job stage can never
+    collide; *input_digests* maps input dataset name -> its DFS block
+    digests; *source_parts* are the code-identity strings; *conf_items*
+    the semantic (key, value-repr) configuration pairs.
+    """
+    digest = hashlib.sha256()
+    digest.update(kind.encode("utf-8"))
+    for name in sorted(input_digests):
+        digest.update(f"\x00in:{name}\x00".encode("utf-8"))
+        for block_digest in input_digests[name]:
+            digest.update(block_digest.encode("ascii"))
+    for part in source_parts:
+        digest.update(b"\x00src\x00")
+        digest.update(part.encode("utf-8"))
+    for key, value in conf_items:
+        digest.update(f"\x00conf:{key}={value}".encode("utf-8"))
+    return digest.hexdigest()
+
+
+class MemoryStageCache:
+    """Process-local store: a dict under a lock (stages run concurrently)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, CacheEntry] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> CacheEntry | None:
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        with self._lock:
+            self._entries[key] = entry
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class DiskStageCache:
+    """Directory-backed store surviving process restarts.
+
+    Each entry is ``<key>.bin`` (the dataset) plus ``<key>.json`` (the
+    provenance).  Writes go through a temp file + ``os.replace`` so a
+    crashed writer never leaves a torn entry; a reader that finds half a
+    pair treats it as a miss.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _paths(self, key: str) -> tuple[str, str]:
+        base = os.path.join(self.directory, key)
+        return f"{base}.bin", f"{base}.json"
+
+    def get(self, key: str) -> CacheEntry | None:
+        data_path, meta_path = self._paths(key)
+        try:
+            with open(meta_path, encoding="utf-8") as fh:
+                meta = json.load(fh)
+            with open(data_path, "rb") as fh:
+                output = fh.read()
+        except (OSError, ValueError):
+            return None
+        return CacheEntry(
+            output=output,
+            output_digest=meta.get("output_digest", ""),
+            job_id=meta.get("job_id", ""),
+            iterations=int(meta.get("iterations", 0)),
+            converged=meta.get("converged"),
+        )
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        data_path, meta_path = self._paths(key)
+        meta = {
+            "output_digest": entry.output_digest,
+            "job_id": entry.job_id,
+            "iterations": entry.iterations,
+            "converged": entry.converged,
+        }
+        for path, payload in (
+            (data_path, entry.output),
+            (meta_path, json.dumps(meta).encode("utf-8")),
+        ):
+            fd, tmp = tempfile.mkstemp(dir=self.directory, prefix=".tmp-")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(payload)
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise

@@ -1,0 +1,138 @@
+"""The pipeline graph: named stages wired by dataset edges.
+
+A :class:`Pipeline` is a static DAG declaration — it holds stages and
+validates the wiring (every input names some stage's output, no
+duplicate names, no cycles) but does not execute anything; the
+:class:`~repro.dag.scheduler.PipelineRunner` does that.  Validation is
+eager enough that a malformed graph fails at submit time with
+:class:`~repro.errors.PipelineError`, before any data is generated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import PipelineError
+from .stage import Stage
+
+
+class Pipeline:
+    """An ordered collection of stages forming a dataflow DAG."""
+
+    def __init__(self, name: str, stages: Iterable[Stage] = ()) -> None:
+        if not name:
+            raise PipelineError("pipeline name must be non-empty")
+        self.name = name
+        self._stages: dict[str, Stage] = {}
+        for stage in stages:
+            self.add(stage)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, stage: Stage) -> "Pipeline":
+        if stage.name in self._stages:
+            raise PipelineError(
+                f"pipeline {self.name!r} already has a stage named {stage.name!r}"
+            )
+        for other in self._stages.values():
+            if other.output == stage.output:
+                raise PipelineError(
+                    f"stages {other.name!r} and {stage.name!r} both produce "
+                    f"dataset {stage.output!r}"
+                )
+        self._stages[stage.name] = stage
+        return self
+
+    # ------------------------------------------------------------------
+    # graph queries
+    # ------------------------------------------------------------------
+    @property
+    def stages(self) -> tuple[Stage, ...]:
+        return tuple(self._stages.values())
+
+    def __iter__(self) -> Iterator[Stage]:
+        return iter(self._stages.values())
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def stage(self, name: str) -> Stage:
+        try:
+            return self._stages[name]
+        except KeyError:
+            raise PipelineError(
+                f"pipeline {self.name!r} has no stage {name!r}"
+            ) from None
+
+    def producer_of(self, dataset: str) -> Stage:
+        for stage in self._stages.values():
+            if stage.output == dataset:
+                return stage
+        raise PipelineError(
+            f"pipeline {self.name!r}: no stage produces dataset {dataset!r}"
+        )
+
+    def consumers_of(self, dataset: str) -> tuple[Stage, ...]:
+        return tuple(s for s in self._stages.values() if dataset in s.inputs)
+
+    def downstream_of(self, name: str) -> set[str]:
+        """Names of all stages transitively consuming *name*'s output."""
+        start = self.stage(name)
+        out: set[str] = set()
+        frontier = [start]
+        while frontier:
+            stage = frontier.pop()
+            for consumer in self.consumers_of(stage.output):
+                if consumer.name not in out:
+                    out.add(consumer.name)
+                    frontier.append(consumer)
+        return out
+
+    # ------------------------------------------------------------------
+    # validation + ordering
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.PipelineError` on a malformed graph."""
+        if not self._stages:
+            raise PipelineError(f"pipeline {self.name!r} has no stages")
+        outputs = {s.output for s in self._stages.values()}
+        for stage in self._stages.values():
+            for dataset in stage.inputs:
+                if dataset not in outputs:
+                    raise PipelineError(
+                        f"stage {stage.name!r} consumes unknown dataset "
+                        f"{dataset!r} (known: {sorted(outputs)})"
+                    )
+                if dataset == stage.output:
+                    raise PipelineError(
+                        f"stage {stage.name!r} consumes its own output "
+                        f"{dataset!r} (use IterativeStage for feedback loops)"
+                    )
+        self.topological_order()  # raises on cycles
+
+    def topological_order(self) -> list[Stage]:
+        """Stages in dependency order (Kahn), declaration order among ties."""
+        producer = {s.output: s.name for s in self._stages.values()}
+        remaining: dict[str, set[str]] = {
+            s.name: {producer[d] for d in s.inputs if d in producer}
+            for s in self._stages.values()
+        }
+        order: list[Stage] = []
+        while remaining:
+            ready = [n for n, deps in remaining.items() if not deps]
+            if not ready:
+                cycle = sorted(remaining)
+                raise PipelineError(
+                    f"pipeline {self.name!r} has a dependency cycle among {cycle}"
+                )
+            for name in ready:
+                del remaining[name]
+                order.append(self._stages[name])
+            for deps in remaining.values():
+                deps.difference_update(ready)
+        return order
+
+    def __repr__(self) -> str:
+        chain = " -> ".join(s.name for s in self._stages.values())
+        return f"Pipeline({self.name!r}: {chain})"

@@ -1,0 +1,142 @@
+"""Pipeline run results: per-stage outcomes plus merged accounting.
+
+A :class:`PipelineResult` is to a pipeline what
+:class:`~repro.engine.runner.JobResult` is to a single job: statuses and
+timings for every stage (including stages that never ran because an
+upstream failure skipped them), the merged job ledgers and counters, and
+the pipeline-level cache counters
+(:attr:`~repro.engine.counters.Counter.PIPELINE_CACHE_HITS` /
+``PIPELINE_CACHE_MISSES``) that make re-execution savings observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from ..engine.counters import Counters
+from ..engine.instrumentation import Ledger
+from ..errors import PipelineError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.runner import JobResult
+
+
+class StageStatus(str, Enum):
+    """Lifecycle of one stage within a pipeline run."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    #: Never attempted: a transitive upstream stage failed.  The causal
+    #: error rides along on :attr:`StageResult.error`.
+    SKIPPED = "skipped"
+
+
+@dataclass
+class StageResult:
+    """The outcome of one stage of one pipeline run."""
+
+    stage: str
+    status: StageStatus
+    #: Satisfied from the content-hash result cache — no job ran.
+    cache_hit: bool = False
+    #: Wall-clock seconds for the stage (including cache lookup and
+    #: dataset handoff; ~0 on a hit).
+    seconds: float = 0.0
+    #: Size of the dataset this stage handed off through the DFS.
+    output_bytes: int = 0
+    #: SHA-256 of the handed-off dataset (content identity of the edge).
+    output_digest: str = ""
+    #: Deterministic id of the job that (last) ran for this stage.
+    job_id: str = ""
+    #: Iterative driver only: job runs performed before convergence.
+    iterations: int = 0
+    #: Iterative driver only: whether the convergence predicate was met
+    #: (``False`` means the iteration cap stopped it).
+    converged: bool | None = None
+    #: FAILED: the exception the stage raised.  SKIPPED: the *causal*
+    #: upstream error that prevented this stage from running.
+    error: BaseException | None = None
+    #: SKIPPED only: name of the upstream stage whose failure propagated.
+    cause: str | None = None
+    #: The final :class:`~repro.engine.runner.JobResult` (job stages that
+    #: actually ran; ``None`` on cache hits, sources, and skips).
+    job_result: "JobResult | None" = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is StageStatus.DONE
+
+    def describe(self) -> str:
+        if self.status is StageStatus.SKIPPED:
+            return f"{self.stage}: skipped (upstream {self.cause!r} failed: {self.error})"
+        if self.status is StageStatus.FAILED:
+            return f"{self.stage}: failed: {self.error}"
+        hit = " [cache]" if self.cache_hit else ""
+        iters = f" x{self.iterations}" if self.iterations else ""
+        return (
+            f"{self.stage}: {self.status.value}{hit}{iters} "
+            f"({self.output_bytes} B in {self.seconds:.3f}s)"
+        )
+
+
+@dataclass
+class PipelineResult:
+    """The outcome of one whole pipeline run."""
+
+    pipeline: str
+    stages: list[StageResult] = field(default_factory=list)
+    #: Merged job counters plus the ``PIPELINE_*`` counters the
+    #: scheduler maintains (stage statuses, cache hits/misses,
+    #: iterations, handoff bytes).
+    counters: Counters = field(default_factory=Counters)
+    #: Merged job ledgers, plus the ``pipeline.stage_seconds`` sample
+    #: series (one wall-clock sample per completed stage).
+    ledger: Ledger = field(default_factory=Ledger)
+    #: Total wall-clock seconds for the run.
+    seconds: float = 0.0
+    #: Final dataset bytes by name, for every stage that completed.
+    datasets: dict[str, bytes] = field(default_factory=dict)
+
+    def stage(self, name: str) -> StageResult:
+        for result in self.stages:
+            if result.stage == name:
+                return result
+        raise KeyError(f"pipeline {self.pipeline!r} has no stage {name!r}")
+
+    def output(self, name: str) -> bytes:
+        """The dataset a completed stage handed off."""
+        try:
+            return self.datasets[name]
+        except KeyError:
+            raise PipelineError(
+                f"stage {name!r} of pipeline {self.pipeline!r} produced no dataset "
+                f"(status: {self.stage(name).status.value})"
+            ) from None
+
+    @property
+    def failed(self) -> list[StageResult]:
+        return [r for r in self.stages if r.status is StageStatus.FAILED]
+
+    @property
+    def skipped(self) -> list[StageResult]:
+        return [r for r in self.stages if r.status is StageStatus.SKIPPED]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.status is StageStatus.DONE for r in self.stages)
+
+    def raise_on_failure(self) -> "PipelineResult":
+        """Raise :class:`~repro.errors.PipelineError` (chaining the first
+        stage failure) unless every stage completed."""
+        if self.ok:
+            return self
+        broken = self.failed
+        first = broken[0] if broken else None
+        detail = "; ".join(r.describe() for r in broken + self.skipped)
+        raise PipelineError(
+            f"pipeline {self.pipeline!r} did not complete: {detail}"
+        ) from (first.error if first else None)

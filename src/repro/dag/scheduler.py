@@ -1,0 +1,416 @@
+"""The pipeline runner: topological, concurrent, cache-aware execution.
+
+:class:`PipelineRunner` walks a validated :class:`~repro.dag.pipeline.
+Pipeline` in dependency order, running every stage whose inputs are
+materialized — independent stages concurrently, up to
+``repro.pipeline.max.concurrent.stages`` at a time.  Each job stage runs
+through :class:`~repro.engine.runner.LocalJobRunner`, so the whole
+existing execution stack applies per stage: backend selection
+(``repro.exec.backend``), network shuffle, and the lint gate
+(``repro.lint.mode`` — :func:`~repro.engine.runner.lint_at_submit` runs
+at every stage's submit, exactly as for a standalone job).
+
+Datasets cross stage boundaries through a
+:class:`~repro.dag.store.DfsDatasetStore`; before running, each stage's
+cache key is derived from the stored input block digests, the job's
+user-code source digest, and its semantic configuration
+(:mod:`repro.dag.cache`) — a hit restores the stage's dataset without
+running anything, counted in
+:attr:`~repro.engine.counters.Counter.PIPELINE_CACHE_HITS`.
+
+A failed stage does not abort the run: stages transitively downstream
+of the failure are marked :attr:`~repro.dag.result.StageStatus.SKIPPED`
+with the causal error attached, while independent branches keep
+executing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..config import JobConf, Keys
+from ..engine.counters import Counter, Counters
+from ..engine.instrumentation import Ledger
+from ..engine.job import JobSpec, semantic_conf_items
+from ..engine.runner import JobResult, LocalJobRunner
+from .cache import CacheEntry, DiskStageCache, MemoryStageCache, StageCache, stage_cache_key
+from .pipeline import Pipeline
+from .result import PipelineResult, StageResult, StageStatus
+from .stage import IterativeStage, JobStage, SourceStage, Stage, StageContext
+from .store import DfsDatasetStore
+
+
+@dataclass
+class _StageOutcome:
+    """A worker thread's complete report: the public result plus the
+    accounting merged across every job run the stage performed."""
+
+    result: StageResult
+    ledger: Ledger | None = None
+    counters: Counters | None = None
+    output: bytes | None = None
+
+
+class PipelineRunner:
+    """Runs pipelines on the existing engine, one job per stage.
+
+    Parameters
+    ----------
+    conf:
+        Pipeline-level configuration (``repro.pipeline.*`` plus the DFS
+        keys backing dataset handoff).
+    stage_conf:
+        Overrides overlaid onto every stage's built job — how the CLI's
+        ``--backend`` / ``--shuffle`` / ``--lint`` flags reach each
+        stage.  Overlaid *before* cache-key derivation, so semantic
+        overrides (e.g. reducer count) correctly invalidate.
+    cache:
+        Explicit result store.  Default: a :class:`DiskStageCache` when
+        ``repro.pipeline.cache.dir`` is set, else a process-local
+        :class:`MemoryStageCache`.  Reuse one runner (or one cache)
+        across runs to observe hits.
+    """
+
+    def __init__(
+        self,
+        conf: JobConf | None = None,
+        stage_conf: Mapping[str, Any] | None = None,
+        cache: StageCache | None = None,
+    ) -> None:
+        self.conf = conf or JobConf()
+        self.stage_conf = dict(stage_conf or {})
+        self.cache_enabled = self.conf.get_bool(Keys.PIPELINE_CACHE)
+        if cache is not None:
+            self.cache: StageCache = cache
+        else:
+            cache_dir = self.conf.get_str(Keys.PIPELINE_CACHE_DIR)
+            self.cache = DiskStageCache(cache_dir) if cache_dir else MemoryStageCache()
+
+    # ------------------------------------------------------------------
+    # the scheduler
+    # ------------------------------------------------------------------
+    def run(self, pipeline: Pipeline) -> PipelineResult:
+        pipeline.validate()
+        started = time.perf_counter()
+        store = DfsDatasetStore(
+            pipeline.name,
+            hosts=self.conf.get_positive_int(Keys.PIPELINE_DFS_HOSTS),
+            block_bytes=self.conf.get_positive_int(Keys.DFS_BLOCK_BYTES),
+            replication=self.conf.get_positive_int(Keys.DFS_REPLICATION),
+        )
+        producer = {s.output: s.name for s in pipeline}
+        waiting: dict[str, set[str]] = {
+            s.name: {producer[d] for d in s.inputs} for s in pipeline
+        }
+        outcomes: dict[str, _StageOutcome] = {}
+        running: dict[Future[_StageOutcome], str] = {}
+        max_workers = self.conf.get_positive_int(Keys.PIPELINE_MAX_CONCURRENT)
+
+        with ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix=f"dag-{pipeline.name}"
+        ) as pool:
+            while waiting or running:
+                ready = [
+                    name for name, deps in waiting.items()
+                    if all(
+                        d in outcomes
+                        and outcomes[d].result.status is StageStatus.DONE
+                        for d in deps
+                    )
+                ]
+                for name in ready:
+                    del waiting[name]
+                    running[pool.submit(self._execute, pipeline.stage(name), store)] = name
+                if not running:
+                    break  # everything left is blocked on failures handled below
+                done, _ = wait(running, return_when=FIRST_COMPLETED)
+                for future in done:
+                    name = running.pop(future)
+                    outcome = future.result()  # _execute never raises
+                    outcomes[name] = outcome
+                    if outcome.result.status is StageStatus.FAILED:
+                        self._skip_downstream(pipeline, name, outcome, waiting, outcomes)
+
+        return self._assemble(pipeline, outcomes, time.perf_counter() - started)
+
+    def _skip_downstream(
+        self,
+        pipeline: Pipeline,
+        failed: str,
+        failure: _StageOutcome,
+        waiting: dict[str, set[str]],
+        outcomes: dict[str, _StageOutcome],
+    ) -> None:
+        """Mark every pending transitive consumer of *failed* as SKIPPED,
+        carrying the causal error (first failure wins on diamonds)."""
+        for name in pipeline.downstream_of(failed):
+            if name in waiting:
+                del waiting[name]
+                outcomes[name] = _StageOutcome(
+                    StageResult(
+                        stage=name,
+                        status=StageStatus.SKIPPED,
+                        error=failure.result.error,
+                        cause=failed,
+                    )
+                )
+
+    def _assemble(
+        self,
+        pipeline: Pipeline,
+        outcomes: dict[str, _StageOutcome],
+        seconds: float,
+    ) -> PipelineResult:
+        result = PipelineResult(pipeline=pipeline.name, seconds=seconds)
+        for stage in pipeline.topological_order():
+            outcome = outcomes[stage.name]
+            stage_result = outcome.result
+            result.stages.append(stage_result)
+            status_counter = {
+                StageStatus.DONE: Counter.PIPELINE_STAGES_DONE,
+                StageStatus.FAILED: Counter.PIPELINE_STAGES_FAILED,
+                StageStatus.SKIPPED: Counter.PIPELINE_STAGES_SKIPPED,
+            }[stage_result.status]
+            result.counters.incr(status_counter)
+            if stage_result.status is StageStatus.DONE:
+                hit = Counter.PIPELINE_CACHE_HITS if stage_result.cache_hit \
+                    else Counter.PIPELINE_CACHE_MISSES
+                result.counters.incr(hit)
+                result.counters.incr(
+                    Counter.PIPELINE_HANDOFF_BYTES, stage_result.output_bytes
+                )
+                result.counters.incr(
+                    Counter.PIPELINE_ITERATIONS, stage_result.iterations
+                )
+                result.ledger.add_sample("pipeline.stage_seconds", stage_result.seconds)
+                if outcome.output is not None:
+                    result.datasets[stage.output] = outcome.output
+            if outcome.ledger is not None:
+                result.ledger.merge(outcome.ledger)
+            if outcome.counters is not None:
+                result.counters.merge(outcome.counters)
+        return result
+
+    # ------------------------------------------------------------------
+    # stage execution (worker threads)
+    # ------------------------------------------------------------------
+    def _execute(self, stage: Stage, store: DfsDatasetStore) -> _StageOutcome:
+        started = time.perf_counter()
+        try:
+            inputs = {name: store.get(name) for name in stage.inputs}
+            digests = {name: store.block_digests(name) for name in stage.inputs}
+            if isinstance(stage, SourceStage):
+                outcome = self._run_source(stage, digests, store)
+            elif isinstance(stage, IterativeStage):
+                outcome = self._run_iterative(stage, inputs, digests, store)
+            elif isinstance(stage, JobStage):
+                outcome = self._run_job(stage, inputs, digests, store)
+            else:
+                raise TypeError(f"unknown stage kind: {type(stage).__name__}")
+        except Exception as exc:  # noqa: BLE001 - a stage failure must be
+            # contained as a FAILED result so sibling branches keep running
+            # and downstream stages get the causal error; PipelineResult
+            # re-raises on demand.
+            return _StageOutcome(
+                StageResult(
+                    stage=stage.name,
+                    status=StageStatus.FAILED,
+                    seconds=time.perf_counter() - started,
+                    error=exc,
+                )
+            )
+        outcome.result.seconds = time.perf_counter() - started
+        return outcome
+
+    def _lookup(
+        self, stage: Stage, key: str, store: DfsDatasetStore
+    ) -> _StageOutcome | None:
+        if not self.cache_enabled:
+            return None
+        entry = self.cache.get(key)
+        if entry is None:
+            return None
+        store.put(stage.output, entry.output)
+        return _StageOutcome(
+            StageResult(
+                stage=stage.name,
+                status=StageStatus.DONE,
+                cache_hit=True,
+                output_bytes=len(entry.output),
+                output_digest=entry.output_digest,
+                job_id=entry.job_id,
+                iterations=entry.iterations,
+                converged=entry.converged,
+            ),
+            output=entry.output,
+        )
+
+    def _commit(
+        self,
+        stage: Stage,
+        key: str,
+        data: bytes,
+        store: DfsDatasetStore,
+        job_id: str = "",
+        iterations: int = 0,
+        converged: bool | None = None,
+    ) -> CacheEntry:
+        entry = CacheEntry(
+            output=data,
+            output_digest=hashlib.sha256(data).hexdigest(),
+            job_id=job_id,
+            iterations=iterations,
+            converged=converged,
+        )
+        store.put(stage.output, data)
+        if self.cache_enabled:
+            self.cache.put(key, entry)
+        return entry
+
+    def _context(self, inputs: dict[str, bytes], iteration: int = 0) -> StageContext:
+        return StageContext(
+            inputs=inputs, conf=JobConf(self.stage_conf), iteration=iteration
+        )
+
+    def _build_job(self, stage: JobStage, ctx: StageContext) -> JobSpec:
+        job = stage.build(ctx)
+        job.conf.update(self.stage_conf)
+        return job
+
+    def _run_source(
+        self,
+        stage: SourceStage,
+        digests: dict[str, tuple[str, ...]],
+        store: DfsDatasetStore,
+    ) -> _StageOutcome:
+        key = stage_cache_key("source", digests, stage.source_digest_parts())
+        hit = self._lookup(stage, key, store)
+        if hit is not None:
+            return hit
+        data = stage.generate()
+        entry = self._commit(stage, key, data, store)
+        return _StageOutcome(
+            StageResult(
+                stage=stage.name,
+                status=StageStatus.DONE,
+                output_bytes=len(data),
+                output_digest=entry.output_digest,
+            ),
+            output=data,
+        )
+
+    def _run_job(
+        self,
+        stage: JobStage,
+        inputs: dict[str, bytes],
+        digests: dict[str, tuple[str, ...]],
+        store: DfsDatasetStore,
+    ) -> _StageOutcome:
+        job = self._build_job(stage, self._context(inputs))
+        key = stage_cache_key(
+            "job",
+            digests,
+            stage.source_digest_parts() + [job.source_digest()],
+            semantic_conf_items(job.conf),
+        )
+        hit = self._lookup(stage, key, store)
+        if hit is not None:
+            return hit
+        job_result = LocalJobRunner().run(job)
+        data = stage.render(job_result)
+        entry = self._commit(stage, key, data, store, job_id=job_result.job_id)
+        return _StageOutcome(
+            StageResult(
+                stage=stage.name,
+                status=StageStatus.DONE,
+                output_bytes=len(data),
+                output_digest=entry.output_digest,
+                job_id=job_result.job_id,
+                job_result=job_result,
+            ),
+            ledger=job_result.ledger,
+            counters=job_result.counters,
+            output=data,
+        )
+
+    def _run_iterative(
+        self,
+        stage: IterativeStage,
+        inputs: dict[str, bytes],
+        digests: dict[str, tuple[str, ...]],
+        store: DfsDatasetStore,
+    ) -> _StageOutcome:
+        max_iterations = stage.max_iterations or self.conf.get_positive_int(
+            Keys.PIPELINE_MAX_ITERATIONS
+        )
+        state = inputs[stage.state_input]
+        job = self._build_job(stage, self._context(inputs))
+        # The whole fixpoint run is one cacheable unit, keyed on the
+        # *initial* state: same start + same code + same conf reach the
+        # same fixpoint, so a warm rerun skips every iteration at once.
+        key = stage_cache_key(
+            "iterative",
+            digests,
+            stage.source_digest_parts() + [job.source_digest()],
+            semantic_conf_items(job.conf),
+        )
+        hit = self._lookup(stage, key, store)
+        if hit is not None:
+            return hit
+
+        ledger = Ledger()
+        counters = Counters()
+        converged = False
+        iterations = 0
+        job_result: JobResult | None = None
+        while iterations < max_iterations:
+            job_result = LocalJobRunner().run(job)
+            ledger.merge(job_result.ledger)
+            counters.merge(job_result.counters)
+            new_state = stage.render(job_result)
+            iterations += 1
+            if stage.converged(state, new_state, iterations):
+                state = new_state
+                converged = True
+                break
+            state = new_state
+            job = self._build_job(
+                stage,
+                self._context({**inputs, stage.state_input: state}, iterations),
+            )
+        entry = self._commit(
+            stage, key, state,
+            store,
+            job_id=job_result.job_id if job_result else "",
+            iterations=iterations,
+            converged=converged,
+        )
+        return _StageOutcome(
+            StageResult(
+                stage=stage.name,
+                status=StageStatus.DONE,
+                output_bytes=len(state),
+                output_digest=entry.output_digest,
+                job_id=job_result.job_id if job_result else "",
+                iterations=iterations,
+                converged=converged,
+                job_result=job_result,
+            ),
+            ledger=ledger,
+            counters=counters,
+            output=state,
+        )
+
+
+def run_pipeline(
+    pipeline: Pipeline,
+    conf: JobConf | None = None,
+    stage_conf: Mapping[str, Any] | None = None,
+    cache: StageCache | None = None,
+) -> PipelineResult:
+    """One-shot convenience: build a runner, run, return the result."""
+    return PipelineRunner(conf=conf, stage_conf=stage_conf, cache=cache).run(pipeline)

@@ -1,0 +1,73 @@
+"""Dataset handoff between stages, through the DFS layer.
+
+Every edge of a pipeline is a real file in a :class:`~repro.dfs.client.
+DfsCluster`: the scheduler ``put``s a stage's rendered output as a
+replicated, block-structured file and downstream stages ``get`` it back
+— the same path production deployments take through HDFS between
+dependent jobs.  Block structure is what makes the result cache's input
+identity honest: keys are derived from the *stored* block digests, not
+from whatever bytes happened to be in memory.
+"""
+
+from __future__ import annotations
+
+from ..dfs.client import DfsClient, DfsCluster
+from ..errors import DfsError, PipelineError
+
+
+def pipeline_path(pipeline: str, dataset: str) -> str:
+    return f"/pipeline/{pipeline}/{dataset}"
+
+
+class DfsDatasetStore:
+    """Named datasets backed by one DFS cluster.
+
+    *hosts* datanodes are spun up as ``node00..``; replication is capped
+    at the host count so single-node stores still work.
+    """
+
+    def __init__(
+        self,
+        pipeline: str,
+        hosts: int = 3,
+        block_bytes: int = 1 << 22,
+        replication: int = 3,
+    ) -> None:
+        if hosts < 1:
+            raise PipelineError(f"dataset store needs >= 1 host, got {hosts}")
+        self.pipeline = pipeline
+        names = [f"node{i:02d}" for i in range(hosts)]
+        self.cluster = DfsCluster(
+            names, block_size=block_bytes, replication=min(replication, hosts)
+        )
+        self._client: DfsClient = self.cluster.client(names[0])
+
+    # ------------------------------------------------------------------
+    def path(self, dataset: str) -> str:
+        return pipeline_path(self.pipeline, dataset)
+
+    def exists(self, dataset: str) -> bool:
+        try:
+            self.cluster.namenode.stat(self.path(dataset))
+            return True
+        except DfsError:
+            return False
+
+    def put(self, dataset: str, data: bytes) -> None:
+        """Write (or overwrite) *dataset* as a replicated DFS file."""
+        if self.exists(dataset):
+            self._client.delete_file(self.path(dataset))
+        self._client.write_file(self.path(dataset), data)
+
+    def get(self, dataset: str) -> bytes:
+        try:
+            return self._client.read_file(self.path(dataset))
+        except DfsError as exc:
+            raise PipelineError(
+                f"dataset {dataset!r} of pipeline {self.pipeline!r} is not "
+                f"materialized (did its producing stage run?)"
+            ) from exc
+
+    def block_digests(self, dataset: str) -> tuple[str, ...]:
+        """Content identity of the stored dataset, block by block."""
+        return self._client.block_digests(self.path(dataset))

@@ -100,3 +100,43 @@ def reference_pagerank_iteration(
         for target in links:
             sums[target] = sums.get(target, 0.0) + share
     return sums
+
+
+def reference_pagerank_fixpoint(
+    graph: dict[str, tuple[float, list[str]]],
+    tolerance: float = 1e-8,
+    max_iterations: int = 500,
+) -> tuple[dict[str, float], int]:
+    """Iterate plain rank propagation to fixpoint with NumPy.
+
+    The dense-matrix power iteration the MapReduce pipeline's iterative
+    driver must reproduce: ``r' = M r`` where ``M[t, s] = 1/out(s)`` for
+    each link ``s -> t`` — no damping, matching
+    :func:`reference_pagerank_iteration`.  Returns the converged ranks
+    and the number of iterations taken.  Dense in the page count, so
+    meant for test-scale graphs (thousands of pages), not the full crawl.
+    """
+    import numpy as np
+
+    urls = list(graph)
+    index = {url: i for i, url in enumerate(urls)}
+    n = len(urls)
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for url, (_rank, links) in graph.items():
+        if not links:
+            continue
+        share = 1.0 / len(links)
+        source = index[url]
+        for target in links:
+            matrix[index[target], source] += share
+    ranks = np.array([graph[url][0] for url in urls], dtype=np.float64)
+    for iteration in range(1, max_iterations + 1):
+        updated = matrix @ ranks
+        delta = float(np.max(np.abs(updated - ranks)))
+        ranks = updated
+        if delta < tolerance:
+            return {url: float(ranks[index[url]]) for url in urls}, iteration
+    raise ValueError(
+        f"reference PageRank did not converge within {max_iterations} iterations "
+        f"(last delta above {tolerance})"
+    )

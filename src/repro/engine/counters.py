@@ -41,6 +41,14 @@ class Counter(str, Enum):
     REDUCE_INPUT_RECORDS = "reduce_input_records"
     REDUCE_OUTPUT_RECORDS = "reduce_output_records"
     REDUCE_OUTPUT_BYTES = "reduce_output_bytes"
+    # --- dataflow pipelines (repro.dag) ---
+    PIPELINE_STAGES_DONE = "pipeline_stages_done"
+    PIPELINE_STAGES_FAILED = "pipeline_stages_failed"
+    PIPELINE_STAGES_SKIPPED = "pipeline_stages_skipped"
+    PIPELINE_CACHE_HITS = "pipeline_cache_hits"  # stages satisfied from the result cache
+    PIPELINE_CACHE_MISSES = "pipeline_cache_misses"  # stages that actually (re)computed
+    PIPELINE_ITERATIONS = "pipeline_iterations"  # iterative-driver job runs
+    PIPELINE_HANDOFF_BYTES = "pipeline_handoff_bytes"  # dataset bytes written to the DFS
 
 
 @dataclass

@@ -2,14 +2,53 @@
 
 from __future__ import annotations
 
+import hashlib
+import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Type
+from typing import Any, Callable, Type
 
 from ..config import JobConf, Keys
 from ..serde.writable import Writable
 from .api import Combiner, HashPartitioner, Mapper, Partitioner, Reducer
 from .costmodel import DEFAULT_COST_MODEL, CostModel, UserCodeCosts
 from .inputformat import InputFormat
+
+#: Configuration namespaces that select *where and how* a job executes
+#: (backend, shuffle transport, lint mode, pipeline bookkeeping) without
+#: changing *what* it computes.  They are excluded from job identity so a
+#: job keeps the same ``job_id`` — and the dataflow cache keeps hitting —
+#: no matter which substrate runs it.
+NON_SEMANTIC_CONF_PREFIXES: tuple[str, ...] = (
+    "repro.exec.",
+    "repro.shuffle.",
+    "repro.lint.",
+    "repro.pipeline.",
+    "repro.instrument.",
+)
+
+
+def semantic_conf_items(conf: JobConf) -> list[tuple[str, str]]:
+    """The (key, value-repr) pairs that participate in job identity."""
+    return sorted(
+        (key, repr(value))
+        for key, value in conf.items()
+        if not key.startswith(NON_SEMANTIC_CONF_PREFIXES)
+    )
+
+
+def source_fingerprint(obj: Any) -> str:
+    """A stable fingerprint of a callable/class: its source text when
+    retrievable, else its qualified name.  Classes and functions edited
+    between runs fingerprint differently — the property the dataflow
+    cache's job-source digest relies on."""
+    if obj is None:
+        return "-"
+    target = obj if inspect.isclass(obj) or inspect.isroutine(obj) else type(obj)
+    name = f"{getattr(target, '__module__', '?')}.{getattr(target, '__qualname__', repr(target))}"
+    try:
+        return f"{name}\n{inspect.getsource(target)}"
+    except (OSError, TypeError):
+        return name
 
 GroupKeyFn = Callable[[bytes], bytes]
 """Grouping comparator for secondary sort: maps a serialized map-output
@@ -46,6 +85,44 @@ class JobSpec:
     @property
     def num_reducers(self) -> int:
         return self.conf.get_positive_int(Keys.NUM_REDUCERS)
+
+    def source_digest(self) -> str:
+        """SHA-256 over the *user code* of this job: mapper, reducer,
+        combiner, partitioner, and grouping function sources.  Two jobs
+        with the same digest run the same computation per record."""
+        digest = hashlib.sha256()
+        for part in (
+            self.mapper_factory,
+            self.reducer_factory,
+            self.combiner_factory,
+            self.partitioner,
+            self.group_key_fn,
+            self.map_output_key_cls,
+            self.map_output_value_cls,
+        ):
+            digest.update(source_fingerprint(part).encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def job_id(self) -> str:
+        """A deterministic short identifier for this exact job.
+
+        Stable across runs and across execution backends: derived from
+        the job name, the input shape (path, size, split count), the
+        user-code source digest, and the semantic configuration —
+        never from wall clock, PIDs, or backend choice.
+        """
+        digest = hashlib.sha256()
+        splits = self.input_format.splits()
+        digest.update(self.name.encode("utf-8"))
+        digest.update(
+            f"|{splits[0].path if splits else '?'}|{self.input_format.total_bytes()}"
+            f"|{len(splits)}|".encode("utf-8")
+        )
+        digest.update(self.source_digest().encode("ascii"))
+        for key, value in semantic_conf_items(self.conf):
+            digest.update(f"{key}={value};".encode("utf-8"))
+        return digest.hexdigest()[:16]
 
     def describe(self) -> str:
         opts = []

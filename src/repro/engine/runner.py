@@ -45,6 +45,10 @@ class JobResult:
     reduce_results: list[ReduceTaskResult]
     ledger: Ledger
     counters: Counters
+    #: Deterministic short identifier of the job that produced this
+    #: result (:meth:`~repro.engine.job.JobSpec.job_id`): stable across
+    #: runs and backends, so reruns of the same job are recognizable.
+    job_id: str = ""
     #: Per-host shuffle-server traffic (network shuffle only; empty in
     #: ``mem`` mode).  Elements are
     #: :class:`~repro.shuffle.server.ShuffleHostStats`.
@@ -60,6 +64,21 @@ class JobResult:
         for result in sorted(self.reduce_results, key=lambda r: r.partition):
             out.extend(result.output)
         return out
+
+    def output_digest(self) -> str:
+        """SHA-256 over the serialized final output, in partition order
+        then key order — the job's *content* identity.  Two runs of a
+        deterministic job produce the same digest on every backend;
+        the dataflow cache (:mod:`repro.dag`) keys downstream stages on
+        digests like this one."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for key, value in self.output_pairs():
+            for blob in (key.to_bytes(), value.to_bytes()):
+                digest.update(len(blob).to_bytes(4, "big"))
+                digest.update(blob)
+        return digest.hexdigest()
 
     def pipeline_results(self) -> list[PipelineResult]:
         return [r.pipeline for r in self.map_results]

@@ -144,6 +144,7 @@ def assemble_job_result(
         ledger=ledger,
         counters=counters,
         shuffle_hosts=shuffle_hosts or [],
+        job_id=job.job_id(),
     )
 
 

@@ -1,0 +1,36 @@
+"""FIXTURE_REGISTRY isolation: deliberately-broken lint fixtures must
+never resolve as ordinary applications — ``repro run``, experiments,
+and benchmarks all go through :func:`build_application` without the
+escape hatch, so a fixture name is an unknown app to them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.registry import (
+    APP_NAMES,
+    EXTRA_APP_NAMES,
+    FIXTURE_REGISTRY,
+    build_application,
+)
+
+
+def test_fixture_requires_explicit_flag():
+    with pytest.raises(KeyError, match="lint fixture"):
+        build_application("unsafewordcount", scale=0.005)
+
+
+def test_fixture_resolves_only_with_flag():
+    app = build_application("unsafewordcount", scale=0.005, include_fixtures=True)
+    assert app.app_name == "unsafewordcount"
+
+
+def test_fixture_names_stay_out_of_app_listings():
+    for name in FIXTURE_REGISTRY:
+        assert name not in APP_NAMES
+        assert name not in EXTRA_APP_NAMES
+
+
+def test_unknown_app_error_names_the_known_ones():
+    with pytest.raises(KeyError, match="wordcount"):
+        build_application("nosuchapp")

@@ -1,0 +1,38 @@
+"""Shared helpers for the dataflow-pipeline tests.
+
+The registered pipelines (textindex, textfan, pagerank) cover the
+paper-facing shapes; these helpers build *tiny* ad-hoc pipelines over
+kilobyte texts so cache- and failure-semantics tests can run many whole
+pipelines without dominating the suite's wall time.
+"""
+
+from __future__ import annotations
+
+from repro.apps.wordcount import wordcount_jobspec
+from repro.dag import JobStage, SourceStage, StageContext
+from repro.engine.job import JobSpec
+
+TEXT_A = b"apple banana apple\ncherry banana apple\ndamson cherry apple\n" * 8
+TEXT_B = b"delta echo delta\nfox echo delta\ngolf fox delta\n" * 8
+
+
+def make_source(name: str, text: bytes, output: str | None = None) -> SourceStage:
+    """A source materializing fixed bytes.  The closure's source text is
+    identical for every instance, so ``params=text`` is what gives each
+    source its cache identity — exactly the contract SourceStage documents."""
+
+    def generate() -> bytes:
+        return text
+
+    return SourceStage(name, generate=generate, params=text, output=output)
+
+
+def count_stage(name: str, source: str) -> JobStage:
+    """WordCount over the dataset named *source* (two splits, tiny)."""
+
+    def build(ctx: StageContext) -> JobSpec:
+        return wordcount_jobspec(
+            ctx.inputs[source], num_splits=2, path=f"{source}.txt", name=name
+        )
+
+    return JobStage(name, build=build, inputs=(source,))

@@ -1,0 +1,228 @@
+"""Content-hash result cache: hits, and *exactly* the right misses.
+
+The invariant under test is the cache-key contract — a stage re-runs
+iff its input blocks, its user code, or its semantic configuration
+changed.  Non-semantic knobs (execution backend, shuffle transport)
+must keep hitting; an input edit must invalidate the touched branch
+and its transitive downstream while untouched branches stay warm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.pipelines import build_textindex
+from repro.config import JobConf, Keys
+from repro.dag import (
+    JobStage,
+    MemoryStageCache,
+    Pipeline,
+    PipelineRunner,
+    StageContext,
+    stage_cache_key,
+)
+from repro.engine.counters import Counter
+from repro.engine.inputformat import TextInput
+from repro.engine.job import JobSpec
+from repro.serde.numeric import VIntWritable
+from repro.serde.text import Text
+
+from tests.conftest import SumReducer, TokenMapper
+from tests.dag.conftest import TEXT_A, TEXT_B, count_stage, make_source
+
+
+def cache_stats(result) -> tuple[int, int]:
+    return (
+        result.counters.get(Counter.PIPELINE_CACHE_HITS),
+        result.counters.get(Counter.PIPELINE_CACHE_MISSES),
+    )
+
+
+class TestWarmRerun:
+    def test_second_run_hits_every_stage(self):
+        runner = PipelineRunner()
+        cold = runner.run(build_textindex(scale=0.01))
+        assert cache_stats(cold) == (0, 3)
+        assert all(not s.cache_hit for s in cold.stages)
+
+        warm = runner.run(build_textindex(scale=0.01))
+        assert cache_stats(warm) == (3, 0)
+        assert all(s.cache_hit for s in warm.stages)
+        assert warm.datasets == cold.datasets
+        # A hit restores provenance without re-running the job.
+        assert warm.stage("wordcount").job_id == cold.stage("wordcount").job_id
+        assert warm.stage("wordcount").job_result is None
+
+    def test_backend_switch_still_hits(self):
+        """repro.exec.* / repro.shuffle.* are non-semantic: the process
+        backend reuses results computed on the serial backend."""
+        shared = MemoryStageCache()
+        serial = PipelineRunner(
+            stage_conf={Keys.EXEC_BACKEND: "serial"}, cache=shared
+        ).run(build_textindex(scale=0.01))
+        process = PipelineRunner(
+            stage_conf={Keys.EXEC_BACKEND: "process", Keys.EXEC_WORKERS: 2},
+            cache=shared,
+        ).run(build_textindex(scale=0.01))
+        assert cache_stats(serial) == (0, 3)
+        assert cache_stats(process) == (3, 0)
+        assert process.datasets == serial.datasets
+
+    def test_semantic_conf_change_misses_job_stages(self):
+        """Reducer count is semantic (it could reorder/partition output),
+        so overriding it invalidates job stages — but not the source,
+        whose key carries no job conf."""
+        shared = MemoryStageCache()
+        PipelineRunner(cache=shared).run(build_textindex(scale=0.01))
+        changed = PipelineRunner(
+            stage_conf={Keys.NUM_REDUCERS: 3}, cache=shared
+        ).run(build_textindex(scale=0.01))
+        assert changed.stage("corpus").cache_hit
+        assert not changed.stage("wordcount").cache_hit
+        assert not changed.stage("invertedindex").cache_hit
+
+
+def two_branch_pipeline(text_a: bytes, text_b: bytes) -> Pipeline:
+    """src_a -> wc_a -> again_a alongside src_b -> wc_b: one chained
+    branch to observe transitive invalidation, one independent branch
+    that must stay warm."""
+    return Pipeline("branches", [
+        make_source("src_a", text_a),
+        make_source("src_b", text_b),
+        count_stage("wc_a", "src_a"),
+        count_stage("wc_b", "src_b"),
+        count_stage("again_a", "wc_a"),
+    ])
+
+
+class TestInvalidation:
+    def test_input_change_invalidates_only_downstream(self):
+        runner = PipelineRunner()
+        cold = runner.run(two_branch_pipeline(TEXT_A, TEXT_B))
+        assert cache_stats(cold) == (0, 5)
+
+        touched = TEXT_A + b"one extra appended line\n"
+        warm = runner.run(two_branch_pipeline(touched, TEXT_B))
+        assert cache_stats(warm) == (2, 3)
+        for name in ("src_a", "wc_a", "again_a"):
+            assert not warm.stage(name).cache_hit, f"{name} should have re-run"
+        for name in ("src_b", "wc_b"):
+            assert warm.stage(name).cache_hit, f"{name} should have stayed warm"
+        assert warm.output("src_b") == cold.output("src_b")
+        assert warm.output("wc_a") != cold.output("wc_a")
+
+    def test_unchanged_rerun_of_branches_hits_everything(self):
+        runner = PipelineRunner()
+        runner.run(two_branch_pipeline(TEXT_A, TEXT_B))
+        warm = runner.run(two_branch_pipeline(TEXT_A, TEXT_B))
+        assert cache_stats(warm) == (5, 0)
+
+
+class UppercaseTokenMapper(TokenMapper):
+    """Same shape as TokenMapper, different body — the 'edited mapper'."""
+
+    def map(self, key, value, emit):
+        for word in value.value.split():
+            emit(Text(word.upper()), VIntWritable(1))
+
+
+#: Swapped between runs by the job-source test: the builder's *own*
+#: source text stays byte-identical, so a miss can only come from the
+#: built job's class source digest.
+_MAPPER = TokenMapper
+
+
+def _swappable_count_build(ctx: StageContext) -> JobSpec:
+    data = ctx.inputs["src"]
+    return JobSpec(
+        name="swappable",
+        input_format=TextInput(data, split_size=max(1, len(data) // 2)),
+        mapper_factory=_MAPPER,
+        reducer_factory=SumReducer,
+        map_output_key_cls=Text,
+        map_output_value_cls=VIntWritable,
+        conf=JobConf({Keys.NUM_REDUCERS: 2}),
+    )
+
+
+def swappable_pipeline() -> Pipeline:
+    return Pipeline("swap", [
+        make_source("src", TEXT_A),
+        JobStage("count", build=_swappable_count_build, inputs=("src",)),
+    ])
+
+
+class TestJobSourceIdentity:
+    def test_mapper_edit_invalidates(self):
+        global _MAPPER
+        runner = PipelineRunner()
+        cold = runner.run(swappable_pipeline())
+        assert cache_stats(cold) == (0, 2)
+        try:
+            _MAPPER = UppercaseTokenMapper
+            edited = runner.run(swappable_pipeline())
+        finally:
+            _MAPPER = TokenMapper
+        assert edited.stage("src").cache_hit
+        assert not edited.stage("count").cache_hit
+        assert edited.output("count") != cold.output("count")
+
+        # Back to the original class: both cached results are still live.
+        restored = runner.run(swappable_pipeline())
+        assert cache_stats(restored) == (2, 0)
+        assert restored.output("count") == cold.output("count")
+
+
+class TestDisabledCache:
+    def test_no_cache_mode_never_stores_or_hits(self):
+        store = MemoryStageCache()
+        runner = PipelineRunner(
+            conf=JobConf({Keys.PIPELINE_CACHE: False}), cache=store
+        )
+        first = runner.run(swappable_pipeline())
+        second = runner.run(swappable_pipeline())
+        assert cache_stats(first) == (0, 2)
+        assert cache_stats(second) == (0, 2)
+        assert len(store) == 0
+        assert second.datasets == first.datasets
+
+
+class TestDiskCache:
+    def test_survives_runner_restart(self, tmp_path):
+        conf = JobConf({Keys.PIPELINE_CACHE_DIR: str(tmp_path)})
+        cold = PipelineRunner(conf=conf).run(swappable_pipeline())
+        assert cache_stats(cold) == (0, 2)
+        # A brand-new runner (fresh process in real life) warm-starts.
+        warm = PipelineRunner(conf=conf).run(swappable_pipeline())
+        assert cache_stats(warm) == (2, 0)
+        assert warm.datasets == cold.datasets
+        assert warm.stage("count").job_id == cold.stage("count").job_id
+
+    def test_torn_entry_reads_as_miss(self, tmp_path):
+        conf = JobConf({Keys.PIPELINE_CACHE_DIR: str(tmp_path)})
+        PipelineRunner(conf=conf).run(swappable_pipeline())
+        victim = sorted(tmp_path.glob("*.bin"))[0]
+        victim.unlink()
+        warm = PipelineRunner(conf=conf).run(swappable_pipeline())
+        assert cache_stats(warm) == (1, 1)
+        assert warm.ok
+
+
+class TestCacheKey:
+    DIGESTS = {"in": ("aa", "bb")}
+
+    def test_deterministic(self):
+        key = stage_cache_key("job", self.DIGESTS, ["src"], [("k", "v")])
+        assert key == stage_cache_key("job", self.DIGESTS, ["src"], [("k", "v")])
+        assert len(key) == 64
+
+    @pytest.mark.parametrize("variant", [
+        lambda d: stage_cache_key("source", d, ["src"], [("k", "v")]),
+        lambda d: stage_cache_key("job", {"in": ("aa", "cc")}, ["src"], [("k", "v")]),
+        lambda d: stage_cache_key("job", d, ["other"], [("k", "v")]),
+        lambda d: stage_cache_key("job", d, ["src"], [("k", "w")]),
+        lambda d: stage_cache_key("job", d, ["src"], []),
+    ])
+    def test_every_component_matters(self, variant):
+        base = stage_cache_key("job", self.DIGESTS, ["src"], [("k", "v")])
+        assert variant(self.DIGESTS) != base

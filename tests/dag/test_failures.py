@@ -1,0 +1,92 @@
+"""Failure containment: one broken stage, surgical fallout.
+
+A failing stage must not abort the run — its transitive consumers are
+SKIPPED carrying the causal error, independent branches complete, and
+the PipelineResult re-raises on demand with the original exception
+chained.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_pipeline_report
+from repro.dag import JobStage, Pipeline, StageContext, StageStatus, run_pipeline
+from repro.engine.counters import Counter
+from repro.engine.job import JobSpec
+from repro.errors import PipelineError
+
+from tests.dag.conftest import TEXT_A, count_stage, make_source
+
+
+def _explode(ctx: StageContext) -> JobSpec:
+    raise RuntimeError("mapper exploded")
+
+
+def broken_pipeline() -> Pipeline:
+    """src -> broken -> after, with an independent src -> healthy branch."""
+    return Pipeline("partial", [
+        make_source("src", TEXT_A),
+        JobStage("broken", build=_explode, inputs=("src",)),
+        count_stage("after", "broken"),
+        count_stage("healthy", "src"),
+    ])
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_pipeline(broken_pipeline())
+
+
+def test_statuses(result):
+    assert result.stage("src").status is StageStatus.DONE
+    assert result.stage("healthy").status is StageStatus.DONE
+    assert result.stage("broken").status is StageStatus.FAILED
+    assert result.stage("after").status is StageStatus.SKIPPED
+    assert not result.ok
+    assert [r.stage for r in result.failed] == ["broken"]
+    assert [r.stage for r in result.skipped] == ["after"]
+
+
+def test_skip_carries_the_causal_error(result):
+    broken = result.stage("broken")
+    skipped = result.stage("after")
+    assert isinstance(broken.error, RuntimeError)
+    assert skipped.error is broken.error
+    assert skipped.cause == "broken"
+    assert "upstream 'broken' failed" in skipped.describe()
+    assert "mapper exploded" in skipped.describe()
+
+
+def test_counters_and_datasets(result):
+    assert result.counters.get(Counter.PIPELINE_STAGES_DONE) == 2
+    assert result.counters.get(Counter.PIPELINE_STAGES_FAILED) == 1
+    assert result.counters.get(Counter.PIPELINE_STAGES_SKIPPED) == 1
+    assert set(result.datasets) == {"src", "healthy"}
+    assert result.output("healthy")
+    with pytest.raises(PipelineError, match="status: failed"):
+        result.output("broken")
+    with pytest.raises(PipelineError, match="status: skipped"):
+        result.output("after")
+
+
+def test_raise_on_failure_chains_the_original(result):
+    with pytest.raises(PipelineError, match="did not complete") as excinfo:
+        result.raise_on_failure()
+    assert isinstance(excinfo.value.__cause__, RuntimeError)
+    assert "mapper exploded" in str(excinfo.value)
+
+
+def test_report_shows_failure_and_skip(result):
+    text = render_pipeline_report(result)
+    assert "failed" in text
+    assert "skipped" in text
+    assert "mapper exploded" in text
+
+
+def test_all_ok_raise_on_failure_is_identity():
+    ok = run_pipeline(Pipeline("fine", [
+        make_source("src", TEXT_A),
+        count_stage("wc", "src"),
+    ]))
+    assert ok.raise_on_failure() is ok

@@ -1,0 +1,135 @@
+"""Static pipeline-graph semantics: wiring validation and ordering.
+
+Everything here fails (or orders) at declaration/validation time —
+no stage ever executes, so these tests use throwaway builders.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import IterativeStage, JobStage, Pipeline, SourceStage
+from repro.engine.job import JobSpec
+from repro.errors import PipelineError
+
+
+def _unbuildable(ctx) -> JobSpec:
+    raise NotImplementedError("graph tests never execute stages")
+
+
+def _never(previous: bytes, current: bytes, iteration: int) -> bool:
+    return False
+
+
+def job(name: str, inputs: tuple[str, ...] = (), output: str | None = None) -> JobStage:
+    return JobStage(name, build=_unbuildable, inputs=inputs, output=output)
+
+
+def source(name: str) -> SourceStage:
+    return SourceStage(name, generate=lambda: b"", params=name)
+
+
+class TestConstruction:
+    def test_duplicate_stage_name_rejected(self):
+        pipeline = Pipeline("p").add(source("a"))
+        with pytest.raises(PipelineError, match="already has a stage"):
+            pipeline.add(job("a", inputs=("a",)))
+
+    def test_duplicate_output_dataset_rejected(self):
+        pipeline = Pipeline("p").add(job("a", output="shared"))
+        with pytest.raises(PipelineError, match="both produce"):
+            pipeline.add(job("b", output="shared"))
+
+    def test_empty_pipeline_name_rejected(self):
+        with pytest.raises(PipelineError):
+            Pipeline("")
+
+    def test_output_defaults_to_stage_name(self):
+        stage = job("wc")
+        assert stage.output == "wc"
+        assert job("wc", output="counts").output == "counts"
+
+    def test_unknown_stage_lookup(self):
+        with pytest.raises(PipelineError, match="no stage"):
+            Pipeline("p", [source("a")]).stage("missing")
+
+
+class TestValidation:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(PipelineError, match="no stages"):
+            Pipeline("p").validate()
+
+    def test_unknown_input_dataset_rejected(self):
+        pipeline = Pipeline("p", [source("a"), job("b", inputs=("ghost",))])
+        with pytest.raises(PipelineError, match="unknown dataset 'ghost'"):
+            pipeline.validate()
+
+    def test_self_consumption_rejected(self):
+        pipeline = Pipeline("p", [job("loop", inputs=("loop",))])
+        with pytest.raises(PipelineError, match="consumes its own output"):
+            pipeline.validate()
+
+    def test_cycle_rejected(self):
+        pipeline = Pipeline("p", [
+            job("a", inputs=("b",)),
+            job("b", inputs=("a",)),
+        ])
+        with pytest.raises(PipelineError, match="cycle"):
+            pipeline.validate()
+
+    def test_valid_chain_passes(self):
+        Pipeline("p", [
+            source("src"),
+            job("mid", inputs=("src",)),
+            job("end", inputs=("mid",)),
+        ]).validate()
+
+
+class TestOrderingAndQueries:
+    def chain(self) -> Pipeline:
+        return Pipeline("p", [
+            source("src"),
+            job("left", inputs=("src",)),
+            job("right", inputs=("src",)),
+            job("join", inputs=("left", "right")),
+        ])
+
+    def test_topological_order_respects_dependencies(self):
+        order = [s.name for s in self.chain().topological_order()]
+        assert order.index("src") < order.index("left")
+        assert order.index("left") < order.index("join")
+        assert order.index("right") < order.index("join")
+        # Declaration order among ready ties.
+        assert order == ["src", "left", "right", "join"]
+
+    def test_downstream_is_transitive(self):
+        pipeline = self.chain()
+        assert pipeline.downstream_of("src") == {"left", "right", "join"}
+        assert pipeline.downstream_of("left") == {"join"}
+        assert pipeline.downstream_of("join") == set()
+
+    def test_producer_and_consumers(self):
+        pipeline = self.chain()
+        assert pipeline.producer_of("left").name == "left"
+        assert {s.name for s in pipeline.consumers_of("src")} == {"left", "right"}
+        with pytest.raises(PipelineError, match="no stage produces"):
+            pipeline.producer_of("ghost")
+
+
+class TestIterativeStageDeclaration:
+    def test_needs_a_state_input(self):
+        with pytest.raises(ValueError, match="at least a state input"):
+            IterativeStage("it", build=_unbuildable, converged=_never, inputs=())
+
+    def test_state_input_must_be_declared(self):
+        with pytest.raises(ValueError, match="not among its inputs"):
+            IterativeStage(
+                "it", build=_unbuildable, converged=_never,
+                inputs=("a",), state_input="ghost",
+            )
+
+    def test_state_input_defaults_to_first(self):
+        stage = IterativeStage(
+            "it", build=_unbuildable, converged=_never, inputs=("state", "static")
+        )
+        assert stage.state_input == "state"

@@ -1,0 +1,99 @@
+"""The iterative driver reaches the same fixpoint NumPy does.
+
+The pagerank pipeline iterates the MapReduce rank propagation until the
+largest per-URL delta drops under PAGERANK_TOLERANCE; the reference is
+the dense power iteration on the very same generated crawl.  The state
+round-trips through the rendered line format (ranks quantized at 1e-10),
+so comparisons use a tolerance well above that but far below any real
+rank mass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_pipeline_report
+from repro.apps.pagerank import parse_ranks
+from repro.apps.pipelines import (
+    PAGERANK_MAX_ITERATIONS,
+    PAGERANK_TOLERANCE,
+    build_pagerank_pipeline,
+)
+from repro.dag import IterativeStage, Pipeline, PipelineRunner, run_pipeline
+from repro.data.webgraph import (
+    WebGraphSpec,
+    generate_webgraph,
+    parse_webgraph,
+    reference_pagerank_fixpoint,
+)
+from repro.engine.counters import Counter
+
+SCALE = 0.02
+RANK_TOLERANCE = 1e-6
+
+
+@pytest.fixture(scope="module")
+def runner() -> PipelineRunner:
+    return PipelineRunner()
+
+
+@pytest.fixture(scope="module")
+def fixpoint(runner):
+    result = runner.run(build_pagerank_pipeline(scale=SCALE))
+    assert result.ok, [r.describe() for r in result.stages]
+    return result
+
+
+def test_converges_within_the_cap(fixpoint):
+    stage = fixpoint.stage("pagerank")
+    assert stage.converged is True
+    assert 1 < stage.iterations <= PAGERANK_MAX_ITERATIONS
+    assert fixpoint.counters.get(Counter.PIPELINE_ITERATIONS) == stage.iterations
+
+
+def test_matches_numpy_reference(fixpoint):
+    ranks = parse_ranks(fixpoint.output("pagerank"))
+    graph = parse_webgraph(generate_webgraph(WebGraphSpec(seed=0).scaled(SCALE)))
+    reference, _iterations = reference_pagerank_fixpoint(
+        graph, tolerance=PAGERANK_TOLERANCE
+    )
+    assert set(ranks) == set(reference)
+    worst = max(abs(ranks[url] - reference[url]) for url in reference)
+    assert worst < RANK_TOLERANCE, f"largest rank deviation {worst:.2e}"
+
+
+def test_warm_rerun_skips_the_whole_fixpoint(runner, fixpoint):
+    warm = runner.run(build_pagerank_pipeline(scale=SCALE))
+    stage = warm.stage("pagerank")
+    assert stage.cache_hit
+    assert stage.converged is True
+    # Provenance survives the cache: how many job runs the fixpoint took.
+    assert stage.iterations == fixpoint.stage("pagerank").iterations
+    assert warm.output("pagerank") == fixpoint.output("pagerank")
+    assert warm.counters.get(Counter.PIPELINE_CACHE_HITS) == 2
+
+
+def _never_converges(previous: bytes, current: bytes, iteration: int) -> bool:
+    return False
+
+
+def test_iteration_cap_stops_a_nonconverging_stage():
+    from repro.apps.pipelines import _pagerank_stage
+
+    pipeline = build_pagerank_pipeline(scale=0.01)
+    capped = Pipeline("capped", [
+        pipeline.stage("crawl"),
+        IterativeStage(
+            "pagerank",
+            build=_pagerank_stage,
+            converged=_never_converges,
+            inputs=("crawl",),
+            max_iterations=2,
+        ),
+    ])
+    result = run_pipeline(capped)
+    stage = result.stage("pagerank")
+    assert stage.ok
+    assert stage.converged is False
+    assert stage.iterations == 2
+    assert "(no fixpoint)" in render_pipeline_report(result)

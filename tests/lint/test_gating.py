@@ -104,6 +104,7 @@ def test_strict_refuses_unsafe_job():
     app = build_application(
         "unsafewordcount", scale=0.005,
         conf_overrides={Keys.LINT_MODE: "strict"},
+        include_fixtures=True,
     )
     with pytest.raises(LintError) as excinfo:
         LocalJobRunner().run(app.job)

@@ -25,7 +25,7 @@ def _line_of(snippet: str) -> int:
 
 
 def _report():
-    app = build_application("unsafewordcount", scale=0.005)
+    app = build_application("unsafewordcount", scale=0.005, include_fixtures=True)
     return analyze_app(app)
 
 

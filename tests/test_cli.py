@@ -14,6 +14,15 @@ class TestList:
         assert "wordcount" in out
         assert "table3" in out
 
+    def test_lists_pipelines_and_fixtures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pipelines" in out
+        assert "textindex" in out
+        assert "pagerank" in out
+        assert "lint fixtures" in out
+        assert "unsafewordcount" in out
+
 
 class TestRun:
     def test_run_baseline(self, capsys):
@@ -33,6 +42,36 @@ class TestRun:
     def test_rejects_unknown_app(self):
         with pytest.raises(SystemExit):
             main(["run", "nosuchapp"])
+
+    def test_rejects_lint_fixture_as_app(self):
+        # unsafewordcount is reachable by `repro lint`, never by `repro run`.
+        with pytest.raises(SystemExit):
+            main(["run", "unsafewordcount"])
+
+    def test_run_prints_job_stamp(self, capsys):
+        assert main(["run", "wordcount", "--scale", "0.02"]) == 0
+        assert "output sha256:" in capsys.readouterr().out
+
+
+class TestPipeline:
+    def test_textindex_runs(self, capsys):
+        assert main(["pipeline", "textindex", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline textindex" in out
+        assert "invertedindex" in out
+        assert "3 miss(es)" in out
+
+    def test_no_cache_flag_accepted(self, capsys):
+        code = main([
+            "pipeline", "textindex", "--scale", "0.01",
+            "--backend", "thread", "--workers", "2", "--no-cache",
+        ])
+        assert code == 0
+        assert "0 hit(s)" in capsys.readouterr().out
+
+    def test_rejects_unknown_pipeline(self):
+        with pytest.raises(SystemExit):
+            main(["pipeline", "nosuchpipeline"])
 
 
 class TestCluster:

@@ -221,9 +221,62 @@ def render_pipeline_report(result: "PipelineResult") -> str:
         f"cache: {hits} hit(s), {misses} miss(es); "
         f"{handoff} dataset byte(s) handed off via DFS"
     )
+    crashes = result.counters.get(Counter.WORKER_CRASHES)
+    reexecutions = result.counters.get(Counter.TASK_REEXECUTIONS)
+    quarantined = result.counters.get(Counter.TASKS_QUARANTINED)
+    failovers = result.counters.get(Counter.DFS_READ_FAILOVERS)
+    if any((crashes, reexecutions, quarantined, failovers)):
+        lines.append(
+            f"failures survived: {crashes} worker crash(es), "
+            f"{reexecutions} task re-execution(s), {quarantined} task(s) "
+            f"quarantined, {failovers} DFS read failover(s)"
+        )
     for stage in result.stages:
         if stage.status in (StageStatus.FAILED, StageStatus.SKIPPED):
             lines.append(stage.describe())
+    return "\n".join(lines)
+
+
+def render_failure_report(result: "JobResult") -> str:
+    """The fault-tolerance section of a finished job's report.
+
+    Summarizes what the run survived: worker crashes, hung-task
+    timeouts, quarantined tasks, re-executed task attempts (with the
+    per-task attempt counts for every task that needed more than one),
+    and DFS replica failovers.  Collapses to a single quiet line when
+    the run needed no recovery at all — the common case.
+    """
+    from ..engine.counters import Counter
+    from .tables import render_table
+
+    counters = result.counters
+    crashes = counters.get(Counter.WORKER_CRASHES)
+    timeouts = counters.get(Counter.TASK_TIMEOUTS)
+    quarantined = counters.get(Counter.TASKS_QUARANTINED)
+    reexecutions = counters.get(Counter.TASK_REEXECUTIONS)
+    failovers = counters.get(Counter.DFS_READ_FAILOVERS)
+    if not any((crashes, timeouts, quarantined, reexecutions, failovers)):
+        return f"failures: none (every task of {result.job_name} succeeded first try)"
+
+    lines = [
+        f"failures survived by {result.job_name}: "
+        f"{crashes} worker crash(es), {timeouts} task timeout(s), "
+        f"{quarantined} task(s) quarantined, {reexecutions} task "
+        f"re-execution(s), {failovers} DFS read failover(s)"
+    ]
+    retried = sorted(
+        (task_id, attempts)
+        for task_id, attempts in result.task_attempts.items()
+        if attempts > 1
+    )
+    if retried:
+        lines.append(
+            render_table(
+                "tasks that needed retries",
+                ["task", "attempts"],
+                [[task_id, str(attempts)] for task_id, attempts in retried],
+            )
+        )
     return "\n".join(lines)
 
 

@@ -35,6 +35,7 @@ from .analysis.gantt import export_trace, render_gantt
 from .analysis.report import (
     job_stamp,
     render_claims,
+    render_failure_report,
     render_lint_report,
     render_pipeline_report,
     render_shuffle_traffic,
@@ -87,6 +88,19 @@ def _build(args: argparse.Namespace, extra: dict | None = None):
     )
 
 
+def _fault_conf(args: argparse.Namespace) -> dict:
+    """Conf entries for the --fault / --fault-seed / --task-timeout
+    flags (shared by `repro run` and `repro pipeline`)."""
+    conf: dict = {}
+    if args.fault:
+        conf[Keys.FAULTS_SPEC] = ";".join(args.fault)
+    if args.fault_seed is not None:
+        conf[Keys.FAULTS_SEED] = args.fault_seed
+    if args.task_timeout is not None:
+        conf[Keys.TASK_TIMEOUT] = args.task_timeout
+    return conf
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     extra = {
         Keys.EXEC_BACKEND: args.backend,
@@ -97,6 +111,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     }
     if args.shuffle_fetchers is not None:
         extra[Keys.SHUFFLE_FETCHERS] = args.shuffle_fetchers
+    extra.update(_fault_conf(args))
     app = _build(args, extra=extra)
     start = time.perf_counter()
     result = LocalJobRunner().run(app.job)
@@ -106,6 +121,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"{app.job.describe()}: {len(result.output_pairs())} output records "
           f"in {elapsed:.3f}s (backend={args.backend}{workers}{shuffle})")
     print(job_stamp(result))
+    if args.fault:
+        print(render_failure_report(result))
     if args.shuffle == "net":
         print(render_shuffle_traffic(result))
     if result.lint_report is not None:
@@ -136,6 +153,7 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     }
     if args.shuffle_fetchers is not None:
         stage_conf[Keys.SHUFFLE_FETCHERS] = args.shuffle_fetchers
+    stage_conf.update(_fault_conf(args))
     result = PipelineRunner(conf=conf, stage_conf=stage_conf).run(pipeline)
     print(render_pipeline_report(result))
     return 0 if result.ok else 1
@@ -218,6 +236,25 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault", action="append", default=[], metavar="SITE.KIND:FRACTION[:ATTEMPTS]",
+        help="inject a deterministic fault (repeatable); sites: disk "
+             "(corrupt, torn), dfs (corrupt), worker (kill, hang, stall), "
+             "shuffle (refuse, drop, truncate, delay) — e.g. "
+             "--fault worker.kill:0.5 --fault disk.corrupt:0.3",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for deterministic fault-victim selection",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="seconds before a hung task's worker is killed and the "
+             "attempt rescheduled (process backend; 0 = never)",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -252,6 +289,7 @@ def main(argv: list[str] | None = None) -> int:
         help="static job-safety analysis at submit: warn analyzes and "
              "gates unproven optimizations, strict refuses unsafe jobs",
     )
+    _add_fault_args(run_parser)
     run_parser.set_defaults(fn=cmd_run)
 
     pipe_parser = sub.add_parser(
@@ -287,6 +325,7 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-dir", default=None,
         help="persist the result cache here so repeated invocations warm-start",
     )
+    _add_fault_args(pipe_parser)
     pipe_parser.set_defaults(fn=cmd_pipeline)
 
     cluster_parser = sub.add_parser("cluster", help="run an app on a simulated cluster")

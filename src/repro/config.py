@@ -60,6 +60,11 @@ class Keys:
     SHUFFLE_FAULT_DELAY = "repro.shuffle.fault.delay.seconds"  # for kind=delay
     SHUFFLE_FAULT_SEED = "repro.shuffle.fault.seed"
 
+    # --- unified fault injection (repro.faults) ---
+    FAULTS_SPEC = "repro.faults.spec"  # "site.kind:fraction[:attempts][;...]"
+    FAULTS_SEED = "repro.faults.seed"  # victim-selection hash seed
+    FAULTS_DELAY = "repro.faults.delay.seconds"  # stall/delay duration
+
     # --- static job-safety analysis (repro.lint) ---
     LINT_MODE = "repro.lint.mode"  # off | warn | strict
 
@@ -78,6 +83,7 @@ class Keys:
     GROUPING = "repro.engine.grouping"  # sort | hash (post-map grouping procedure)
     REDUCE_MEMORY_BYTES = "repro.reduce.shuffle.memory.bytes"  # merge budget
     TASK_MAX_ATTEMPTS = "repro.task.max.attempts"  # retries for failed tasks
+    TASK_TIMEOUT = "repro.task.timeout.seconds"  # reap hung workers (0 = off)
 
     # --- DFS ---
     DFS_BLOCK_BYTES = "repro.dfs.block.bytes"
@@ -111,6 +117,9 @@ DEFAULTS: dict[str, Any] = {
     Keys.SHUFFLE_FAULT_ATTEMPTS: 1,
     Keys.SHUFFLE_FAULT_DELAY: 0.05,
     Keys.SHUFFLE_FAULT_SEED: 1234,
+    Keys.FAULTS_SPEC: "",
+    Keys.FAULTS_SEED: 1234,
+    Keys.FAULTS_DELAY: 0.05,
     Keys.LINT_MODE: "off",
     Keys.PIPELINE_CACHE: True,
     Keys.PIPELINE_CACHE_DIR: "",
@@ -127,6 +136,7 @@ DEFAULTS: dict[str, Any] = {
     Keys.GROUPING: "sort",
     Keys.REDUCE_MEMORY_BYTES: 64 << 20,  # 64 MiB: in-memory merge by default
     Keys.TASK_MAX_ATTEMPTS: 4,  # Hadoop's mapred.map.max.attempts default
+    Keys.TASK_TIMEOUT: 0.0,  # Hadoop's mapred.task.timeout, scaled; 0 disables
     Keys.DFS_BLOCK_BYTES: 1 << 22,  # 4 MiB
     Keys.DFS_REPLICATION: 3,
 }

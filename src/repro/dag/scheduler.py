@@ -94,6 +94,18 @@ class PipelineRunner:
     # the scheduler
     # ------------------------------------------------------------------
     def run(self, pipeline: Pipeline) -> PipelineResult:
+        # Installed for the whole pipeline so dfs-site faults cover the
+        # dataset handoff reads the *scheduler* performs (digesting and
+        # rendering stage outputs), not just reads inside stage jobs —
+        # the per-stage executors install the same plan and share the
+        # injector (installation dedupes equal plans).
+        from ..faults.plan import FaultPlan
+        from ..faults.runtime import installed
+
+        with installed(FaultPlan.from_conf(JobConf(self.stage_conf))):
+            return self._run(pipeline)
+
+    def _run(self, pipeline: Pipeline) -> PipelineResult:
         pipeline.validate()
         started = time.perf_counter()
         store = DfsDatasetStore(
@@ -135,7 +147,7 @@ class PipelineRunner:
                     if outcome.result.status is StageStatus.FAILED:
                         self._skip_downstream(pipeline, name, outcome, waiting, outcomes)
 
-        return self._assemble(pipeline, outcomes, time.perf_counter() - started)
+        return self._assemble(pipeline, outcomes, time.perf_counter() - started, store)
 
     def _skip_downstream(
         self,
@@ -164,8 +176,13 @@ class PipelineRunner:
         pipeline: Pipeline,
         outcomes: dict[str, _StageOutcome],
         seconds: float,
+        store: DfsDatasetStore | None = None,
     ) -> PipelineResult:
         result = PipelineResult(pipeline=pipeline.name, seconds=seconds)
+        if store is not None:
+            # Dataset-handoff reads that survived a corrupt replica by
+            # failing over (digest verification caught the rot).
+            result.counters.incr(Counter.DFS_READ_FAILOVERS, store.read_failovers)
         for stage in pipeline.topological_order():
             outcome = outcomes[stage.name]
             stage_result = outcome.result

@@ -63,6 +63,13 @@ class DfsDatasetStore:
         try:
             return self._client.read_file(self.path(dataset))
         except DfsError as exc:
+            if self.exists(dataset):
+                # The file is there but a block read failed everywhere
+                # (all replicas corrupt/missing): surface the real cause.
+                raise PipelineError(
+                    f"dataset {dataset!r} of pipeline {self.pipeline!r} is "
+                    f"unreadable: {exc}"
+                ) from exc
             raise PipelineError(
                 f"dataset {dataset!r} of pipeline {self.pipeline!r} is not "
                 f"materialized (did its producing stage run?)"
@@ -71,3 +78,9 @@ class DfsDatasetStore:
     def block_digests(self, dataset: str) -> tuple[str, ...]:
         """Content identity of the stored dataset, block by block."""
         return self._client.block_digests(self.path(dataset))
+
+    @property
+    def read_failovers(self) -> int:
+        """Block reads served by a later replica after the preferred one
+        failed digest verification (or went missing)."""
+        return self._client.read_failovers

@@ -57,6 +57,7 @@ class DfsClient:
         self.local_host = local_host
         self.remote_bytes_read = 0
         self.local_bytes_read = 0
+        self.read_failovers = 0
 
     # ------------------------------------------------------------------
     # writes
@@ -104,14 +105,31 @@ class DfsClient:
         return bytes(out)
 
     def _read_block(self, block_id, replicas: tuple[str, ...]) -> bytes:
-        if self.local_host is not None and self.local_host in replicas:
-            payload = self._cluster.datanode(self.local_host).read_block(block_id)
-            self.local_bytes_read += len(payload)
+        """Read one block, trying the local replica first and failing
+        over through the remaining replicas if one is missing or fails
+        digest verification (HDFS clients do the same)."""
+        ordered = list(replicas)
+        if self.local_host is not None and self.local_host in ordered:
+            ordered.remove(self.local_host)
+            ordered.insert(0, self.local_host)
+        last_error: DfsError | None = None
+        for attempt, host in enumerate(ordered):
+            try:
+                payload = self._cluster.datanode(host).read_block(block_id)
+            except DfsError as exc:
+                last_error = exc
+                continue
+            if attempt > 0:
+                self.read_failovers += 1
+            if host == self.local_host:
+                self.local_bytes_read += len(payload)
+            else:
+                self.remote_bytes_read += len(payload)
             return payload
-        host = replicas[0]
-        payload = self._cluster.datanode(host).read_block(block_id)
-        self.remote_bytes_read += len(payload)
-        return payload
+        raise DfsError(
+            f"block {block_id!r} unreadable from all {len(ordered)} replica(s) "
+            f"({', '.join(ordered)})"
+        ) from last_error
 
     # ------------------------------------------------------------------
     # content identity

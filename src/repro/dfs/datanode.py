@@ -1,8 +1,18 @@
-"""Block storage servers for the simulated DFS."""
+"""Block storage servers for the simulated DFS.
+
+Each datanode remembers a SHA-256 digest alongside every block payload
+and re-verifies it on read (HDFS datanodes do the same with per-block
+CRC metadata files): a replica that rots on disk — or is corrupted by
+the fault harness — raises :class:`~repro.errors.DfsError` instead of
+silently serving garbage, and the client fails over to another replica.
+"""
 
 from __future__ import annotations
 
+import hashlib
+
 from ..errors import DfsError
+from ..faults.runtime import corrupt_dfs_read
 from .blocks import BlockId
 
 
@@ -12,13 +22,16 @@ class DataNode:
     def __init__(self, host: str) -> None:
         self.host = host
         self._blocks: dict[BlockId, bytes] = {}
+        self._digests: dict[BlockId, str] = {}
         self.bytes_served = 0
         self.bytes_received = 0
+        self.verification_failures = 0
 
     def store_block(self, block_id: BlockId, payload: bytes) -> None:
         if block_id in self._blocks:
             raise DfsError(f"{self.host}: block {block_id!r} already stored")
         self._blocks[block_id] = payload
+        self._digests[block_id] = hashlib.sha256(payload).hexdigest()
         self.bytes_received += len(payload)
 
     def read_block(self, block_id: BlockId) -> bytes:
@@ -26,6 +39,15 @@ class DataNode:
             payload = self._blocks[block_id]
         except KeyError as exc:
             raise DfsError(f"{self.host}: no such block {block_id!r}") from exc
+        # Fault point: this replica may serve rotten bytes; the digest
+        # check below is what stands between them and the caller.
+        payload = corrupt_dfs_read(f"{block_id!r}@{self.host}", payload)
+        if hashlib.sha256(payload).hexdigest() != self._digests[block_id]:
+            self.verification_failures += 1
+            raise DfsError(
+                f"{self.host}: block {block_id!r} failed digest verification "
+                "(corrupt replica)"
+            )
         self.bytes_served += len(payload)
         return payload
 
@@ -36,6 +58,7 @@ class DataNode:
         if block_id not in self._blocks:
             raise DfsError(f"{self.host}: no such block {block_id!r}")
         del self._blocks[block_id]
+        del self._digests[block_id]
 
     @property
     def block_count(self) -> int:

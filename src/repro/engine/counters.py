@@ -37,6 +37,12 @@ class Counter(str, Enum):
     SHUFFLE_FETCHES = "shuffle_fetches"  # network shuffle: successful fetches
     SHUFFLE_FETCH_RETRIES = "shuffle_fetch_retries"  # failed attempts retried
     SHUFFLE_BACKOFF_MS = "shuffle_backoff_ms"  # total retry backoff + lost-attempt wait
+    # --- fault tolerance (repro.faults + executor recovery) ---
+    WORKER_CRASHES = "worker_crashes"  # pool workers that died abruptly
+    TASK_REEXECUTIONS = "task_reexecutions"  # attempts beyond each task's first
+    TASK_TIMEOUTS = "task_timeouts"  # hung workers reaped by the task timeout
+    TASKS_QUARANTINED = "tasks_quarantined"  # poison tasks pulled from scheduling
+    DFS_READ_FAILOVERS = "dfs_read_failovers"  # block reads served by a later replica
     REDUCE_INPUT_GROUPS = "reduce_input_groups"
     REDUCE_INPUT_RECORDS = "reduce_input_records"
     REDUCE_OUTPUT_RECORDS = "reduce_output_records"

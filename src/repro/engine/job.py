@@ -7,6 +7,7 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Type
 
+from .. import introspect
 from ..config import JobConf, Keys
 from ..serde.writable import Writable
 from .api import Combiner, HashPartitioner, Mapper, Partitioner, Reducer
@@ -24,6 +25,11 @@ NON_SEMANTIC_CONF_PREFIXES: tuple[str, ...] = (
     "repro.lint.",
     "repro.pipeline.",
     "repro.instrument.",
+    # Fault injection and the retry/timeout budget change how hard a run
+    # is to finish, never what a finished run computes (recovered runs
+    # are byte-identical by contract — the chaos suite enforces it).
+    "repro.faults.",
+    "repro.task.",
 )
 
 
@@ -46,7 +52,7 @@ def source_fingerprint(obj: Any) -> str:
     target = obj if inspect.isclass(obj) or inspect.isroutine(obj) else type(obj)
     name = f"{getattr(target, '__module__', '?')}.{getattr(target, '__qualname__', repr(target))}"
     try:
-        return f"{name}\n{inspect.getsource(target)}"
+        return f"{name}\n{introspect.getsource(target)}"
     except (OSError, TypeError):
         return name
 

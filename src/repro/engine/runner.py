@@ -53,6 +53,10 @@ class JobResult:
     #: ``mem`` mode).  Elements are
     #: :class:`~repro.shuffle.server.ShuffleHostStats`.
     shuffle_hosts: list = field(default_factory=list)
+    #: ``task_id -> cumulative attempts consumed`` for this job's tasks
+    #: (first attempts included), the raw material behind the
+    #: ``task_reexecutions`` counter and the failure report.
+    task_attempts: dict[str, int] = field(default_factory=dict)
     #: Static-analysis report (``repro.lint.mode`` = warn/strict only;
     #: ``None`` when linting was off).  Carries any gating decisions the
     #: runner applied, e.g. freqbuf forced off for an unverified combiner.

@@ -22,15 +22,25 @@ from abc import ABC, abstractmethod
 from typing import Callable
 
 from ..config import Keys
-from ..engine.counters import Counters
+from ..engine.counters import Counter, Counters
 from ..engine.instrumentation import Ledger, TaskInstruments
 from ..engine.job import JobSpec
 from ..engine.maptask import MapTaskResult, MapTaskRunner
 from ..engine.reducetask import ReduceTaskResult, ReduceTaskRunner
 from ..engine.runner import JobResult, build_collector
-from ..errors import ExecBackendError, JobFailedError, UserCodeError
+from ..errors import DiskError, ExecBackendError, JobFailedError, SerdeError, UserCodeError
+from ..faults.plan import FaultPlan
+from ..faults.runtime import task_scope, worker_fault
 from ..io.blockdisk import LocalDisk
 from ..io.linereader import FileSplit
+
+#: Errors that burn one task attempt and retry with a fresh attempt:
+#: user code blew up (Hadoop's classic case), a spill read failed its
+#: CRC check, or local disk failed mid-write.  Shuffle errors are *not*
+#: here — the fetcher owns that retry loop (per-segment, with backoff),
+#: and a fetch that exhausts it is a cluster problem a fresh reduce
+#: attempt against the same servers would only repeat.
+TRANSIENT_TASK_ERRORS = (UserCodeError, SerdeError, DiskError)
 
 
 def resolve_workers(requested: int) -> int:
@@ -59,20 +69,24 @@ def run_map_with_retries(
     shared_state: dict | None = None,
     disk_factory: Callable[[str], LocalDisk] | None = None,
     attempts_out: dict[str, int] | None = None,
+    attempt_offset: int = 0,
 ) -> tuple[MapTaskResult, int]:
     """Run one map task with Hadoop's task-attempt semantics.
 
     Each attempt gets a fresh mapper, disk, collector, ledger, and
-    counter set; a :class:`~repro.errors.UserCodeError` burns the attempt
-    and retries, any other exception propagates immediately.  Returns the
-    result and the number of attempts consumed.  *attempts_out*, when
-    given, is kept current attempt-by-attempt so callers observe the
-    count even when the task ultimately fails the job.
+    counter set; a :data:`TRANSIENT_TASK_ERRORS` exception burns the
+    attempt and retries, any other exception propagates immediately.
+    Returns the result and the cumulative number of attempts consumed.
+    *attempts_out*, when given, is kept current attempt-by-attempt so
+    callers observe the count even when the task ultimately fails the
+    job.  *attempt_offset* is the number of attempts already consumed
+    elsewhere (a crashed worker's lost attempts, counted by the pool),
+    so a rescheduled task keeps one cumulative attempt budget.
     """
     task_id = map_task_id(job, index)
     max_attempts = job.conf.get_positive_int(Keys.TASK_MAX_ATTEMPTS)
-    last_error: UserCodeError | None = None
-    for attempt in range(max_attempts):
+    last_error: Exception | None = None
+    for attempt in range(attempt_offset, max_attempts):
         if attempts_out is not None:
             attempts_out[task_id] = attempt + 1
         if disk_factory is not None:
@@ -87,8 +101,10 @@ def run_map_with_retries(
             job, split, task_id, disk, collector, instruments, counters, host
         )
         try:
-            return runner.run(), attempt + 1
-        except UserCodeError as exc:
+            with task_scope(task_id, attempt + 1):
+                worker_fault(task_id, attempt + 1)
+                return runner.run(), attempt + 1
+        except TRANSIENT_TASK_ERRORS as exc:
             last_error = exc
     raise JobFailedError(
         f"task {task_id} failed {max_attempts} attempts; last error: {last_error}"
@@ -101,12 +117,13 @@ def run_reduce_with_retries(
     map_results: list[MapTaskResult],
     host: str,
     attempts_out: dict[str, int] | None = None,
+    attempt_offset: int = 0,
 ) -> tuple[ReduceTaskResult, int]:
     """Run one reduce task with the same attempt semantics as maps."""
     task_id = reduce_task_id(job, partition)
     max_attempts = job.conf.get_positive_int(Keys.TASK_MAX_ATTEMPTS)
-    last_error: UserCodeError | None = None
-    for attempt in range(max_attempts):
+    last_error: Exception | None = None
+    for attempt in range(attempt_offset, max_attempts):
         if attempts_out is not None:
             attempts_out[task_id] = attempt + 1
         instruments = TaskInstruments(Ledger())
@@ -115,12 +132,29 @@ def run_reduce_with_retries(
             job, partition, map_results, task_id, instruments, counters, host
         )
         try:
-            return runner.run(), attempt + 1
-        except UserCodeError as exc:
+            with task_scope(task_id, attempt + 1):
+                worker_fault(task_id, attempt + 1)
+                return runner.run(), attempt + 1
+        except TRANSIENT_TASK_ERRORS as exc:
             last_error = exc
     raise JobFailedError(
         f"task {task_id} failed {max_attempts} attempts; last error: {last_error}"
     ) from last_error
+
+
+def recovery_counters(job: JobSpec, task_attempts: dict[str, int]) -> Counters:
+    """Fault-tolerance accounting derived from attempt counts: every
+    attempt beyond a task's first is a re-execution (only *this* job's
+    tasks count — runners may share the attempts dict across jobs)."""
+    events = Counters()
+    prefix = f"{job.name}."
+    reexecutions = sum(
+        max(0, attempts - 1)
+        for task_id, attempts in task_attempts.items()
+        if task_id.startswith(prefix)
+    )
+    events.incr(Counter.TASK_REEXECUTIONS, reexecutions)
+    return events
 
 
 def assemble_job_result(
@@ -128,15 +162,28 @@ def assemble_job_result(
     map_results: list[MapTaskResult],
     reduce_results: list[ReduceTaskResult],
     shuffle_hosts: list | None = None,
+    task_attempts: dict[str, int] | None = None,
+    events: Counters | None = None,
 ) -> JobResult:
     """Merge per-task accounting into a job result, in task order, so
-    every backend produces an identical ledger/counter aggregation."""
+    every backend produces an identical ledger/counter aggregation.
+
+    *task_attempts* (the executor's per-task attempt counts) yields the
+    ``TASK_REEXECUTIONS`` counter; *events* carries executor-level
+    counters no single task owns (worker crashes, timeouts,
+    quarantines).  Neither perturbs the ledger, so fault-free runs stay
+    bit-identical across backends.
+    """
     ledger = Ledger.summed(
         [r.ledger for r in map_results] + [r.ledger for r in reduce_results]
     )
     counters = Counters.summed(
         [r.counters for r in map_results] + [r.counters for r in reduce_results]
     )
+    attempts = dict(task_attempts) if task_attempts else {}
+    counters.merge(recovery_counters(job, attempts))
+    if events is not None:
+        counters.merge(events)
     return JobResult(
         job_name=job.name,
         map_results=map_results,
@@ -144,8 +191,15 @@ def assemble_job_result(
         ledger=ledger,
         counters=counters,
         shuffle_hosts=shuffle_hosts or [],
+        task_attempts=attempts,
         job_id=job.job_id(),
     )
+
+
+def fault_plan_for(job: JobSpec) -> FaultPlan:
+    """The job's unified fault plan (``repro.faults.*`` conf keys /
+    ``REPRO_FAULT`` env); empty and disabled in normal runs."""
+    return FaultPlan.from_conf(job.conf)
 
 
 def start_shuffle_server(job: JobSpec, host: str):
@@ -162,10 +216,25 @@ def start_shuffle_server(job: JobSpec, host: str):
         raise ConfigError(
             f"{Keys.SHUFFLE_MODE}={mode!r} is not a shuffle mode; use 'mem' or 'net'"
         )
-    from ..shuffle.faults import FaultPlan
+    from ..faults.shuffle import FaultPlan as ShuffleFaultPlan
     from ..shuffle.server import ShuffleServer
 
-    return ShuffleServer(host, fault_plan=FaultPlan.from_conf(job.conf)).start()
+    # A `shuffle` rule in the unified fault plan takes precedence over
+    # the legacy repro.shuffle.fault.* keys, so one --fault spec drives
+    # every site's injection with one seed.
+    unified = fault_plan_for(job)
+    rule = unified.rule("shuffle")
+    if rule is not None:
+        plan = ShuffleFaultPlan(
+            kind=rule.kind,
+            fraction=rule.fraction,
+            attempts=rule.attempts,
+            delay_seconds=unified.delay_seconds,
+            seed=unified.seed,
+        )
+    else:
+        plan = ShuffleFaultPlan.from_conf(job.conf)
+    return ShuffleServer(host, fault_plan=plan).start()
 
 
 def job_splits(job: JobSpec) -> list[FileSplit]:

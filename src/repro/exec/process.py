@@ -1,16 +1,27 @@
 """The process backend: task attempts in real OS worker processes.
 
-Map tasks fan out over a ``multiprocessing`` pool, spill to real temp
-disk through :class:`~repro.exec.diskio.FileDisk`, and ship their
-results (ledger, counters, spill index, disk handle) back by pickle;
-reduce tasks then fan out over the same pool, each reading its shuffle
-partition straight from the files the map workers wrote.  This is the
-backend that actually scales CPU-bound map work across cores.
+Map tasks fan out over a crash-tolerant fork pool
+(:mod:`repro.exec.pool`), spill to real temp disk through
+:class:`~repro.exec.diskio.FileDisk`, and ship their results (ledger,
+counters, spill index, disk handle) back by pickle; reduce tasks then
+fan out over the same pool, each reading its shuffle partition straight
+from the files the map workers wrote.  This is the backend that
+actually scales CPU-bound map work across cores — and the one that has
+to survive workers dying under it: a worker killed mid-task (OOM,
+segfault, injected ``worker.kill``) costs one task attempt, not the
+job; the lost attempt is rescheduled on the survivors under the shared
+``repro.task.max.attempts`` budget, and a poison task that keeps
+killing workers is quarantined with a task-attributed
+:class:`~repro.errors.JobFailedError`.
 
 The pool uses the ``fork`` start method deliberately: application specs
 are built from closures and lambdas that cannot pickle, so the job is
-staged in :mod:`repro.exec.workers`' module global and inherited by the
-forked children instead of being sent to them.
+staged in :mod:`repro.exec.workers`' context registry and inherited by
+the forked children instead of being sent to them (each worker is
+pinned to its executor's context id, so concurrent executors in one
+parent never cross wires).  The job's fault plan
+(if any) is installed in the parent *before* the fork for the same
+reason — workers inherit the armed injector.
 
 After the reduces finish, every map output is *materialized* — copied
 from its temp directory into an in-memory
@@ -22,17 +33,30 @@ serial run's.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import shutil
 import tempfile
 
+from ..config import Keys
+from ..engine.counters import Counters
 from ..engine.job import JobSpec
 from ..engine.maptask import MapTaskResult
 from ..engine.runner import JobResult
-from ..errors import ExecBackendError
+from ..errors import ExecBackendError, JobFailedError, ReproError
+from ..faults.runtime import installed
 from ..io.blockdisk import LocalDisk
 from . import workers
-from .base import Executor, assemble_job_result, job_splits, start_shuffle_server
+from .base import (
+    Executor,
+    assemble_job_result,
+    fault_plan_for,
+    job_splits,
+    map_task_id,
+    reduce_task_id,
+    start_shuffle_server,
+)
+from .pool import CrashTolerantPool, PoolTask
 
 
 class ProcessExecutor(Executor):
@@ -56,25 +80,51 @@ class ProcessExecutor(Executor):
         # workers fetch segments from it over TCP.
         server = start_shuffle_server(job, self.host)
         shuffle_hosts = []
-        workers.push_context(
+        events = Counters()
+        ctx_id = workers.push_context(
             job, tmp_root, self.host,
             shuffle_address=server.address if server is not None else None,
         )
         try:
-            with ctx.Pool(processes=self.workers) as pool:
-                map_results = self._collect(
-                    pool.map(workers.map_entry, range(len(splits)))
-                )
-                reduce_results = self._collect(
-                    pool.map(
-                        workers.reduce_entry,
-                        [(p, map_results) for p in range(job.num_reducers)],
+            # Installed before the pool forks so workers inherit the
+            # armed injector along with the job context.  Workers are
+            # pinned to this executor's ctx_id: replacements forked
+            # while a concurrent executor is live in the same parent
+            # still resolve *this* job's context from the registry.
+            with installed(fault_plan_for(job)):
+                with CrashTolerantPool(
+                    ctx=ctx,
+                    workers=self.workers,
+                    worker_target=functools.partial(workers.worker_main, ctx_id=ctx_id),
+                    max_attempts=job.conf.get_positive_int(Keys.TASK_MAX_ATTEMPTS),
+                    task_timeout=job.conf.get_float(Keys.TASK_TIMEOUT),
+                    events=events,
+                ) as pool:
+                    pool.attempts_seen = self.task_attempts
+                    map_results = self._collect(
+                        pool.run(
+                            [
+                                PoolTask(key=map_task_id(job, i), kind="map", payload=i)
+                                for i in range(len(splits))
+                            ]
+                        )
                     )
-                )
+                    reduce_results = self._collect(
+                        pool.run(
+                            [
+                                PoolTask(
+                                    key=reduce_task_id(job, p),
+                                    kind="reduce",
+                                    payload=(p, map_results),
+                                )
+                                for p in range(job.num_reducers)
+                            ]
+                        )
+                    )
             for result in map_results:
                 self._materialize(result)
         finally:
-            workers.pop_context()
+            workers.pop_context(ctx_id)
             if server is not None:
                 # Stop serving before the spill files vanish with tmp_root.
                 server.stop()
@@ -82,18 +132,32 @@ class ProcessExecutor(Executor):
             shutil.rmtree(tmp_root, ignore_errors=True)
 
         return assemble_job_result(
-            job, map_results, reduce_results, shuffle_hosts=shuffle_hosts
+            job,
+            map_results,
+            reduce_results,
+            shuffle_hosts=shuffle_hosts,
+            task_attempts=self.task_attempts,
+            events=events,
         )
 
     def _collect(self, outcomes) -> list:
         """Record attempt counts, then fail on the first failed task (in
-        task order) — matching the serial backend's failure order."""
+        task order) — matching the serial backend's failure order.
+        Whatever reached the parent is always a task-attributed error:
+        framework errors re-raise with their causal type, anything
+        opaque becomes a :class:`~repro.errors.JobFailedError` naming
+        the task and its attempt count."""
         results = []
         for task_id, attempts, result, error in outcomes:
             if attempts:
                 self.task_attempts[task_id] = attempts
             if error is not None:
-                raise error
+                if isinstance(error, ReproError):
+                    raise error
+                raise JobFailedError(
+                    f"task {task_id} failed in a worker process after "
+                    f"{max(attempts, 1)} attempt(s): {error!r}"
+                ) from error
             results.append(result)
         return results
 

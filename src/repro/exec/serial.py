@@ -15,9 +15,11 @@ from ..engine.job import JobSpec
 from ..engine.maptask import MapTaskResult
 from ..engine.reducetask import ReduceTaskResult
 from ..engine.runner import JobResult
+from ..faults.runtime import installed
 from .base import (
     Executor,
     assemble_job_result,
+    fault_plan_for,
     job_splits,
     run_map_with_retries,
     run_reduce_with_retries,
@@ -31,6 +33,10 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def run(self, job: JobSpec) -> JobResult:
+        with installed(fault_plan_for(job)):
+            return self._run(job)
+
+    def _run(self, job: JobSpec) -> JobResult:
         splits = job_splits(job)
 
         server = start_shuffle_server(job, self.host)
@@ -65,5 +71,9 @@ class SerialExecutor(Executor):
                 shuffle_hosts.append(server.snapshot())
 
         return assemble_job_result(
-            job, map_results, reduce_results, shuffle_hosts=shuffle_hosts
+            job,
+            map_results,
+            reduce_results,
+            shuffle_hosts=shuffle_hosts,
+            task_attempts=self.task_attempts,
         )

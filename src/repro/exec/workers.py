@@ -1,10 +1,10 @@
 """Worker-process entry points for the process backend.
 
-The job is handed to workers through a module global set *before* the
-pool is created under the ``fork`` start method: forked children inherit
-the parent's memory, so :class:`~repro.engine.job.JobSpec` objects with
-unpicklable pieces (the apps build mappers from lambdas and closures)
-never cross a pickle boundary.  Only task *results* are pickled back —
+The job is handed to workers through a context registry populated
+*before* the pool is created under the ``fork`` start method: forked
+children inherit the parent's memory, so :class:`~repro.engine.job.
+JobSpec` objects with unpicklable pieces (the apps build mappers from
+lambdas and closures) never cross a pickle boundary.  Only task *results* are pickled back —
 ledgers, counters, spill indexes, and a :class:`~repro.exec.diskio.
 FileDisk` handle pointing at the spill files the worker left on real
 disk for the parent and the reduce workers to read.
@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 from dataclasses import dataclass
 
 from ..engine.job import JobSpec
 from ..engine.maptask import MapTaskResult
-from ..errors import JobFailedError
+from ..errors import ExecBackendError, JobFailedError, ReproError
+from ..faults.runtime import mark_worker_process
 from .base import map_task_id, reduce_task_id, run_map_with_retries, run_reduce_with_retries
 from .diskio import FileDisk
 
@@ -40,7 +42,14 @@ class WorkerContext:
     shuffle_address: tuple[str, int] | None = None
 
 
-_CTX: WorkerContext | None = None
+# Contexts are registered by id, not held in a single slot: concurrent
+# process executors in one parent (fan-out pipeline stages) each push
+# their own entry, and a worker forked at *any* moment — including a
+# crash-replacement forked mid-way through another stage's run — still
+# resolves its own executor's context by id.
+_CTX_LOCK = threading.Lock()
+_CONTEXTS: dict[int, WorkerContext] = {}
+_NEXT_CTX_ID = itertools.count(1)
 
 
 def push_context(
@@ -48,36 +57,43 @@ def push_context(
     tmp_root: str,
     host: str,
     shuffle_address: tuple[str, int] | None = None,
-) -> None:
-    global _CTX
-    _CTX = WorkerContext(
+) -> int:
+    ctx = WorkerContext(
         job=job, tmp_root=tmp_root, host=host, shuffle_address=shuffle_address
     )
+    with _CTX_LOCK:
+        ctx_id = next(_NEXT_CTX_ID)
+        _CONTEXTS[ctx_id] = ctx
+    return ctx_id
 
 
-def pop_context() -> None:
-    global _CTX
-    _CTX = None
+def pop_context(ctx_id: int) -> None:
+    with _CTX_LOCK:
+        _CONTEXTS.pop(ctx_id, None)
 
 
-def _context() -> WorkerContext:
-    if _CTX is None:
+def _context(ctx_id: int) -> WorkerContext:
+    try:
+        return _CONTEXTS[ctx_id]
+    except KeyError:
         raise RuntimeError(
-            "worker context not set; process-backend entry points must run "
-            "in a pool forked after push_context()"
-        )
-    return _CTX
+            f"worker context {ctx_id} not registered; process-backend entry "
+            "points must run in a pool forked after push_context()"
+        ) from None
 
 
-def map_entry(index: int):
-    """Run map task *index* in this worker process."""
-    ctx = _context()
+def map_entry(index: int, attempt_offset: int = 0, ctx_id: int = 0):
+    """Run map task *index* in this worker process.  *attempt_offset*
+    is the number of attempts this task already consumed in workers
+    that died running it (threaded through by the crash-tolerant pool
+    so the cumulative budget survives reschedules)."""
+    ctx = _context(ctx_id)
     job = ctx.job
     task_id = map_task_id(job, index)
     # Splits are recomputed in the child (deterministic from the job's
     # input format) so only the index crosses the process boundary.
     split = job.input_format.splits()[index]
-    attempt_seq = itertools.count()
+    attempt_seq = itertools.count(attempt_offset)
 
     def disk_factory(tid: str) -> FileDisk:
         # A fresh directory per attempt mirrors LocalDisk's
@@ -94,6 +110,7 @@ def map_entry(index: int):
             ctx.host,
             disk_factory=disk_factory,
             attempts_out=attempts_seen,
+            attempt_offset=attempt_offset,
         )
         if ctx.shuffle_address is not None:
             # Announce the finished output to this node's shuffle server
@@ -114,17 +131,80 @@ def map_entry(index: int):
         return task_id, attempts_seen.get(task_id, 0), None, exc
 
 
-def reduce_entry(work: tuple[int, list[MapTaskResult]]):
+def reduce_entry(
+    work: tuple[int, list[MapTaskResult]], attempt_offset: int = 0, ctx_id: int = 0
+):
     """Run one reduce partition against pickled map results."""
-    ctx = _context()
+    ctx = _context(ctx_id)
     job = ctx.job
     partition, map_results = work
     task_id = reduce_task_id(job, partition)
     attempts_seen: dict[str, int] = {}
     try:
         result, attempts = run_reduce_with_retries(
-            job, partition, map_results, ctx.host, attempts_out=attempts_seen
+            job,
+            partition,
+            map_results,
+            ctx.host,
+            attempts_out=attempts_seen,
+            attempt_offset=attempt_offset,
         )
         return task_id, attempts, result, None
     except JobFailedError as exc:
         return task_id, attempts_seen.get(task_id, 0), None, exc
+
+
+def worker_main(conn, ctx_id: int = 0) -> None:
+    """The long-lived worker loop the crash-tolerant pool forks.
+
+    *ctx_id* pins the worker to its executor's registered context, so
+    replacement workers forked while other executors are live in the
+    same parent never run against a different job's context.
+
+    Receives ``(key, kind, payload, attempt_offset)`` messages over the
+    pipe, runs the matching entry point, and sends back its
+    ``(task_id, attempts, result, error)`` outcome.  A ``None`` message
+    (or pipe EOF) shuts the worker down.  Every error becomes an
+    outcome — the only exits are orderly shutdown and abrupt death,
+    which the parent observes via the process sentinel.
+    """
+    mark_worker_process()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        key, kind, payload, attempt_offset = message
+        try:
+            if kind == "map":
+                outcome = map_entry(payload, attempt_offset, ctx_id=ctx_id)
+            else:
+                outcome = reduce_entry(payload, attempt_offset, ctx_id=ctx_id)
+        except ReproError as exc:
+            # Framework errors the entries do not convert (shuffle
+            # registration failures, config problems): ship them whole
+            # so the parent re-raises the causal type.
+            outcome = (key, 0, None, exc)
+        except BaseException as exc:  # noqa: BLE001 - worker must not die on user junk
+            outcome = (
+                key,
+                0,
+                None,
+                ExecBackendError(f"worker failed running {key}: {exc!r}"),
+            )
+        try:
+            conn.send(outcome)
+        except Exception as exc:  # noqa: BLE001 - pickling can fail arbitrarily
+            # The outcome itself would not pickle; degrade to an error
+            # outcome (attempt counts are still useful to the parent).
+            conn.send(
+                (
+                    outcome[0],
+                    outcome[1],
+                    None,
+                    ExecBackendError(f"result of {key} is unpicklable: {exc!r}"),
+                )
+            )
+    conn.close()

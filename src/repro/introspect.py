@@ -1,0 +1,55 @@
+"""Serialized source introspection for fingerprints and the linter.
+
+CPython's AST constructor keeps its recursion bookkeeping in state
+shared by every thread of the interpreter, and ``inspect.getsource`` of
+a *class* parses the whole defining module with ``ast.parse`` to locate
+the definition.  Two threads introspecting at once can therefore race
+inside the interpreter itself; observed failure modes (CPython 3.11):
+
+- ``SystemError: AST constructor recursion depth mismatch`` raised out
+  of ``ast.parse`` — surfaced as a flaky stage failure;
+- the class-finder walk silently coming up empty, which ``inspect``
+  reports as ``OSError: could not find class definition`` — swallowed
+  by the fingerprint fallback and surfaced as a spurious dataflow-cache
+  miss (the digest degrades to name-only for that one run).
+
+Concurrent pipeline stages fingerprint user code on worker threads, so
+every source-introspection entry point funnels through one process-wide
+lock.  ``linecache``'s module-level cache, which ``inspect`` reads and
+mutates with no locking of its own, is covered by the same lock for the
+same reason.  Introspection is rare (once per job build / lint pass)
+and brief, so serializing it costs nothing measurable.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import threading
+from typing import Any
+
+_LOCK = threading.RLock()
+
+
+def getsource(obj: Any) -> str:
+    """``inspect.getsource`` under the process-wide introspection lock."""
+    with _LOCK:
+        return inspect.getsource(obj)
+
+
+def getsourcefile(obj: Any) -> str | None:
+    """``inspect.getsourcefile`` under the introspection lock."""
+    with _LOCK:
+        return inspect.getsourcefile(obj)
+
+
+def getsourcelines(obj: Any) -> tuple[list[str], int]:
+    """``inspect.getsourcelines`` under the introspection lock."""
+    with _LOCK:
+        return inspect.getsourcelines(obj)
+
+
+def parse(source: str) -> ast.Module:
+    """``ast.parse`` under the introspection lock."""
+    with _LOCK:
+        return ast.parse(source)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from ..errors import DiskError, SerdeError
+from ..faults.runtime import corrupt_spill_read, torn_spill_write
 from ..serde.writable import SerdePair
 from .blockdisk import LocalDisk
 from .compression import Codec, decode_segment, encode_segment
@@ -94,6 +95,7 @@ def write_spill(
     each partition segment is compressed independently so reducers can
     still fetch exactly their slice.
     """
+    torn_spill_write(path)  # fault point: writer may die before the spill lands
     entries: list[SegmentIndexEntry] = []
     with disk.create(path) as writer:
         for partition, records in enumerate(partitions):
@@ -128,6 +130,7 @@ def _read_validated(disk: LocalDisk, index: SpillIndex, partition: int) -> bytes
     with disk.open(index.path) as reader:
         reader.seek(entry.offset)
         stored = reader.read(entry.length)
+    stored = corrupt_spill_read(index.path, stored)  # fault point (pre-CRC)
     if zlib.crc32(stored) != entry.crc:
         raise SerdeError(
             f"checksum mismatch reading {index.path!r} partition {partition}: "

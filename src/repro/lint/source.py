@@ -10,11 +10,12 @@ rule engine records a note instead of guessing.
 from __future__ import annotations
 
 import ast
-import inspect
 import sys
 import textwrap
 from dataclasses import dataclass
 from typing import Any, Iterator
+
+from .. import introspect
 
 
 @dataclass
@@ -43,15 +44,15 @@ class ClassSource:
 def class_source(cls: type) -> ClassSource | None:
     """Resolve a class to its parsed source, or ``None`` if impossible."""
     try:
-        file = inspect.getsourcefile(cls)
-        lines, start = inspect.getsourcelines(cls)
+        file = introspect.getsourcefile(cls)
+        lines, start = introspect.getsourcelines(cls)
     except (OSError, TypeError):
         return None
     if file is None:
         return None
     source = textwrap.dedent("".join(lines))
     try:
-        tree = ast.parse(source)
+        tree = introspect.parse(source)
     except SyntaxError:
         return None
     node = next((n for n in tree.body if isinstance(n, ast.ClassDef)), None)
@@ -67,11 +68,11 @@ def class_source(cls: type) -> ClassSource | None:
 def class_location(cls: type) -> tuple[str, int]:
     """Best-effort ``(file, line)`` for a class, even when unparsable."""
     try:
-        file = inspect.getsourcefile(cls) or "<unknown>"
+        file = introspect.getsourcefile(cls) or "<unknown>"
     except TypeError:
         file = "<unknown>"
     try:
-        _, line = inspect.getsourcelines(cls)
+        _, line = introspect.getsourcelines(cls)
     except (OSError, TypeError):
         line = 0
     return file, line

@@ -1,105 +1,14 @@
-"""Deterministic fault injection for the network shuffle.
+"""Compatibility shim: the shuffle fault plan moved to ``repro.faults``.
 
-Real shuffles fail in real ways: peers refuse connections, streams die
-mid-transfer, disks hand back corrupt bytes, stragglers serve slowly.
-The :class:`FaultPlan` reproduces those failure modes *deterministically*
-so tests can exercise every retry path without flaky randomness:
-whether a fetch is selected is a stable hash of ``(seed, map task,
-partition)``, and only the first ``attempts`` requests for a selected
-fetch are faulted — so bounded retries always converge, and raising
-``attempts`` to the fetcher's retry budget forces a clean exhaustion.
-
-Kinds
------
-``refuse``    the server answers with an explicit ``ERR BUSY`` frame.
-``drop``      the connection is closed after the request, before any
-              response byte (the client sees a mid-stream EOF).
-``truncate``  a well-framed response whose segment bytes are cut at the
-              halfway point and zero-padded — framing parses, the CRC
-              check fails client-side.
-``delay``     the response is served whole, ``delay_seconds`` late (with
-              a client timeout below the delay this is a slow-peer
-              retry; above it, just measured slowness).
-
-Configure with the ``repro.shuffle.fault.*`` conf keys or the
-``REPRO_SHUFFLE_FAULT`` environment variable
-(``kind:fraction[:attempts]``, e.g. ``truncate:0.25:2``), which
-overrides the conf keys — handy for injecting faults under an
-unmodified CLI invocation.
+The deterministic shuffle fault plan introduced here in PR 2 was
+promoted into the general fault-injection subsystem
+(:mod:`repro.faults`); the shuffle-specific plan now lives in
+:mod:`repro.faults.shuffle`.  This module keeps the historical import
+path (``repro.shuffle.faults``) working for existing callers and tests.
 """
 
 from __future__ import annotations
 
-import os
-import zlib
-from dataclasses import dataclass
+from ..faults.shuffle import ENV_OVERRIDE, FAULT_KINDS, FaultPlan
 
-from ..config import JobConf, Keys
-from ..errors import ConfigError
-
-FAULT_KINDS = ("none", "refuse", "drop", "truncate", "delay")
-
-ENV_OVERRIDE = "REPRO_SHUFFLE_FAULT"
-
-
-@dataclass(frozen=True)
-class FaultPlan:
-    """Which fetches to hurt, how, and for how many attempts."""
-
-    kind: str = "none"
-    fraction: float = 0.0
-    attempts: int = 1
-    delay_seconds: float = 0.05
-    seed: int = 1234
-
-    def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
-            raise ConfigError(
-                f"unknown shuffle fault kind {self.kind!r}; choose one of {FAULT_KINDS}"
-            )
-        if not 0.0 <= self.fraction <= 1.0:
-            raise ConfigError(f"fault fraction {self.fraction!r} must lie in [0, 1]")
-        if self.attempts < 1:
-            raise ConfigError(f"fault attempts {self.attempts!r} must be >= 1")
-
-    @property
-    def enabled(self) -> bool:
-        return self.kind != "none" and self.fraction > 0.0
-
-    def selects(self, map_task_id: str, partition: int) -> bool:
-        """Stable per-fetch selection: the same (seed, task, partition)
-        always lands on the same side of the fraction threshold."""
-        if not self.enabled:
-            return False
-        digest = zlib.crc32(f"{self.seed}:{map_task_id}:{partition}".encode())
-        return (digest % 1_000_000) < self.fraction * 1_000_000
-
-    @classmethod
-    def from_conf(cls, conf: JobConf) -> "FaultPlan":
-        """Build a plan from conf keys, with the environment override
-        ``REPRO_SHUFFLE_FAULT=kind:fraction[:attempts]`` taking
-        precedence when set."""
-        kind = conf.get_str(Keys.SHUFFLE_FAULT_KIND)
-        fraction = conf.get_fraction(Keys.SHUFFLE_FAULT_FRACTION)
-        attempts = conf.get_positive_int(Keys.SHUFFLE_FAULT_ATTEMPTS)
-        spec = os.environ.get(ENV_OVERRIDE, "").strip()
-        if spec:
-            parts = spec.split(":")
-            if len(parts) not in (2, 3):
-                raise ConfigError(
-                    f"{ENV_OVERRIDE}={spec!r} must look like kind:fraction[:attempts]"
-                )
-            kind = parts[0]
-            try:
-                fraction = float(parts[1])
-                if len(parts) == 3:
-                    attempts = int(parts[2])
-            except ValueError as exc:
-                raise ConfigError(f"{ENV_OVERRIDE}={spec!r} is malformed: {exc}") from exc
-        return cls(
-            kind=kind,
-            fraction=fraction,
-            attempts=attempts,
-            delay_seconds=conf.get_float(Keys.SHUFFLE_FAULT_DELAY),
-            seed=conf.get_int(Keys.SHUFFLE_FAULT_SEED),
-        )
+__all__ = ["ENV_OVERRIDE", "FAULT_KINDS", "FaultPlan"]

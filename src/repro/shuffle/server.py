@@ -194,10 +194,12 @@ class ShuffleServer:
                 target=self._handle, args=(conn,), daemon=True,
                 name=f"shuffle-handler.{self.host_label}",
             )
+            # Reap finished handlers first so the list is bounded by the
+            # number of *live* connections (plus this one), not by the
+            # total connections ever served.
+            self._handlers = [t for t in self._handlers if t.is_alive()]
             thread.start()
             self._handlers.append(thread)
-            # Reap finished handlers so the list stays bounded.
-            self._handlers = [t for t in self._handlers if t.is_alive()]
 
     def _handle(self, conn: socket.socket) -> None:
         try:

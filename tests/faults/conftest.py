@@ -1,0 +1,45 @@
+"""Fixtures for the fault-injection suite.
+
+Chaos tests carry ``@pytest.mark.chaos``; the autouse fixture below
+arms a per-test wall-clock alarm for them (mirroring the ``network``
+marker's setup in ``tests/shuffle/conftest.py``) so an injected hang
+that recovery fails to reap kills the *test*, not the whole CI run.
+Tune with ``REPRO_CHAOS_TEST_TIMEOUT`` (seconds).
+
+Everything here is deterministic — fault victims are chosen by seeded
+hashes, never by ``random`` — so a red chaos test is a real regression,
+not flake.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+DEFAULT_TIMEOUT_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def chaos_test_timeout(request):
+    if request.node.get_closest_marker("chaos") is None or not hasattr(
+        signal, "SIGALRM"
+    ):
+        yield
+        return
+    seconds = int(os.environ.get("REPRO_CHAOS_TEST_TIMEOUT", DEFAULT_TIMEOUT_SECONDS))
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"chaos test exceeded its {seconds}s per-test timeout "
+            "(unreaped hang or lost worker?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.errors import ShuffleError
@@ -110,3 +112,26 @@ def test_fetcher_pool_rejects_overconsumption(server):
             pool.next_result()
     finally:
         pool.close()
+
+
+def test_handler_threads_are_pruned_as_they_finish(server):
+    """Regression: the accept loop prunes finished handler threads on
+    every accepted connection, so a long-lived server's ``_handlers``
+    list stays bounded instead of growing by one entry per fetch."""
+    disk = LocalDisk("m0.disk")
+    index = write_spill(disk, "m0.out", PARTITIONS)
+    server.register("job.m0000", index, disk)
+
+    entry = FetchPlanEntry(server.address, "job.m0000", 0)
+    fetches = 60
+    for _ in range(fetches):
+        fetch_segment(entry, FAST_RETRIES)
+    # Handlers for completed fetches must have been dropped; only the
+    # tail of in-flight (or just-finished, not-yet-pruned) ones remain.
+    assert len(server._handlers) < fetches / 2
+    # The handler thread bumps its stats *after* replying, so the last
+    # fetch's count can trail the client's return briefly.
+    deadline = time.monotonic() + 5.0
+    while server.snapshot().requests_served < fetches and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert server.snapshot().requests_served == fetches

@@ -1,0 +1,135 @@
+"""Cluster runtime scaling and the speculation ablation on SynText.
+
+Runs the CPU-heavy SynText workload on the cluster backend at 1/2/4
+worker daemons (real forked processes, heartbeats, locality-aware
+placement) against the serial reference, then measures what speculative
+re-execution buys under an injected straggler: the same stalled-map job
+with speculation on and off.  Writes ``BENCH_cluster.json`` with wall
+times, records/sec throughput, and the ablation.
+
+On a multi-core machine the 4-daemon run must genuinely beat serial;
+on one core the assertion degrades to an orchestration-overhead bound,
+mirroring ``test_backend_scaling.py``.  The ablation claim is absolute:
+with a seeded straggler stall longer than the job, the speculative
+backup must finish the job faster than waiting out the stall.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.apps.syntext import build_syntext
+from repro.config import Keys
+from repro.engine.counters import Counter
+from repro.engine.runner import LocalJobRunner
+
+WORKER_COUNTS = (1, 2, 4)
+#: CPU-bound map tasks (spins per record) so parallelism has something to scale.
+CPU_INTENSITY = 8.0
+SCALE = 0.25
+NUM_SPLITS = 8
+#: Straggler injection for the ablation: one seeded map attempt stalls
+#: this long — far beyond the job — so recovery speed is what's measured.
+STALL_SECONDS = 4.0
+OUTPUT_FILE = "BENCH_cluster.json"
+
+
+def _run(backend: str, workers: int, extra: dict | None = None):
+    app = build_syntext(
+        cpu_intensity=CPU_INTENSITY,
+        scale=SCALE,
+        num_splits=NUM_SPLITS,
+        conf_overrides={
+            Keys.EXEC_BACKEND: backend,
+            Keys.EXEC_WORKERS: workers,
+            **(extra or {}),
+        },
+    )
+    start = time.perf_counter()
+    result = LocalJobRunner().run(app.job)
+    return time.perf_counter() - start, result
+
+
+def test_cluster_backend_scaling() -> None:
+    serial_seconds, serial = _run("serial", 0)
+    records = serial.counters.get(Counter.MAP_INPUT_RECORDS)
+    assert records > 0
+
+    cluster_seconds: dict[int, float] = {}
+    for workers in WORKER_COUNTS:
+        seconds, result = _run("cluster", workers)
+        assert result.counters.get(Counter.MAP_INPUT_RECORDS) == records, (
+            "cluster backend changed the job's input accounting"
+        )
+        assert len(result.output_pairs()) == len(serial.output_pairs())
+        cluster_seconds[workers] = seconds
+
+    # Ablation: the same seeded straggler, with and without speculative
+    # backups.  Seed 34 stalls exactly one map (m0002) and nothing else,
+    # so the healthy daemons stay free to run the backup — without
+    # speculation the whole job waits out the stall.
+    straggler_conf = {
+        Keys.FAULTS_SPEC: "worker.stall:0.4",
+        Keys.FAULTS_SEED: 34,
+        Keys.FAULTS_DELAY: STALL_SECONDS,
+        Keys.CLUSTER_SPEC_MIN_SECONDS: 0.2,
+    }
+    spec_on_seconds, spec_on = _run("cluster", 3, extra=straggler_conf)
+    spec_off_seconds, spec_off = _run(
+        "cluster", 3, extra={**straggler_conf, Keys.CLUSTER_SPECULATION: False}
+    )
+    assert spec_on.counters.get(Counter.SPECULATIVE_LAUNCHES) > 0
+    assert spec_off.counters.get(Counter.SPECULATIVE_LAUNCHES) == 0
+    assert len(spec_on.output_pairs()) == len(spec_off.output_pairs())
+
+    cores = os.cpu_count() or 1
+    report = {
+        "app": "syntext",
+        "cpu_intensity": CPU_INTENSITY,
+        "scale": SCALE,
+        "num_splits": NUM_SPLITS,
+        "cores": cores,
+        "map_input_records": records,
+        "serial_seconds": round(serial_seconds, 4),
+        "serial_records_per_sec": round(records / serial_seconds, 1),
+        "cluster_seconds": {str(w): round(s, 4) for w, s in cluster_seconds.items()},
+        "cluster_records_per_sec": {
+            str(w): round(records / s, 1) for w, s in cluster_seconds.items()
+        },
+        "speedup": {
+            str(w): round(serial_seconds / s, 3) for w, s in cluster_seconds.items()
+        },
+        "speculation_ablation": {
+            "stall_seconds": STALL_SECONDS,
+            "speculation_on_seconds": round(spec_on_seconds, 4),
+            "speculation_off_seconds": round(spec_off_seconds, 4),
+            "speculative_launches": spec_on.counters.get(Counter.SPECULATIVE_LAUNCHES),
+            "speculative_wins": spec_on.counters.get(Counter.SPECULATIVE_WINS),
+        },
+    }
+    with open(OUTPUT_FILE, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+    print()
+    print(json.dumps(report, indent=2))
+
+    # Speculation must beat waiting out the stall — the stall dwarfs the
+    # job, so even a noisy machine shows a decisive gap.
+    assert spec_on_seconds < spec_off_seconds, (
+        f"speculative backup ({spec_on_seconds:.2f}s) did not beat the "
+        f"stalled straggler ({spec_off_seconds:.2f}s)"
+    )
+
+    best = max(serial_seconds / s for s in cluster_seconds.values())
+    if cores >= 2:
+        # Daemons, heartbeats, and a TCP control plane still have to pay
+        # for themselves on real parallel hardware.
+        assert best > 1.2, (
+            f"cluster backend never beat serial ({best:.2f}x best) "
+            f"on a {cores}-core machine"
+        )
+    else:
+        assert cluster_seconds[1] < serial_seconds * 2.5, (
+            "cluster backend overhead exceeded 2.5x serial on one core"
+        )

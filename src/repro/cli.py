@@ -101,6 +101,17 @@ def _fault_conf(args: argparse.Namespace) -> dict:
     return conf
 
 
+def _cluster_conf(args: argparse.Namespace) -> dict:
+    """Conf entries for the --cluster-workers / --heartbeat-interval
+    flags (shared by `repro run` and `repro pipeline`)."""
+    conf: dict = {}
+    if args.cluster_workers is not None:
+        conf[Keys.CLUSTER_WORKERS] = args.cluster_workers
+    if args.heartbeat_interval is not None:
+        conf[Keys.CLUSTER_HEARTBEAT_INTERVAL] = args.heartbeat_interval
+    return conf
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     extra = {
         Keys.EXEC_BACKEND: args.backend,
@@ -112,6 +123,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.shuffle_fetchers is not None:
         extra[Keys.SHUFFLE_FETCHERS] = args.shuffle_fetchers
     extra.update(_fault_conf(args))
+    extra.update(_cluster_conf(args))
     app = _build(args, extra=extra)
     start = time.perf_counter()
     result = LocalJobRunner().run(app.job)
@@ -154,6 +166,7 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     if args.shuffle_fetchers is not None:
         stage_conf[Keys.SHUFFLE_FETCHERS] = args.shuffle_fetchers
     stage_conf.update(_fault_conf(args))
+    stage_conf.update(_cluster_conf(args))
     result = PipelineRunner(conf=conf, stage_conf=stage_conf).run(pipeline)
     print(render_pipeline_report(result))
     return 0 if result.ok else 1
@@ -226,6 +239,18 @@ def cmd_list(_args: argparse.Namespace) -> int:
     for name, pipe_entry in PIPELINE_REGISTRY.items():
         print(f"  {name:15s} {pipe_entry.description}")
     print()
+    print("execution backends (`repro run <app> --backend <name>`):")
+    backend_blurbs = {
+        "serial": "in-order, in-thread reference backend",
+        "thread": "task attempts over a thread pool",
+        "process": "forked worker processes with crash recovery",
+        "cluster": "master/worker daemons with heartbeats, locality, speculation",
+    }
+    from .exec import backend_names
+
+    for name in backend_names():
+        print(f"  {name:15s} {backend_blurbs.get(name, '')}")
+    print()
     print("experiments:")
     for exp_id, title, _ in runall.EXPERIMENTS:
         print(f"  {exp_id:8s} {title}")
@@ -241,7 +266,8 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
         "--fault", action="append", default=[], metavar="SITE.KIND:FRACTION[:ATTEMPTS]",
         help="inject a deterministic fault (repeatable); sites: disk "
              "(corrupt, torn), dfs (corrupt), worker (kill, hang, stall), "
-             "shuffle (refuse, drop, truncate, delay) — e.g. "
+             "shuffle (refuse, drop, truncate, delay), master "
+             "(heartbeat_drop; cluster backend) — e.g. "
              "--fault worker.kill:0.5 --fault disk.corrupt:0.3",
     )
     parser.add_argument(
@@ -251,7 +277,20 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--task-timeout", type=float, default=None,
         help="seconds before a hung task's worker is killed and the "
-             "attempt rescheduled (process backend; 0 = never)",
+             "attempt rescheduled (process/cluster backends; 0 = never)",
+    )
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cluster-workers", type=int, default=None,
+        help="worker daemons for the cluster backend "
+             "(default: --workers, i.e. one per CPU)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=None,
+        help="seconds between worker pings to the cluster master "
+             "(missed pings mark workers suspect, then dead)",
     )
 
 
@@ -262,8 +301,8 @@ def main(argv: list[str] | None = None) -> int:
     run_parser = sub.add_parser("run", help="run an app on the single-node engine")
     _add_common_app_args(run_parser)
     run_parser.add_argument(
-        "--backend", choices=("serial", "thread", "process"), default="serial",
-        help="execution backend for task attempts",
+        "--backend", choices=("serial", "thread", "process", "cluster"),
+        default="serial", help="execution backend for task attempts",
     )
     run_parser.add_argument(
         "--workers", type=int, default=0,
@@ -289,6 +328,7 @@ def main(argv: list[str] | None = None) -> int:
         help="static job-safety analysis at submit: warn analyzes and "
              "gates unproven optimizations, strict refuses unsafe jobs",
     )
+    _add_cluster_args(run_parser)
     _add_fault_args(run_parser)
     run_parser.set_defaults(fn=cmd_run)
 
@@ -298,8 +338,8 @@ def main(argv: list[str] | None = None) -> int:
     pipe_parser.add_argument("name", choices=PIPELINE_NAMES)
     pipe_parser.add_argument("--scale", type=float, default=0.05, help="dataset scale knob")
     pipe_parser.add_argument(
-        "--backend", choices=("serial", "thread", "process"), default="serial",
-        help="execution backend every stage's job runs on",
+        "--backend", choices=("serial", "thread", "process", "cluster"),
+        default="serial", help="execution backend every stage's job runs on",
     )
     pipe_parser.add_argument(
         "--workers", type=int, default=0,
@@ -325,6 +365,7 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-dir", default=None,
         help="persist the result cache here so repeated invocations warm-start",
     )
+    _add_cluster_args(pipe_parser)
     _add_fault_args(pipe_parser)
     pipe_parser.set_defaults(fn=cmd_pipeline)
 

@@ -1,7 +1,10 @@
-"""Discrete-event cluster simulation: node/network specs, locality-aware
-slot scheduling, and the cluster-level JobTracker."""
+"""Cluster layer: discrete-event simulation (specs, locality-aware slot
+scheduling, the JobTracker) plus the real master/worker runtime in
+:mod:`repro.cluster.runtime`, both driven by the shared
+:class:`~repro.cluster.policy.SpeculationPolicy`."""
 
 from .jobtracker import ClusterJobResult, ClusterJobRunner
+from .policy import SpeculationPolicy
 from .scheduler import Placement, TaskRequest, schedule_wave
 from .simclock import EventQueue
 from .speculation import (
@@ -29,6 +32,7 @@ __all__ = [
     "PRESET_CLUSTERS",
     "Placement",
     "SpeculationConfig",
+    "SpeculationPolicy",
     "SpeculativeOutcome",
     "apply_speculation",
     "heterogeneous_cluster",

@@ -1,0 +1,155 @@
+"""Worker membership: the heartbeat-driven liveness state machine.
+
+Pure bookkeeping, deliberately free of sockets and clocks (callers pass
+``now`` explicitly) so the register -> alive -> suspect -> dead ladder
+is unit-testable without a single daemon.  The master owns one
+:class:`Membership` and drives it from three places:
+
+* a worker's HELLO registers it (straight to ALIVE — the HELLO *is*
+  evidence of life);
+* each PING refreshes ``last_heartbeat`` (and lifts a SUSPECT worker
+  back to ALIVE: suspicion is cheap, execution is not);
+* the scheduling loop's periodic :meth:`sweep` demotes workers whose
+  silence has exceeded ``suspect_misses`` (schedulers stop giving them
+  new work) or ``dead_misses`` (their in-flight and hosted attempts are
+  rescheduled) heartbeat intervals.
+
+DEAD is terminal: a worker that was declared dead and pings anyway is
+told to exit (its attempts were already rescheduled — accepting it back
+would double-run them).  Replacements register under fresh ids.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class WorkerState(Enum):
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+@dataclass
+class WorkerRecord:
+    """One worker daemon as the master sees it."""
+
+    worker_id: str
+    host: str
+    pid: int = 0
+    shuffle_address: tuple[str, int] | None = None
+    state: WorkerState = WorkerState.ALIVE
+    last_heartbeat: float = 0.0
+    heartbeats: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not WorkerState.DEAD
+
+    @property
+    def schedulable(self) -> bool:
+        """Eligible for new work: alive and not under suspicion."""
+        return self.state is WorkerState.ALIVE
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One state change reported by :meth:`Membership.sweep`."""
+
+    record: WorkerRecord
+    old: WorkerState
+    new: WorkerState
+
+
+@dataclass
+class Membership:
+    """The master's view of its workers (thread-safe: ping handler
+    threads and the scheduling loop share it)."""
+
+    heartbeat_interval: float
+    suspect_misses: int = 3
+    dead_misses: int = 8
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _workers: dict[str, WorkerRecord] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        worker_id: str,
+        host: str,
+        now: float,
+        pid: int = 0,
+        shuffle_address: tuple[str, int] | None = None,
+    ) -> WorkerRecord:
+        record = WorkerRecord(
+            worker_id=worker_id,
+            host=host,
+            pid=pid,
+            shuffle_address=shuffle_address,
+            last_heartbeat=now,
+        )
+        with self._lock:
+            if worker_id in self._workers:
+                raise ValueError(f"worker {worker_id!r} already registered")
+            self._workers[worker_id] = record
+        return record
+
+    def heartbeat(self, worker_id: str, now: float) -> bool:
+        """Record a ping.  Returns ``False`` for unknown or DEAD workers
+        (the caller answers those pings with BYE)."""
+        with self._lock:
+            record = self._workers.get(worker_id)
+            if record is None or record.state is WorkerState.DEAD:
+                return False
+            record.last_heartbeat = now
+            record.heartbeats += 1
+            if record.state is WorkerState.SUSPECT:
+                record.state = WorkerState.ALIVE
+            return True
+
+    def mark_dead(self, worker_id: str) -> WorkerRecord | None:
+        """Immediate death (task-channel EOF: the daemon's process is
+        gone, no need to wait out the ping budget)."""
+        with self._lock:
+            record = self._workers.get(worker_id)
+            if record is None or record.state is WorkerState.DEAD:
+                return None
+            record.state = WorkerState.DEAD
+            return record
+
+    def sweep(self, now: float) -> list[Transition]:
+        """Advance silence-based transitions; returns what changed so
+        the caller reschedules dead workers' attempts exactly once."""
+        transitions: list[Transition] = []
+        with self._lock:
+            for record in self._workers.values():
+                if record.state is WorkerState.DEAD:
+                    continue
+                silent = now - record.last_heartbeat
+                if silent > self.dead_misses * self.heartbeat_interval:
+                    new = WorkerState.DEAD
+                elif silent > self.suspect_misses * self.heartbeat_interval:
+                    new = WorkerState.SUSPECT
+                else:
+                    new = WorkerState.ALIVE
+                if new is not record.state:
+                    transitions.append(Transition(record, record.state, new))
+                    record.state = new
+        return transitions
+
+    # ------------------------------------------------------------------
+    def get(self, worker_id: str) -> WorkerRecord | None:
+        with self._lock:
+            return self._workers.get(worker_id)
+
+    def records(self) -> list[WorkerRecord]:
+        with self._lock:
+            return list(self._workers.values())
+
+    def alive(self) -> list[WorkerRecord]:
+        return [r for r in self.records() if r.alive]
+
+    def schedulable(self) -> list[WorkerRecord]:
+        return [r for r in self.records() if r.schedulable]

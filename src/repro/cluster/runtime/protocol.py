@@ -1,0 +1,121 @@
+"""The master/worker wire protocol: framed pickles over localhost TCP.
+
+Same framing discipline as the shuffle wire format
+(:mod:`repro.shuffle.wire`), with its own magic so a worker that dials
+the wrong port fails loudly instead of confusing a shuffle server::
+
+    +-------+--------+-----------------+---------------------+
+    | magic | opcode | payload length  | payload             |
+    | 2 B   | 1 B    | 4 B big-endian  | <length> bytes      |
+    +-------+--------+-----------------+---------------------+
+
+``magic`` is ``b"RC"`` (Repro Cluster).  Payloads are pickles: unlike
+the shuffle protocol (which moves opaque segment bytes between
+processes that may disagree about code), both ends of this protocol are
+forked from one parent and exchange engine objects — task payloads,
+:class:`~repro.engine.maptask.MapTaskResult` s, exceptions — exactly as
+the process backend's pipes do.
+
+Connections
+-----------
+Each worker keeps one long-lived *task channel* to the master (HELLO,
+then TASK/RESULT/STATS/BYE), and opens a short-lived connection per
+heartbeat (PING -> OK or BYE).  Two channels on purpose: a worker stuck
+in a long map attempt still heartbeats from its ping thread, so
+liveness and progress are judged independently — exactly Hadoop's
+tasktracker split between pings and task status.
+
+Opcodes
+-------
+``HELLO``  worker -> master: ``{worker_id, host, pid, shuffle_address}``,
+           first frame on the task channel; registers the worker.
+``PING``   worker -> master (fresh connection): ``{worker_id, seq}``.
+``TASK``   master -> worker: ``{key, kind, payload, attempt_offset,
+           tag}`` — run one map/reduce attempt.
+``RESULT`` worker -> master: ``{tag, outcome}`` with the entry points'
+           ``(task_id, attempts, result, error)`` outcome tuple.
+``STATS``  worker -> master: final shuffle-server snapshot, sent while
+           draining on BYE.
+``OK``     master -> worker: ping acknowledged.
+``BYE``    either direction: orderly shutdown (to a pinging worker it
+           means "you have been declared dead: exit").
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+from typing import Any
+
+from ...errors import ExecBackendError
+
+MAGIC = b"RC"
+HEADER_LEN = len(MAGIC) + 1 + 4
+
+OP_HELLO = 0x01
+OP_PING = 0x02
+OP_TASK = 0x10
+OP_RESULT = 0x11
+OP_STATS = 0x12
+OP_OK = 0x20
+OP_BYE = 0x21
+
+OP_NAMES = {
+    OP_HELLO: "HELLO",
+    OP_PING: "PING",
+    OP_TASK: "TASK",
+    OP_RESULT: "RESULT",
+    OP_STATS: "STATS",
+    OP_OK: "OK",
+    OP_BYE: "BYE",
+}
+
+#: Task payloads carry pickled map results (spill indexes + disk
+#: handles, not data); anything past this is a bug, not a big job.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class ProtocolError(ExecBackendError):
+    """A malformed or unexpected frame on a master/worker channel."""
+
+
+def read_exact(sock: socket.socket, length: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = length
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            raise ConnectionError(
+                f"channel closed {remaining} bytes short of a {length}-byte read"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_msg(sock: socket.socket, opcode: int, obj: Any = None) -> None:
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"refusing to send a {len(payload)}-byte frame")
+    sock.sendall(MAGIC + bytes((opcode,)) + len(payload).to_bytes(4, "big") + payload)
+
+
+def recv_msg(sock: socket.socket) -> tuple[int, Any]:
+    header = read_exact(sock, HEADER_LEN)
+    if header[: len(MAGIC)] != MAGIC:
+        raise ProtocolError(f"bad frame magic {header[: len(MAGIC)]!r}")
+    opcode = header[len(MAGIC)]
+    length = int.from_bytes(header[len(MAGIC) + 1 :], "big")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame declares absurd length {length}")
+    payload = read_exact(sock, length)
+    try:
+        return opcode, pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 - unpickling fails arbitrarily
+        raise ProtocolError(f"unpicklable {OP_NAMES.get(opcode, opcode)} payload: {exc!r}") from exc
+
+
+def connect(address: tuple[str, int], timeout: float = 10.0) -> socket.socket:
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock

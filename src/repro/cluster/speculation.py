@@ -20,21 +20,19 @@ lands on a faster node — the heterogeneous-cluster case.)
 
 from __future__ import annotations
 
-import statistics
 from dataclasses import dataclass
 
+from .policy import SpeculationConfig, SpeculationPolicy
 from .scheduler import DurationFn, Placement, TaskRequest
 from .specs import ClusterSpec
 
-
-@dataclass(frozen=True)
-class SpeculationConfig:
-    """Tunables mirroring Hadoop's speculative-execution heuristics."""
-
-    enabled: bool = True
-    quorum_fraction: float = 0.5  # phase progress before speculating
-    slowdown_threshold: float = 1.5  # x median duration to count as straggler
-    max_backups: int = 4  # cap on simultaneous backup attempts
+__all__ = [
+    "SpeculationConfig",
+    "SpeculationPolicy",
+    "SpeculativeOutcome",
+    "apply_speculation",
+    "heterogeneous_cluster",
+]
 
 
 @dataclass(frozen=True)
@@ -67,9 +65,9 @@ def apply_speculation(
         return SpeculativeOutcome(list(placements), 0, 0)
 
     by_end = sorted(placements, key=lambda p: (p.end, p.task_id))
-    quorum_index = max(1, int(len(by_end) * config.quorum_fraction))
+    quorum_index = config.quorum_index(len(by_end))
     completed = by_end[:quorum_index]
-    median_duration = statistics.median(p.end - p.start for p in completed)
+    median_duration = config.median_duration(p.end - p.start for p in completed)
     if median_duration <= 0:
         return SpeculativeOutcome(list(placements), 0, 0)
     quorum_time = completed[-1].end
@@ -90,7 +88,7 @@ def apply_speculation(
 
     stragglers = [
         p for p in by_end[quorum_index:]
-        if (p.end - p.start) > config.slowdown_threshold * median_duration
+        if config.is_straggler(p.end - p.start, median_duration)
     ]
     stragglers.sort(key=lambda p: -(p.end - p.start))
 

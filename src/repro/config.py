@@ -89,6 +89,18 @@ class Keys:
     DFS_BLOCK_BYTES = "repro.dfs.block.bytes"
     DFS_REPLICATION = "repro.dfs.replication"
 
+    # --- cluster runtime (repro.cluster.runtime) ---
+    CLUSTER_WORKERS = "repro.cluster.workers"  # 0 = fall back to repro.exec.workers
+    CLUSTER_HEARTBEAT_INTERVAL = "repro.cluster.heartbeat.interval.seconds"
+    CLUSTER_SUSPECT_MISSES = "repro.cluster.heartbeat.suspect.misses"
+    CLUSTER_DEAD_MISSES = "repro.cluster.heartbeat.dead.misses"
+    CLUSTER_REGISTER_TIMEOUT = "repro.cluster.register.timeout.seconds"
+    CLUSTER_SPECULATION = "repro.cluster.speculation.enabled"
+    CLUSTER_SPEC_QUORUM = "repro.cluster.speculation.quorum.fraction"
+    CLUSTER_SPEC_SLOWDOWN = "repro.cluster.speculation.slowdown.threshold"
+    CLUSTER_SPEC_MAX_BACKUPS = "repro.cluster.speculation.max.backups"
+    CLUSTER_SPEC_MIN_SECONDS = "repro.cluster.speculation.min.task.seconds"
+
 
 DEFAULTS: dict[str, Any] = {
     Keys.SPILL_BUFFER_BYTES: 1 << 20,  # 1 MiB (scaled-down io.sort.mb=100)
@@ -139,6 +151,19 @@ DEFAULTS: dict[str, Any] = {
     Keys.TASK_TIMEOUT: 0.0,  # Hadoop's mapred.task.timeout, scaled; 0 disables
     Keys.DFS_BLOCK_BYTES: 1 << 22,  # 4 MiB
     Keys.DFS_REPLICATION: 3,
+    Keys.CLUSTER_WORKERS: 0,
+    Keys.CLUSTER_HEARTBEAT_INTERVAL: 0.1,
+    Keys.CLUSTER_SUSPECT_MISSES: 3,
+    Keys.CLUSTER_DEAD_MISSES: 8,
+    Keys.CLUSTER_REGISTER_TIMEOUT: 15.0,
+    Keys.CLUSTER_SPECULATION: True,
+    Keys.CLUSTER_SPEC_QUORUM: 0.5,  # phase progress before speculating
+    Keys.CLUSTER_SPEC_SLOWDOWN: 1.5,  # x median duration = straggler
+    Keys.CLUSTER_SPEC_MAX_BACKUPS: 4,
+    # Real clocks are noisy at test scale: never call a task a straggler
+    # before it has run at least this long (the simulator, whose clock is
+    # exact, keeps this at 0 via its own policy default).
+    Keys.CLUSTER_SPEC_MIN_SECONDS: 0.5,
 }
 
 

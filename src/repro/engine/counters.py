@@ -43,6 +43,11 @@ class Counter(str, Enum):
     TASK_TIMEOUTS = "task_timeouts"  # hung workers reaped by the task timeout
     TASKS_QUARANTINED = "tasks_quarantined"  # poison tasks pulled from scheduling
     DFS_READ_FAILOVERS = "dfs_read_failovers"  # block reads served by a later replica
+    # --- cluster runtime (repro.cluster.runtime) ---
+    WORKERS_LOST = "workers_lost"  # daemons declared dead (missed pings or EOF)
+    DATA_LOCAL_MAPS = "data_local_maps"  # map dispatches placed on a replica host
+    SPECULATIVE_LAUNCHES = "speculative_launches"  # backup attempts dispatched
+    SPECULATIVE_WINS = "speculative_wins"  # backups that beat the original attempt
     REDUCE_INPUT_GROUPS = "reduce_input_groups"
     REDUCE_INPUT_RECORDS = "reduce_input_records"
     REDUCE_OUTPUT_RECORDS = "reduce_output_records"

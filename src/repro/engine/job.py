@@ -30,6 +30,9 @@ NON_SEMANTIC_CONF_PREFIXES: tuple[str, ...] = (
     # are byte-identical by contract — the chaos suite enforces it).
     "repro.faults.",
     "repro.task.",
+    # The cluster runtime's topology and speculation knobs move work
+    # between daemons; recovered/speculated runs stay byte-identical.
+    "repro.cluster.",
 )
 
 

@@ -10,6 +10,12 @@ The engine's task machinery is execution-agnostic; this package decides
 ``process``
     Real OS worker processes with spills on real temp disk — the
     backend that scales CPU-bound maps across cores.
+``cluster``
+    A master daemon scheduling over worker daemons that register and
+    heartbeat over localhost TCP, with locality-aware placement and
+    speculative re-execution (:mod:`repro.cluster.runtime`).  Loaded
+    lazily: the runtime imports this package, so it registers here by
+    dotted name instead of by class.
 
 Select with the ``repro.exec.backend`` / ``repro.exec.workers`` conf
 keys or the CLI's ``--backend`` / ``--workers`` flags.  Independently,
@@ -33,18 +39,40 @@ BACKENDS: dict[str, type[Executor]] = {
     ProcessExecutor.name: ProcessExecutor,
 }
 
+#: Backends that would import cycles into this package if registered by
+#: class: resolved on first use and cached into :data:`BACKENDS`.
+_LAZY_BACKENDS: dict[str, str] = {
+    "cluster": "repro.cluster.runtime.master:ClusterExecutor",
+}
+
+
+def backend_names() -> list[str]:
+    """Every selectable backend name, eager and lazy, sorted."""
+    return sorted(set(BACKENDS) | set(_LAZY_BACKENDS))
+
+
+def _resolve(backend: str) -> type[Executor]:
+    if backend in BACKENDS:
+        return BACKENDS[backend]
+    if backend in _LAZY_BACKENDS:
+        import importlib
+
+        module_name, _, class_name = _LAZY_BACKENDS[backend].partition(":")
+        cls = getattr(importlib.import_module(module_name), class_name)
+        BACKENDS[backend] = cls
+        return cls
+    raise ExecBackendError(
+        f"unknown execution backend {backend!r}; "
+        f"choose one of {', '.join(backend_names())}"
+    )
+
 
 def create_executor(
     backend: str, workers: int = 0, host: str = "localhost"
 ) -> Executor:
-    """Instantiate the named backend (``serial`` | ``thread`` | ``process``)."""
-    try:
-        cls = BACKENDS[backend]
-    except KeyError:
-        raise ExecBackendError(
-            f"unknown execution backend {backend!r}; choose one of {sorted(BACKENDS)}"
-        ) from None
-    return cls(workers=workers, host=host)
+    """Instantiate the named backend
+    (``serial`` | ``thread`` | ``process`` | ``cluster``)."""
+    return _resolve(backend)(workers=workers, host=host)
 
 
 __all__ = [
@@ -53,5 +81,6 @@ __all__ = [
     "ProcessExecutor",
     "SerialExecutor",
     "ThreadExecutor",
+    "backend_names",
     "create_executor",
 ]

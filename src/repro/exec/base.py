@@ -196,6 +196,23 @@ def assemble_job_result(
     )
 
 
+def materialize_map_result(result: MapTaskResult) -> None:
+    """Copy a map task's temp-dir files into an in-memory disk so the
+    job result outlives the temp tree, keeping the worker's I/O stats
+    (the copy itself is not task work).  Shared by every backend whose
+    workers spill to real disk (process pool, cluster daemons)."""
+    file_disk = result.disk
+    stats = file_disk.stats.snapshot()
+    local = LocalDisk(f"{result.task_id}.disk")
+    for path in file_disk.list_files():
+        with file_disk.open(path) as reader:
+            data = reader.read()
+        with local.create(path) as writer:
+            writer.write(data)
+    local.stats = stats
+    result.disk = local
+
+
 def fault_plan_for(job: JobSpec) -> FaultPlan:
     """The job's unified fault plan (``repro.faults.*`` conf keys /
     ``REPRO_FAULT`` env); empty and disabled in normal runs."""

@@ -41,11 +41,9 @@ import tempfile
 from ..config import Keys
 from ..engine.counters import Counters
 from ..engine.job import JobSpec
-from ..engine.maptask import MapTaskResult
 from ..engine.runner import JobResult
 from ..errors import ExecBackendError, JobFailedError, ReproError
 from ..faults.runtime import installed
-from ..io.blockdisk import LocalDisk
 from . import workers
 from .base import (
     Executor,
@@ -53,6 +51,7 @@ from .base import (
     fault_plan_for,
     job_splits,
     map_task_id,
+    materialize_map_result,
     reduce_task_id,
     start_shuffle_server,
 )
@@ -122,7 +121,7 @@ class ProcessExecutor(Executor):
                         )
                     )
             for result in map_results:
-                self._materialize(result)
+                materialize_map_result(result)
         finally:
             workers.pop_context(ctx_id)
             if server is not None:
@@ -160,19 +159,3 @@ class ProcessExecutor(Executor):
                 ) from error
             results.append(result)
         return results
-
-    @staticmethod
-    def _materialize(result: MapTaskResult) -> None:
-        """Copy a map task's temp-dir files into an in-memory disk so the
-        job result outlives the temp tree, keeping the worker's I/O
-        stats (the copy itself is not task work)."""
-        file_disk = result.disk
-        stats = file_disk.stats.snapshot()
-        local = LocalDisk(f"{result.task_id}.disk")
-        for path in file_disk.list_files():
-            with file_disk.open(path) as reader:
-                data = reader.read()
-            with local.create(path) as writer:
-                writer.write(data)
-        local.stats = stats
-        result.disk = local

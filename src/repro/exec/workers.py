@@ -40,6 +40,10 @@ class WorkerContext:
     #: map workers register their finished output with it over TCP and
     #: reducers fetch from it.
     shuffle_address: tuple[str, int] | None = None
+    #: The cluster backend's staged input DFS: worker daemons read their
+    #: job input through it (preferring the local replica) instead of
+    #: the parent's in-memory bytes.  ``None`` for the process backend.
+    dfs: object | None = None
 
 
 # Contexts are registered by id, not held in a single slot: concurrent
@@ -57,9 +61,10 @@ def push_context(
     tmp_root: str,
     host: str,
     shuffle_address: tuple[str, int] | None = None,
+    dfs: object | None = None,
 ) -> int:
     ctx = WorkerContext(
-        job=job, tmp_root=tmp_root, host=host, shuffle_address=shuffle_address
+        job=job, tmp_root=tmp_root, host=host, shuffle_address=shuffle_address, dfs=dfs
     )
     with _CTX_LOCK:
         ctx_id = next(_NEXT_CTX_ID)
@@ -80,6 +85,12 @@ def _context(ctx_id: int) -> WorkerContext:
             f"worker context {ctx_id} not registered; process-backend entry "
             "points must run in a pool forked after push_context()"
         ) from None
+
+
+def worker_context(ctx_id: int) -> WorkerContext:
+    """Public accessor for daemons outside this module (the cluster
+    runtime's ``workerd``) that inherit the registry across fork."""
+    return _context(ctx_id)
 
 
 def map_entry(index: int, attempt_offset: int = 0, ctx_id: int = 0):

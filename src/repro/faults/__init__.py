@@ -2,8 +2,8 @@
 
 Grown out of the network shuffle's fault plan (PR 2), this package turns
 fault injection into a first-class subsystem: one seeded
-:class:`FaultPlan` names *sites* (disk, dfs, worker, shuffle) and
-*kinds* (corrupt, torn, kill, hang, ...), and ambient fault points
+:class:`FaultPlan` names *sites* (disk, dfs, worker, shuffle, master)
+and *kinds* (corrupt, torn, kill, hang, heartbeat_drop, ...), and ambient fault points
 spread through the framework consult it at the exact moments real
 hardware betrays real jobs — a spill read handing back corrupt bytes, a
 block replica failing digest verification, a worker process dying
@@ -26,6 +26,7 @@ from .plan import FAULT_SITES, SITE_KINDS, FaultPlan, FaultRule, parse_fault_spe
 from .runtime import (
     FaultInjector,
     active_injector,
+    drop_heartbeat,
     installed,
     mark_worker_process,
     task_scope,
@@ -40,6 +41,7 @@ __all__ = [
     "FaultRule",
     "ShuffleFaultPlan",
     "active_injector",
+    "drop_heartbeat",
     "installed",
     "mark_worker_process",
     "parse_fault_spec",

@@ -25,6 +25,10 @@ worker    ``kill``                    a worker process dies abruptly
                                       continues (a straggler, not a failure)
 shuffle   ``refuse`` ``drop``         the PR-2 shuffle server faults; the
           ``truncate`` ``delay``      reduce-side fetcher retry loop recovers
+master    ``heartbeat_drop``          the cluster master silently discards a
+                                      selected worker's pings; membership marks
+                                      the worker dead and its attempts are
+                                      rescheduled on survivors
 ========  ==========================  =============================================
 
 Spec grammar
@@ -56,13 +60,18 @@ from dataclasses import dataclass
 from ..config import JobConf, Keys
 from ..errors import ConfigError
 
-FAULT_SITES = ("disk", "dfs", "worker", "shuffle")
+FAULT_SITES = ("disk", "dfs", "worker", "shuffle", "master")
 
 SITE_KINDS: dict[str, tuple[str, ...]] = {
     "disk": ("corrupt", "torn"),
     "dfs": ("corrupt",),
     "worker": ("kill", "hang", "stall"),
     "shuffle": ("refuse", "drop", "truncate", "delay"),
+    # Tokens are worker ids, not task ids: the drop keeps hitting the
+    # same daemons.  attempts defaults to 1 (drop a single ping, which a
+    # healthy membership sweep shrugs off); raise it past the dead-miss
+    # threshold (e.g. master.heartbeat_drop:0.5:999) to kill workers.
+    "master": ("heartbeat_drop",),
 }
 
 ENV_OVERRIDE = "REPRO_FAULT"

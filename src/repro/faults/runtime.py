@@ -228,3 +228,22 @@ def worker_fault(task_id: str, attempt: int) -> None:
         elif rule.kind == "stall":
             time.sleep(injector.plan.delay_seconds)
         return
+
+
+def drop_heartbeat(worker_id: str) -> bool:
+    """Master-site ``heartbeat_drop``: the cluster master silently
+    discards a selected worker's ping (the worker believes it was
+    heard).  Fires in the *master* process, so it is gated per-worker by
+    the in-process attempt counter, not the worker-process flag: drop
+    enough consecutive pings (rule attempts past the dead-miss
+    threshold) and membership declares the worker dead even though the
+    daemon is healthy — the asymmetric-partition case heartbeat
+    protocols exist for."""
+    injector = active_injector()
+    if injector is None:
+        return False
+    for rule in injector.plan.rules_for("master", "heartbeat_drop"):
+        if injector.armed_counted(rule, worker_id):
+            injector.record(rule)
+            return True
+    return False

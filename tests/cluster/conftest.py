@@ -1,0 +1,44 @@
+"""Fixtures for the cluster suite (simulator + real runtime).
+
+Runtime tests carry ``@pytest.mark.cluster``: they fork real worker
+daemons and bind real localhost sockets, so the autouse fixture below
+arms a per-test wall-clock alarm for them (mirroring the ``chaos``
+marker's setup in ``tests/faults/conftest.py``) — a wedged master loop
+or an unreaped daemon kills the *test*, not the whole CI run.  Tune
+with ``REPRO_CLUSTER_TEST_TIMEOUT`` (seconds).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+DEFAULT_TIMEOUT_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def cluster_test_timeout(request):
+    if request.node.get_closest_marker("cluster") is None or not hasattr(
+        signal, "SIGALRM"
+    ):
+        yield
+        return
+    seconds = int(
+        os.environ.get("REPRO_CLUSTER_TEST_TIMEOUT", DEFAULT_TIMEOUT_SECONDS)
+    )
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"cluster test exceeded its {seconds}s per-test timeout "
+            "(wedged master loop or lost worker daemon?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

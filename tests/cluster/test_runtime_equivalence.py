@@ -1,0 +1,122 @@
+"""End-to-end: the cluster backend reproduces the serial backend's
+output byte for byte, on the paper's apps, over the real network
+shuffle, with real worker daemons and a staged DFS underneath."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import Keys
+from repro.engine.counters import Counter
+from repro.engine.runner import JobResult, LocalJobRunner
+from repro.exec import create_executor
+from repro.experiments.common import build_app
+
+PAPER_APPS = ("wordcount", "invertedindex", "wordpostag")
+
+#: Executor-level counters only the cluster backend emits; everything
+#: else must match the serial run exactly.
+CLUSTER_ONLY = {
+    Counter.WORKERS_LOST,
+    Counter.DATA_LOCAL_MAPS,
+    Counter.SPECULATIVE_LAUNCHES,
+    Counter.SPECULATIVE_WINS,
+    Counter.DFS_READ_FAILOVERS,
+}
+
+
+def run_backend(app_name: str, backend: str, shuffle: str = "mem") -> JobResult:
+    app = build_app(
+        app_name,
+        "baseline",
+        scale=0.02,
+        num_splits=3,
+        extra_conf={
+            Keys.EXEC_BACKEND: backend,
+            Keys.EXEC_WORKERS: 3,
+            Keys.SHUFFLE_MODE: shuffle,
+            Keys.FREQBUF_SHARE_ACROSS_TASKS: False,
+            Keys.SPILL_BUFFER_BYTES: 16 * 1024,
+        },
+    )
+    return LocalJobRunner().run(app.job)
+
+
+def serialized_output(result: JobResult) -> list[tuple[bytes, bytes]]:
+    return [(k.to_bytes(), v.to_bytes()) for k, v in result.output_pairs()]
+
+
+def comparable_counters(result: JobResult) -> dict:
+    return {
+        counter: amount
+        for counter, amount in result.counters.values.items()
+        if counter not in CLUSTER_ONLY
+    }
+
+
+@pytest.mark.cluster
+@pytest.mark.parametrize("app_name", PAPER_APPS)
+def test_cluster_matches_serial_over_net_shuffle(app_name: str) -> None:
+    serial = run_backend(app_name, "serial", shuffle="net")
+    assert serial.output_pairs(), "empty reference run proves nothing"
+
+    result = run_backend(app_name, "cluster", shuffle="net")
+    assert serialized_output(result) == serialized_output(serial)
+    assert comparable_counters(result) == comparable_counters(serial)
+    assert result.ledger.work == pytest.approx(serial.ledger.work)
+    # Per-task record/byte accounting matches task by task too.
+    for mine, ref in zip(result.map_results, serial.map_results):
+        assert mine.task_id == ref.task_id
+        assert mine.counters.values == ref.counters.values
+    # Every daemon ran its own shuffle server and some were fetched from.
+    assert len(result.shuffle_hosts) == 3
+    assert sum(s.requests_served for s in result.shuffle_hosts) > 0
+
+
+@pytest.mark.cluster
+def test_cluster_matches_serial_in_mem_mode() -> None:
+    """Mem-mode cluster runs read spill files straight from the shared
+    temp tree — no shuffle servers, same bytes."""
+    serial = run_backend("wordcount", "serial")
+    result = run_backend("wordcount", "cluster")
+    assert serialized_output(result) == serialized_output(serial)
+    assert comparable_counters(result) == comparable_counters(serial)
+    assert result.shuffle_hosts == []
+
+
+@pytest.mark.cluster
+def test_placement_is_data_local() -> None:
+    """With replication covering the cluster, every first-attempt map
+    should land on a host holding its split's block."""
+    result = run_backend("wordcount", "cluster")
+    assert result.counters.get(Counter.DATA_LOCAL_MAPS) == len(result.map_results)
+
+
+def test_create_executor_wires_the_cluster_backend() -> None:
+    executor = create_executor("cluster", workers=2)
+    assert type(executor).__name__ == "ClusterExecutor"
+    assert executor.name == "cluster"
+    assert executor.workers == 2
+
+
+@pytest.mark.cluster
+def test_cluster_workers_conf_overrides_exec_workers() -> None:
+    """`repro.cluster.workers` sizes the daemon fleet independently of
+    the generic worker count."""
+    app = build_app(
+        "wordcount",
+        "baseline",
+        scale=0.01,
+        num_splits=2,
+        extra_conf={
+            Keys.EXEC_BACKEND: "cluster",
+            Keys.EXEC_WORKERS: 1,
+            Keys.CLUSTER_WORKERS: 2,
+            Keys.SHUFFLE_MODE: "net",
+            Keys.FREQBUF_SHARE_ACROSS_TASKS: False,
+        },
+    )
+    result = LocalJobRunner().run(app.job)
+    assert result.output_pairs()
+    # One shuffle-server snapshot per daemon proves two daemons ran.
+    assert len(result.shuffle_hosts) == 2

@@ -111,9 +111,15 @@ def test_user_code_error_pickles_round_trip() -> None:
 
 
 def test_unknown_backend_rejected() -> None:
-    with pytest.raises(ExecBackendError, match="unknown execution backend"):
+    """The rejection names every valid backend, lazy ones included."""
+    from repro.exec import backend_names
+
+    with pytest.raises(
+        ExecBackendError, match="unknown execution backend.*cluster.*serial"
+    ):
         create_executor("quantum")
-    assert sorted(BACKENDS) == ["process", "serial", "thread"]
+    assert backend_names() == ["cluster", "process", "serial", "thread"]
+    assert set(BACKENDS) <= set(backend_names())
 
 
 def test_file_disk_is_a_local_disk_drop_in(tmp_path) -> None:

@@ -19,7 +19,7 @@ from ..conftest import make_wordcount_job
 
 SEED = 1234
 
-# kind -> (spec, needs_process_backend, needs_net_shuffle)
+# kind -> (spec, needs_worker_processes, needs_net_shuffle)
 FAULT_MATRIX = {
     "disk-corrupt": ("disk.corrupt:1.0:1", False, False),
     "disk-torn": ("disk.torn:1.0:1", False, False),
@@ -28,7 +28,10 @@ FAULT_MATRIX = {
     "shuffle-truncate": ("shuffle.truncate:0.5:1", False, True),
     "combined": ("worker.kill:0.4;disk.corrupt:0.5", True, False),
 }
-BACKENDS = ("thread", "process")
+BACKENDS = ("thread", "process", "cluster")
+#: Backends whose task attempts run in real OS processes, where
+#: worker.kill/hang/stall rules can actually fire.
+PROCESS_BACKENDS = ("process", "cluster")
 SHUFFLE_MODES = ("mem", "net")
 
 
@@ -57,8 +60,8 @@ def test_matrix_cell_recovers_byte_identical(
     kind: str, backend: str, shuffle_mode: str, tiny_text
 ) -> None:
     spec, needs_process, needs_net = FAULT_MATRIX[kind]
-    if needs_process and backend != "process":
-        pytest.skip("worker faults only fire inside pool worker processes")
+    if needs_process and backend not in PROCESS_BACKENDS:
+        pytest.skip("worker faults only fire inside real worker processes")
     if needs_net and shuffle_mode != "net":
         pytest.skip("shuffle faults only fire in the network shuffle server")
 

@@ -1,0 +1,216 @@
+"""Serve under load: throughput, latency, fairness, dedup, warm pools.
+
+One benchmark, four phases, all against the real :class:`JobService`
+(warm forked pools, DRR queue, disk-backed caches):
+
+1. **fairness** — 100 concurrent *unique* submissions across 4
+   tenants; every tenant's jobs complete and no tenant's median
+   completion latency is starved relative to the luckiest tenant's;
+2. **dedup** — 100 concurrent *identical* submissions across the same
+   tenants collapse to exactly one execution;
+3. **warm vs cold** — the same submission stream against a warm
+   pre-forked pool and a cold fork-per-job pool: the warm pool forks
+   a constant number of workers and serves lower latencies;
+4. **equivalence** — a served outcome is byte-identical (output
+   digest) to the same job run serially through ``LocalJobRunner``.
+
+Everything measured lands in ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.config import JobConf, Keys
+from repro.engine.counters import Counter
+from repro.engine.runner import LocalJobRunner
+from repro.experiments.common import build_app
+from repro.serve import JobRequest, JobService, JobState
+
+OUTPUT_FILE = "BENCH_serve.json"
+TENANTS = ("alice", "bob", "carol", "dave")
+JOBS_PER_TENANT = 25           # x4 tenants = 100 submissions per phase
+SCALE = 0.01
+SUBMITTER_THREADS = 32
+WARM_COLD_JOBS = 16
+
+
+def _conf(**extra) -> JobConf:
+    base = {
+        Keys.SERVE_POOL_SIZE: 4,
+        Keys.SERVE_QUEUE_DEPTH: 4096,
+        Keys.SERVE_TENANT_MAX_INFLIGHT: 1024,
+    }
+    base.update(extra)
+    return JobConf(base)
+
+
+def _request(tenant: str, seed: int) -> JobRequest:
+    # Distinct seeds give distinct request keys: no dedup in this phase.
+    return JobRequest(tenant=tenant, kind="app", name="wordcount",
+                      scale=SCALE, splits=2, seed=seed)
+
+
+def _submit_and_wait(service: JobService, request: JobRequest) -> dict:
+    start = time.perf_counter()
+    record = service.submit(request)
+    record = service.wait(record.id, timeout=300.0)
+    return {
+        "tenant": request.tenant,
+        "state": record.state.value,
+        "latency": time.perf_counter() - start,
+        "digest": record.outcome.output_digest if record.outcome else None,
+        "dedup": record.dedup_of is not None,
+        "cache_hit": record.cache_hit,
+    }
+
+
+def _run_stream(service: JobService, requests: list[JobRequest]) -> list[dict]:
+    with ThreadPoolExecutor(max_workers=SUBMITTER_THREADS) as pool:
+        return list(pool.map(lambda r: _submit_and_wait(service, r), requests))
+
+
+def _percentile(values: list[float], p: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(p * len(ordered)))]
+
+
+def test_serve_load() -> None:
+    report: dict = {"tenants": list(TENANTS),
+                    "submissions_per_phase": len(TENANTS) * JOBS_PER_TENANT}
+
+    # ------------------------------------------------------------------
+    # phase 1: fairness under a 100-submission concurrent burst
+    # ------------------------------------------------------------------
+    service = JobService(_conf()).start()
+    try:
+        requests = [_request(tenant, seed)
+                    for seed in range(JOBS_PER_TENANT) for tenant in TENANTS]
+        start = time.perf_counter()
+        results = _run_stream(service, requests)
+        wall = time.perf_counter() - start
+
+        assert all(r["state"] == JobState.DONE.value for r in results)
+        latencies = [r["latency"] for r in results]
+        by_tenant = {
+            t: [r["latency"] for r in results if r["tenant"] == t]
+            for t in TENANTS
+        }
+        completed = {t: len(v) for t, v in by_tenant.items()}
+        medians = {t: statistics.median(v) for t, v in by_tenant.items()}
+        starvation = max(medians.values()) / max(min(medians.values()), 1e-9)
+        completion_ratio = max(completed.values()) / min(completed.values())
+
+        report["fairness"] = {
+            "wall_seconds": round(wall, 3),
+            "throughput_jobs_per_s": round(len(results) / wall, 2),
+            "latency_p50_s": round(_percentile(latencies, 0.50), 4),
+            "latency_p95_s": round(_percentile(latencies, 0.95), 4),
+            "completed_per_tenant": completed,
+            "median_latency_per_tenant_s":
+                {t: round(m, 4) for t, m in medians.items()},
+            "max_min_completed_ratio": round(completion_ratio, 3),
+            "max_min_median_latency_ratio": round(starvation, 3),
+        }
+        # Every tenant finished everything it submitted...
+        assert completion_ratio == 1.0
+        # ...and DRR kept the slowest tenant's median latency within a
+        # small factor of the fastest's — nobody sat behind a burst.
+        assert starvation < 3.0, f"tenant starved: medians {medians}"
+    finally:
+        service.close()
+
+    # ------------------------------------------------------------------
+    # phase 2: 100 identical submissions dedup to ONE execution
+    # ------------------------------------------------------------------
+    service = JobService(_conf()).start()
+    try:
+        requests = [_request(tenant, seed=0)
+                    for _ in range(JOBS_PER_TENANT) for tenant in TENANTS]
+        start = time.perf_counter()
+        results = _run_stream(service, requests)
+        wall = time.perf_counter() - start
+
+        assert all(r["state"] == JobState.DONE.value for r in results)
+        digests = {r["digest"] for r in results}
+        assert len(digests) == 1, "coalesced submissions diverged"
+
+        counters = service.counters.as_dict()
+        executed = counters[Counter.SERVE_JOBS_EXECUTED.value]
+        coalesced = (counters.get(Counter.SERVE_DEDUP_HITS.value, 0)
+                     + counters.get(Counter.SERVE_RESULT_CACHE_HITS.value, 0))
+        assert executed == 1, f"expected one execution, got {executed}"
+        assert coalesced == len(results) - 1
+
+        report["dedup"] = {
+            "wall_seconds": round(wall, 3),
+            "submissions": len(results),
+            "executions": executed,
+            "dedup_hits": counters.get(Counter.SERVE_DEDUP_HITS.value, 0),
+            "result_cache_hits":
+                counters.get(Counter.SERVE_RESULT_CACHE_HITS.value, 0),
+            "dedup_ratio": round(coalesced / len(results), 4),
+        }
+    finally:
+        service.close()
+
+    # ------------------------------------------------------------------
+    # phase 3: warm pre-forked pool vs cold fork-per-job
+    # ------------------------------------------------------------------
+    warm_cold: dict[str, dict] = {}
+    for mode, warm in (("warm", True), ("cold", False)):
+        service = JobService(_conf(**{Keys.SERVE_POOL_WARM: warm})).start()
+        try:
+            requests = [_request(TENANTS[i % len(TENANTS)], seed=100 + i)
+                        for i in range(WARM_COLD_JOBS)]
+            start = time.perf_counter()
+            results = _run_stream(service, requests)
+            wall = time.perf_counter() - start
+            assert all(r["state"] == JobState.DONE.value for r in results)
+            stats = service.stats()
+            warm_cold[mode] = {
+                "wall_seconds": round(wall, 3),
+                "mean_latency_s": round(
+                    statistics.mean(r["latency"] for r in results), 4),
+                "forks": stats["pool"]["forks"],
+                "leases": stats["pool"]["leases"],
+            }
+        finally:
+            service.close()
+    report["warm_vs_cold"] = warm_cold
+
+    # The warm pool forked once per slot; cold forked once per job.
+    assert warm_cold["warm"]["forks"] <= 4
+    assert warm_cold["cold"]["forks"] >= WARM_COLD_JOBS
+    # And skipping the per-job fork shows up in the latency.
+    assert (warm_cold["warm"]["mean_latency_s"]
+            < warm_cold["cold"]["mean_latency_s"]), (
+        "warm pool not faster than cold fork-per-job: "
+        f"{warm_cold['warm']} vs {warm_cold['cold']}"
+    )
+
+    # ------------------------------------------------------------------
+    # phase 4: served results are byte-identical to a serial run
+    # ------------------------------------------------------------------
+    service = JobService(_conf()).start()
+    try:
+        record = service.submit(_request("alice", seed=0))
+        record = service.wait(record.id, timeout=300.0)
+        assert record.state is JobState.DONE
+        app = build_app("wordcount", "baseline", scale=SCALE, num_splits=2)
+        direct = LocalJobRunner().run(app.job)
+        report["equivalence"] = {
+            "served_digest": record.outcome.output_digest,
+            "serial_digest": direct.output_digest(),
+        }
+        assert record.outcome.output_digest == direct.output_digest()
+    finally:
+        service.close()
+
+    with open(OUTPUT_FILE, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+    print()
+    print(json.dumps(report, indent=2))

@@ -79,6 +79,72 @@ def stage_cache_key(
     return digest.hexdigest()
 
 
+class SingleFlight:
+    """In-flight execution dedup: at most one *leader* computes a key
+    at a time; everyone else blocks until the leader finishes, then
+    re-checks the cache.
+
+    Protocol: ``begin(key)`` returns ``True`` for the leader, who MUST
+    call ``done(key)`` when finished (success *or* failure); a ``False``
+    return means the caller blocked until a leader finished and should
+    now re-check the cache — if the leader failed (nothing committed),
+    the re-check misses and the caller's next ``begin`` makes it the
+    new leader, so a failed leader never strands its waiters.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[str, threading.Event] = {}
+
+    def begin(self, key: str) -> bool:
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                self._flights[key] = threading.Event()
+                return True
+        flight.wait()
+        return False
+
+    def done(self, key: str) -> None:
+        with self._lock:
+            flight = self._flights.pop(key, None)
+        if flight is not None:
+            flight.set()
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+
+# Disk caches pointing at the same directory are distinct objects but
+# one logical store, so their flight table is shared per real path —
+# two runners writing the same cache dir coalesce their computations.
+_DIR_FLIGHTS: dict[str, SingleFlight] = {}
+_DIR_FLIGHTS_LOCK = threading.Lock()
+
+
+def single_flight_for(cache: StageCache) -> SingleFlight:
+    """The in-flight dedup table governing *cache*.
+
+    Memory caches get one table per instance (cached as an attribute);
+    disk caches share one table per directory.
+    """
+    flight = getattr(cache, "_single_flight", None)
+    if flight is not None:
+        return flight
+    if isinstance(cache, DiskStageCache):
+        path = os.path.realpath(cache.directory)
+        with _DIR_FLIGHTS_LOCK:
+            flight = _DIR_FLIGHTS.setdefault(path, SingleFlight())
+    else:
+        flight = SingleFlight()
+    try:
+        cache._single_flight = flight  # type: ignore[attr-defined]
+    except AttributeError:
+        pass  # exotic store that rejects attributes; resolve again next time
+    return flight
+
+
 class MemoryStageCache:
     """Process-local store: a dict under a lock (stages run concurrently)."""
 

@@ -37,7 +37,14 @@ from ..engine.counters import Counter, Counters
 from ..engine.instrumentation import Ledger
 from ..engine.job import JobSpec, semantic_conf_items
 from ..engine.runner import JobResult, LocalJobRunner
-from .cache import CacheEntry, DiskStageCache, MemoryStageCache, StageCache, stage_cache_key
+from .cache import (
+    CacheEntry,
+    DiskStageCache,
+    MemoryStageCache,
+    StageCache,
+    single_flight_for,
+    stage_cache_key,
+)
 from .pipeline import Pipeline
 from .result import PipelineResult, StageResult, StageStatus
 from .stage import IterativeStage, JobStage, SourceStage, Stage, StageContext
@@ -243,6 +250,37 @@ class PipelineRunner:
         outcome.result.seconds = time.perf_counter() - started
         return outcome
 
+    def _compute_once(
+        self,
+        stage: Stage,
+        key: str,
+        store: DfsDatasetStore,
+        compute,
+    ) -> _StageOutcome:
+        """Cache lookup with in-flight execution dedup.
+
+        Concurrent executions of the same key against the same cache
+        (fan-out stages in one run, or identical pipelines submitted
+        from several threads — the serve front door's case) elect one
+        *leader* via the cache's :class:`~repro.dag.cache.SingleFlight`
+        table; waiters block, then take the leader's committed entry as
+        an ordinary cache hit.  A failed leader commits nothing, so the
+        first waiter to re-check becomes the new leader and the failure
+        never cascades to submissions that could still succeed.
+        """
+        if not self.cache_enabled:
+            return compute()
+        flight = single_flight_for(self.cache)
+        while True:
+            hit = self._lookup(stage, key, store)
+            if hit is not None:
+                return hit
+            if flight.begin(key):
+                try:
+                    return compute()
+                finally:
+                    flight.done(key)
+
     def _lookup(
         self, stage: Stage, key: str, store: DfsDatasetStore
     ) -> _StageOutcome | None:
@@ -305,20 +343,21 @@ class PipelineRunner:
         store: DfsDatasetStore,
     ) -> _StageOutcome:
         key = stage_cache_key("source", digests, stage.source_digest_parts())
-        hit = self._lookup(stage, key, store)
-        if hit is not None:
-            return hit
-        data = stage.generate()
-        entry = self._commit(stage, key, data, store)
-        return _StageOutcome(
-            StageResult(
-                stage=stage.name,
-                status=StageStatus.DONE,
-                output_bytes=len(data),
-                output_digest=entry.output_digest,
-            ),
-            output=data,
-        )
+
+        def compute() -> _StageOutcome:
+            data = stage.generate()
+            entry = self._commit(stage, key, data, store)
+            return _StageOutcome(
+                StageResult(
+                    stage=stage.name,
+                    status=StageStatus.DONE,
+                    output_bytes=len(data),
+                    output_digest=entry.output_digest,
+                ),
+                output=data,
+            )
+
+        return self._compute_once(stage, key, store, compute)
 
     def _run_job(
         self,
@@ -334,25 +373,25 @@ class PipelineRunner:
             stage.source_digest_parts() + [job.source_digest()],
             semantic_conf_items(job.conf),
         )
-        hit = self._lookup(stage, key, store)
-        if hit is not None:
-            return hit
-        job_result = LocalJobRunner().run(job)
-        data = stage.render(job_result)
-        entry = self._commit(stage, key, data, store, job_id=job_result.job_id)
-        return _StageOutcome(
-            StageResult(
-                stage=stage.name,
-                status=StageStatus.DONE,
-                output_bytes=len(data),
-                output_digest=entry.output_digest,
-                job_id=job_result.job_id,
-                job_result=job_result,
-            ),
-            ledger=job_result.ledger,
-            counters=job_result.counters,
-            output=data,
-        )
+        def compute() -> _StageOutcome:
+            job_result = LocalJobRunner().run(job)
+            data = stage.render(job_result)
+            entry = self._commit(stage, key, data, store, job_id=job_result.job_id)
+            return _StageOutcome(
+                StageResult(
+                    stage=stage.name,
+                    status=StageStatus.DONE,
+                    output_bytes=len(data),
+                    output_digest=entry.output_digest,
+                    job_id=job_result.job_id,
+                    job_result=job_result,
+                ),
+                ledger=job_result.ledger,
+                counters=job_result.counters,
+                output=data,
+            )
+
+        return self._compute_once(stage, key, store, compute)
 
     def _run_iterative(
         self,
@@ -375,52 +414,53 @@ class PipelineRunner:
             stage.source_digest_parts() + [job.source_digest()],
             semantic_conf_items(job.conf),
         )
-        hit = self._lookup(stage, key, store)
-        if hit is not None:
-            return hit
-
-        ledger = Ledger()
-        counters = Counters()
-        converged = False
-        iterations = 0
-        job_result: JobResult | None = None
-        while iterations < max_iterations:
-            job_result = LocalJobRunner().run(job)
-            ledger.merge(job_result.ledger)
-            counters.merge(job_result.counters)
-            new_state = stage.render(job_result)
-            iterations += 1
-            if stage.converged(state, new_state, iterations):
-                state = new_state
-                converged = True
-                break
-            state = new_state
-            job = self._build_job(
-                stage,
-                self._context({**inputs, stage.state_input: state}, iterations),
-            )
-        entry = self._commit(
-            stage, key, state,
-            store,
-            job_id=job_result.job_id if job_result else "",
-            iterations=iterations,
-            converged=converged,
-        )
-        return _StageOutcome(
-            StageResult(
-                stage=stage.name,
-                status=StageStatus.DONE,
-                output_bytes=len(state),
-                output_digest=entry.output_digest,
+        def compute() -> _StageOutcome:
+            ledger = Ledger()
+            counters = Counters()
+            converged = False
+            iterations = 0
+            current = state
+            current_job = job
+            job_result: JobResult | None = None
+            while iterations < max_iterations:
+                job_result = LocalJobRunner().run(current_job)
+                ledger.merge(job_result.ledger)
+                counters.merge(job_result.counters)
+                new_state = stage.render(job_result)
+                iterations += 1
+                if stage.converged(current, new_state, iterations):
+                    current = new_state
+                    converged = True
+                    break
+                current = new_state
+                current_job = self._build_job(
+                    stage,
+                    self._context({**inputs, stage.state_input: current}, iterations),
+                )
+            entry = self._commit(
+                stage, key, current,
+                store,
                 job_id=job_result.job_id if job_result else "",
                 iterations=iterations,
                 converged=converged,
-                job_result=job_result,
-            ),
-            ledger=ledger,
-            counters=counters,
-            output=state,
-        )
+            )
+            return _StageOutcome(
+                StageResult(
+                    stage=stage.name,
+                    status=StageStatus.DONE,
+                    output_bytes=len(current),
+                    output_digest=entry.output_digest,
+                    job_id=job_result.job_id if job_result else "",
+                    iterations=iterations,
+                    converged=converged,
+                    job_result=job_result,
+                ),
+                ledger=ledger,
+                counters=counters,
+                output=current,
+            )
+
+        return self._compute_once(stage, key, store, compute)
 
 
 def run_pipeline(

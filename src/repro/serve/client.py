@@ -1,0 +1,118 @@
+"""The ``http.client`` consumer of the serve API.
+
+``repro submit`` and ``repro jobs`` speak to the daemon through this
+class; tests and the load benchmark do too, so the whole HTTP surface
+gets exercised by the same code path users run.  One connection per
+call (the server answers ``Connection: close``) keeps the client
+trivially thread-safe — the load benchmark fires it from dozens of
+threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator
+
+from ..errors import ServeError
+from .request import JobRequest
+
+
+class ServeClient:
+    """A thin JSON client for one serve daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8750, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _call(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeError(
+                    f"serve daemon unreachable at {self.host}:{self.port}: {exc}"
+                ) from exc
+            try:
+                parsed = json.loads(data.decode("utf-8")) if data else {}
+            except ValueError as exc:
+                raise ServeError(f"malformed response from daemon: {data!r}") from exc
+            if response.status >= 400:
+                raise ServeError(
+                    parsed.get("error", f"HTTP {response.status}"),
+                )
+            return parsed
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self._call("GET", "/v1/healthz")
+
+    def submit(self, request: JobRequest) -> dict[str, Any]:
+        return self._call("POST", "/v1/jobs", body=request.as_dict())
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, tenant: str | None = None) -> list[dict[str, Any]]:
+        path = "/v1/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return self._call("GET", path).get("jobs", [])
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self._call("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._call("DELETE", f"/v1/jobs/{job_id}")
+
+    def tenants(self) -> dict[str, Any]:
+        return self._call("GET", "/v1/tenants")
+
+    # ------------------------------------------------------------------
+    def wait(self, job_id: str, timeout: float = 120.0, poll: float = 0.05) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the
+        final status dict (``result()`` fetches the full outcome)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            info = self.job(job_id)
+            if info.get("state") in ("done", "failed", "cancelled"):
+                return info
+            if time.monotonic() >= deadline:
+                raise ServeError(f"timed out waiting for job {job_id}")
+            time.sleep(poll)
+
+    def events(self, job_id: str, timeout: float = 120.0) -> Iterator[dict[str, Any]]:
+        """Stream the job's SSE events until the server ends the stream
+        (the terminal event arrived) — yields one dict per event."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServeError(f"HTTP {response.status} opening event stream")
+            # http.client undoes the chunked framing for us; what's left
+            # is the SSE wire format: `data: {...}` frames split by
+            # blank lines.
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n\n" in buffer:
+                    frame, buffer = buffer.split(b"\n\n", 1)
+                    for line in frame.splitlines():
+                        if line.startswith(b"data: "):
+                            yield json.loads(line[len(b"data: "):].decode("utf-8"))
+        finally:
+            conn.close()

@@ -1,0 +1,86 @@
+"""Per-job progress event logs, the source feeding SSE streams.
+
+Every submission owns an append-only :class:`EventLog`.  The service
+appends lifecycle transitions (``queued``, ``running``, ``done``, …)
+and, on completion, progress data distilled from the job's
+:class:`~repro.engine.instrumentation.Ledger` sample series and
+counters.  HTTP streamers tail the log with ``wait(after_seq)`` — a
+blocking cursor over a condition variable — and the log's *closed*
+flag tells them the stream is complete, so a client that connects
+after the job finished still replays the full history and then gets a
+clean end-of-stream.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One timestamped, sequenced progress event."""
+
+    seq: int
+    ts: float
+    type: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"seq": self.seq, "ts": self.ts, "type": self.type, **self.data}
+
+
+class EventLog:
+    """Append-only event history with blocking tail cursors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._new = threading.Condition(self._lock)
+        self._events: list[JobEvent] = []
+        self._closed = False
+
+    def append(self, type: str, **data: Any) -> JobEvent:
+        with self._new:
+            if self._closed:
+                raise RuntimeError("event log is closed")
+            event = JobEvent(
+                seq=len(self._events), ts=time.time(), type=type, data=data
+            )
+            self._events.append(event)
+            self._new.notify_all()
+            return event
+
+    def close(self) -> None:
+        """Terminal: no more events will arrive; wake every tail."""
+        with self._new:
+            self._closed = True
+            self._new.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def since(self, after_seq: int = -1) -> list[JobEvent]:
+        with self._lock:
+            return [e for e in self._events if e.seq > after_seq]
+
+    def wait(
+        self, after_seq: int = -1, timeout: float | None = None
+    ) -> tuple[list[JobEvent], bool]:
+        """Block until events beyond *after_seq* exist, the log closes,
+        or *timeout* elapses.  Returns ``(new_events, closed)``."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._new:
+            while True:
+                fresh = [e for e in self._events if e.seq > after_seq]
+                if fresh or self._closed:
+                    return fresh, self._closed
+                if deadline is None:
+                    self._new.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._new.wait(timeout=remaining):
+                        return [], self._closed

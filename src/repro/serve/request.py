@@ -1,0 +1,264 @@
+"""Submission descriptors and their in-worker execution.
+
+A :class:`JobRequest` is the unit the whole serve stack moves around:
+small, fully picklable, and *self-contained* — it names a registered
+app or pipeline plus parameters, never carrying live :class:`~repro.
+engine.job.JobSpec` objects.  That property is what makes warm pools
+work: pool workers are forked *before* any particular submission
+exists, so (unlike the process backend's fork-inherited context
+registry) the job must be rebuildable in the child from the descriptor
+alone.  Serve only accepts registered apps/pipelines, whose builders
+are deterministic, so the rebuild is exact.
+
+:func:`execute_request` is that rebuild-and-run: it runs inside a
+leased pool worker and returns a picklable :class:`JobOutcome` with the
+content digest, counters, ledger, and attempt accounting the service
+needs for dedup, budgets, and progress streaming.
+
+The request *key* is the cross-tenant dedup identity: a digest over
+everything that determines the output — kind, name, optimization
+config, scale, splits, seed, and the **semantic** conf overrides
+(:data:`~repro.engine.job.NON_SEMANTIC_CONF_PREFIXES` excluded, same
+rule as :meth:`~repro.engine.job.JobSpec.job_id`) — and over nothing
+that does not, in particular not the tenant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..engine.counters import Counters
+from ..engine.instrumentation import Ledger
+from ..engine.job import NON_SEMANTIC_CONF_PREFIXES
+from ..errors import ServeError
+
+#: Output lines carried back inline per job (full outputs are large and
+#: content-addressed anyway; the digest is the identity).
+PREVIEW_LINES = 20
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One tenant's submission of a registered app or pipeline."""
+
+    tenant: str
+    kind: str  # "app" | "pipeline"
+    name: str
+    config: str = "baseline"  # optimization config (apps only)
+    scale: float = 0.01
+    splits: int = 2
+    seed: int = 0  # dataset seed (pipelines only)
+    conf: dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        from ..apps.pipelines import PIPELINE_REGISTRY
+        from ..apps.registry import EXTRA_REGISTRY, REGISTRY
+        from ..experiments.common import OPTIMIZATION_CONFIGS
+
+        if not self.tenant or not self.tenant.replace("-", "").replace("_", "").isalnum():
+            raise ServeError(f"bad tenant name {self.tenant!r}")
+        if self.kind == "app":
+            if self.name not in REGISTRY and self.name not in EXTRA_REGISTRY:
+                raise ServeError(f"unknown app {self.name!r}")
+            if self.config not in OPTIMIZATION_CONFIGS:
+                raise ServeError(f"unknown config {self.config!r}")
+        elif self.kind == "pipeline":
+            if self.name not in PIPELINE_REGISTRY:
+                raise ServeError(f"unknown pipeline {self.name!r}")
+        else:
+            raise ServeError(f"kind must be 'app' or 'pipeline', got {self.kind!r}")
+        if not 0 < self.scale <= 1.0:
+            raise ServeError(f"scale {self.scale!r} must lie in (0, 1]")
+        if self.splits <= 0:
+            raise ServeError(f"splits {self.splits!r} must be positive")
+
+    # ------------------------------------------------------------------
+    def semantic_conf_items(self) -> list[tuple[str, str]]:
+        return sorted(
+            (key, repr(value))
+            for key, value in self.conf.items()
+            if not key.startswith(NON_SEMANTIC_CONF_PREFIXES)
+        )
+
+    def key(self) -> str:
+        """Cross-tenant execution identity (see module docstring)."""
+        digest = hashlib.sha256()
+        digest.update(
+            f"{self.kind}|{self.name}|{self.config}|{self.scale!r}"
+            f"|{self.splits}|{self.seed}|".encode("utf-8")
+        )
+        for key, value in self.semantic_conf_items():
+            digest.update(f"{key}={value};".encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    def cost(self) -> float:
+        """Deficit-round-robin cost: bigger datasets drain more deficit."""
+        return 1.0 + self.scale * 10.0
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "name": self.name,
+            "config": self.config,
+            "scale": self.scale,
+            "splits": self.splits,
+            "seed": self.seed,
+            "conf": dict(self.conf),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobRequest":
+        try:
+            return cls(
+                tenant=str(data["tenant"]),
+                kind=str(data.get("kind", "app")),
+                name=str(data["name"]),
+                config=str(data.get("config", "baseline")),
+                scale=float(data.get("scale", 0.01)),
+                splits=int(data.get("splits", 2)),
+                seed=int(data.get("seed", 0)),
+                conf=dict(data.get("conf") or {}),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServeError(f"malformed job request: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+
+@dataclass
+class JobOutcome:
+    """What one executed submission reports back (picklable)."""
+
+    job_id: str
+    output_digest: str
+    records: int
+    seconds: float
+    task_attempts: int
+    counters: Counters = field(default_factory=Counters)
+    ledger: Ledger = field(default_factory=Ledger)
+    preview: list[str] = field(default_factory=list)
+    stages: list[dict[str, Any]] = field(default_factory=list)  # pipelines only
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "output_digest": self.output_digest,
+            "records": self.records,
+            "seconds": self.seconds,
+            "task_attempts": self.task_attempts,
+            "counters": self.counters.as_dict(),
+            "samples": {
+                name: len(values) for name, values in self.ledger.samples.items()
+            },
+            "preview": list(self.preview),
+            "stages": list(self.stages),
+        }
+
+
+# ----------------------------------------------------------------------
+# in-worker execution
+# ----------------------------------------------------------------------
+def execute_request(request: JobRequest, cache_dir: str = "") -> JobOutcome:
+    """Rebuild the named job from the registries and run it.
+
+    Runs inside a leased pool worker (or inline for tests).  *cache_dir*
+    is the service's shared disk stage cache for pipeline submissions,
+    so stages computed for one tenant warm the cache for every tenant
+    — even across worker processes.
+    """
+    request.validate()
+    started = time.perf_counter()
+    if request.kind == "app":
+        return _execute_app(request, started)
+    return _execute_pipeline(request, started, cache_dir)
+
+
+def _execute_app(request: JobRequest, started: float) -> JobOutcome:
+    from ..engine.runner import LocalJobRunner
+    from ..experiments.common import build_app
+
+    app = build_app(
+        request.name,
+        request.config,
+        scale=request.scale,
+        extra_conf=dict(request.conf),
+        num_splits=request.splits,
+    )
+    runner = LocalJobRunner()
+    result = runner.run(app.job)
+    pairs = result.output_pairs()
+    preview = [
+        f"{key.value}\t{value.value}" for key, value in pairs[:PREVIEW_LINES]
+    ]
+    return JobOutcome(
+        job_id=result.job_id,
+        output_digest=result.output_digest(),
+        records=len(pairs),
+        seconds=time.perf_counter() - started,
+        task_attempts=sum(runner.task_attempts.values()),
+        counters=result.counters,
+        ledger=result.ledger,
+        preview=preview,
+    )
+
+
+def _execute_pipeline(
+    request: JobRequest, started: float, cache_dir: str
+) -> JobOutcome:
+    from ..apps.pipelines import build_pipeline
+    from ..config import JobConf, Keys
+    from ..dag import PipelineRunner
+
+    pipeline = build_pipeline(request.name, scale=request.scale, seed=request.seed)
+    conf = JobConf({Keys.PIPELINE_CACHE_DIR: cache_dir} if cache_dir else {})
+    result = PipelineRunner(conf=conf, stage_conf=dict(request.conf)).run(pipeline)
+    result.raise_on_failure()
+    # Pipeline content identity: the stage output digests, in
+    # topological order — byte-identical runs agree stage by stage.
+    digest = hashlib.sha256()
+    stages: list[dict[str, Any]] = []
+    for stage in result.stages:
+        digest.update(f"{stage.stage}:{stage.output_digest};".encode("utf-8"))
+        stages.append(
+            {
+                "stage": stage.stage,
+                "status": stage.status.value,
+                "cache_hit": stage.cache_hit,
+                "job_id": stage.job_id,
+                "output_digest": stage.output_digest,
+            }
+        )
+    attempts = sum(
+        sum(stage.job_result.task_attempts.values())
+        for stage in result.stages
+        if stage.job_result is not None
+    )
+    final = result.stages[-1] if result.stages else None
+    preview: list[str] = []
+    if final is not None and final.output_digest:
+        data = result.datasets.get(
+            next(
+                (s.output for s in pipeline if s.name == final.stage),
+                "",
+            ),
+            b"",
+        )
+        preview = data.decode("utf-8", "replace").splitlines()[:PREVIEW_LINES]
+    return JobOutcome(
+        job_id=final.job_id if final is not None else "",
+        output_digest=digest.hexdigest(),
+        records=len(result.stages),
+        seconds=time.perf_counter() - started,
+        task_attempts=attempts,
+        counters=result.counters,
+        ledger=result.ledger,
+        preview=preview,
+        stages=stages,
+    )

@@ -1,0 +1,289 @@
+"""The stdlib-asyncio HTTP front door for the job service.
+
+One small HTTP/1.1 surface (no framework, no dependencies) over
+:class:`~repro.serve.service.JobService`:
+
+====== ============================ ==========================================
+Method Path                         Meaning
+====== ============================ ==========================================
+GET    ``/v1/healthz``              liveness + queue/pool stats
+POST   ``/v1/jobs``                 submit (JSON :class:`JobRequest` body)
+GET    ``/v1/jobs``                 list submissions (``?tenant=`` filter)
+GET    ``/v1/jobs/{id}``            one submission's status
+GET    ``/v1/jobs/{id}/result``     the finished outcome (409 until terminal)
+GET    ``/v1/jobs/{id}/events``     progress stream (Server-Sent Events)
+DELETE ``/v1/jobs/{id}``            cancel
+GET    ``/v1/tenants``              per-tenant admission/usage report
+====== ============================ ==========================================
+
+The event stream is real SSE over chunked transfer: each
+:class:`~repro.serve.events.JobEvent` becomes one ``data:`` frame, and
+the connection closes after the terminal event — a client that
+connects late replays the whole history first.  Blocking event-log
+waits run in the loop's default executor so one slow stream never
+stalls the accept loop.
+
+Shutdown is the subsystem's abrupt-exit story: ``run_forever``
+installs SIGINT/SIGTERM handlers that trip a stop event, after which
+the listener closes (releasing the port), in-flight jobs drain, warm
+pools tear down their forked workers, and only then does the process
+exit — no orphaned daemons, and an immediate restart can rebind the
+same port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from ..errors import ServeError
+from .service import AdmissionRefused, JobRecord, JobService
+
+#: How long one blocking event-log wait holds an executor thread before
+#: the stream loop re-checks for client disconnect / server shutdown.
+_EVENT_POLL_SECONDS = 0.25
+
+
+class ServeDaemon:
+    """Serves a :class:`JobService` over HTTP until asked to stop."""
+
+    def __init__(
+        self, service: JobService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port  # 0 = ephemeral; rewritten once bound
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._bound = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._port_file: str | None = None
+        self._announce = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def _main(self, install_signals: bool) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        if install_signals:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                self._loop.add_signal_handler(signum, self._stop.set)
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self.service.start()
+        if self._announce:
+            print(f"repro serve listening on http://{self.host}:{self.port}", flush=True)
+        if self._port_file:
+            with open(self._port_file, "w", encoding="utf-8") as fh:
+                fh.write(str(self.port))
+        self._bound.set()
+        try:
+            await self._stop.wait()
+        finally:
+            # Release the port *first* (a restart can rebind while we
+            # drain), then finish in-flight work and reap the workers.
+            server.close()
+            await server.wait_closed()
+            if install_signals:
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    self._loop.remove_signal_handler(signum)
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.service.close
+            )
+
+    def run_forever(self, port_file: str | None = None) -> None:
+        """Blocking entry point (the ``repro serve`` command).  Writes
+        the bound port to *port_file* once listening, so callers using
+        an ephemeral port can find it."""
+        self._port_file = port_file
+        self._announce = True
+        asyncio.run(self._main(install_signals=True))
+
+    def start_in_thread(self, timeout: float = 10.0) -> tuple[str, int]:
+        """Run the daemon on a background thread (tests, benchmarks);
+        returns the bound ``(host, port)``."""
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main(install_signals=False)),
+            name="serve-daemon",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._bound.wait(timeout=timeout):
+            raise ServeError("serve daemon failed to bind within timeout")
+        return self.host, self.port
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Thread-safe stop: trip the stop event and join the thread."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already closed: nothing left to stop
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # one connection
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            try:
+                method, target, _version = request_line.decode("ascii").split()
+            except ValueError:
+                await self._send(writer, 400, {"error": "malformed request line"})
+                return
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            body = b""
+            length = int(headers.get("content-length", "0") or "0")
+            if length:
+                body = await reader.readexactly(length)
+            await self._route(writer, method.upper(), target, body)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self, writer: asyncio.StreamWriter, method: str, target: str, body: bytes
+    ) -> None:
+        parts = urlsplit(target)
+        path = [p for p in parts.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        try:
+            if path[:1] != ["v1"]:
+                await self._send(writer, 404, {"error": f"no such path {parts.path!r}"})
+            elif path[1:] == ["healthz"] and method == "GET":
+                await self._send(writer, 200, {"ok": True, **self.service.stats()})
+            elif path[1:] == ["tenants"] and method == "GET":
+                await self._send(writer, 200, self.service.stats())
+            elif path[1:] == ["jobs"] and method == "POST":
+                await self._submit(writer, body)
+            elif path[1:] == ["jobs"] and method == "GET":
+                records = self.service.jobs(tenant=query.get("tenant"))
+                await self._send(
+                    writer, 200, {"jobs": [r.as_dict() for r in records]}
+                )
+            elif len(path) >= 3 and path[1] == "jobs":
+                await self._job_route(writer, method, path[2], path[3:])
+            else:
+                await self._send(writer, 404, {"error": f"no such path {parts.path!r}"})
+        except AdmissionRefused as exc:
+            await self._send(writer, exc.http_status, {"error": str(exc)})
+        except ServeError as exc:
+            status = 404 if "unknown job" in str(exc) else 400
+            await self._send(writer, status, {"error": str(exc)})
+
+    async def _submit(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            await self._send(writer, 400, {"error": "body must be a JSON job request"})
+            return
+        from .request import JobRequest
+
+        record = await asyncio.get_running_loop().run_in_executor(
+            None, self.service.submit, JobRequest.from_dict(payload)
+        )
+        status = 200 if record.terminal else 202
+        await self._send(writer, status, record.as_dict())
+
+    async def _job_route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        job_id: str,
+        rest: list[str],
+    ) -> None:
+        if not rest and method == "GET":
+            await self._send(writer, 200, self.service.job(job_id).as_dict())
+        elif not rest and method == "DELETE":
+            record = self.service.cancel(job_id)
+            await self._send(writer, 200, record.as_dict())
+        elif rest == ["result"] and method == "GET":
+            record = self.service.job(job_id)
+            if not record.terminal:
+                await self._send(
+                    writer, 409, {"error": f"job {job_id} is {record.state.value}"}
+                )
+            else:
+                await self._send(
+                    writer, 200, record.as_dict(include_outcome=True)
+                )
+        elif rest == ["events"] and method == "GET":
+            await self._stream_events(writer, self.service.job(job_id))
+        else:
+            await self._send(writer, 404, {"error": "no such job endpoint"})
+
+    # ------------------------------------------------------------------
+    # responses
+    # ------------------------------------------------------------------
+    async def _send(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict[str, Any]
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+                  409: "Conflict", 429: "Too Many Requests",
+                  503: "Service Unavailable"}.get(status, "OK")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode("ascii") + body
+        )
+        await writer.drain()
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, record: JobRecord
+    ) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        loop = asyncio.get_running_loop()
+        seq = -1
+        while True:
+            fresh, closed = await loop.run_in_executor(
+                None, record.events.wait, seq, _EVENT_POLL_SECONDS
+            )
+            for event in fresh:
+                seq = event.seq
+                frame = f"data: {json.dumps(event.as_dict())}\n\n".encode("utf-8")
+                writer.write(f"{len(frame):x}\r\n".encode("ascii") + frame + b"\r\n")
+            if fresh:
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    return  # client hung up mid-stream
+            if closed and not fresh:
+                writer.write(b"0\r\n\r\n")  # final chunk: stream complete
+                await writer.drain()
+                return
+            if self._stop is not None and self._stop.is_set():
+                writer.write(b"0\r\n\r\n")
+                await writer.drain()
+                return

@@ -1,0 +1,527 @@
+"""The job service: admission → fair queue → pool lease → dedup.
+
+:class:`JobService` is the engine-facing core of ``repro serve`` — the
+HTTP daemon (:mod:`repro.serve.server`) is a thin surface over it, and
+tests drive it directly.  One submission flows:
+
+1. **admission** (:mod:`repro.serve.tenants`) — per-tenant in-flight
+   and task-attempt-budget quotas, plus the global queue depth bound;
+2. **result cache** — a submission whose request key already has a
+   committed outcome is answered immediately
+   (:attr:`~repro.engine.counters.Counter.SERVE_RESULT_CACHE_HITS`);
+   the store is the dataflow cache machinery, so with a cache
+   directory configured outcomes survive restarts and are shared
+   across every tenant;
+3. **in-flight dedup** — a submission identical to one currently
+   queued or running *coalesces* onto it as a waiter
+   (:attr:`~repro.engine.counters.Counter.SERVE_DEDUP_HITS`); when the
+   leader finishes, all waiters fan in and complete with the same
+   outcome, having cost zero extra executions;
+4. **fair queue** (:mod:`repro.serve.queue`) — deficit round-robin
+   across tenants, weighted by tenant quota;
+5. **bounded executor** — one runner thread per pool slot pops from
+   the queue and runs the submission in a leased warm worker
+   (:mod:`repro.serve.lease`).
+
+Cancellation: a queued submission cancels immediately; a running one
+has its outcome discarded on completion; a leader with coalesced
+waiters refuses cancellation (the waiters still want the result).
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..config import JobConf, Keys
+from ..dag.cache import CacheEntry, DiskStageCache, MemoryStageCache, StageCache
+from ..engine.counters import Counter, Counters
+from ..errors import ReproError, ServeError
+from .events import EventLog
+from .lease import WarmPoolManager
+from .queue import FairQueue
+from .request import JobOutcome, JobRequest
+from .tenants import TenantQuota, TenantRegistry
+
+
+class AdmissionRefused(ServeError):
+    """Admission denied; carries the HTTP status the API should return."""
+
+    def __init__(self, message: str, http_status: int = 429) -> None:
+        super().__init__(message)
+        self.http_status = http_status
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+TERMINAL_STATES = (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class JobRecord:
+    """One submission's full lifecycle."""
+
+    id: str
+    request: JobRequest
+    key: str  # cross-tenant execution identity
+    state: JobState = JobState.QUEUED
+    created_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    outcome: JobOutcome | None = None
+    error: str | None = None
+    events: EventLog = field(default_factory=EventLog)
+    cache_hit: bool = False
+    dedup_of: str | None = None  # leader record id when coalesced
+    cancel_requested: bool = False
+    waiters: list["JobRecord"] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def as_dict(self, include_outcome: bool = False) -> dict:
+        info = {
+            "id": self.id,
+            "tenant": self.request.tenant,
+            "kind": self.request.kind,
+            "name": self.request.name,
+            "key": self.key,
+            "state": self.state.value,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "cache_hit": self.cache_hit,
+            "dedup_of": self.dedup_of,
+            "error": self.error,
+        }
+        if self.outcome is not None:
+            info["job_id"] = self.outcome.job_id
+            info["output_digest"] = self.outcome.output_digest
+            if include_outcome:
+                info["outcome"] = self.outcome.as_dict()
+        return info
+
+
+class JobService:
+    """See the module docstring for the submission flow."""
+
+    def __init__(
+        self,
+        conf: JobConf | None = None,
+        tenant_weights: dict[str, float] | None = None,
+    ) -> None:
+        self.conf = conf or JobConf()
+        self.counters = Counters()
+        self.tenants = TenantRegistry(
+            TenantQuota(
+                max_inflight=self.conf.get_positive_int(Keys.SERVE_TENANT_MAX_INFLIGHT),
+                attempt_budget=self.conf.get_int(Keys.SERVE_TENANT_ATTEMPT_BUDGET),
+            )
+        )
+        for name, weight in (tenant_weights or {}).items():
+            self.tenants.set_weight(name, weight)
+        self.queue = FairQueue(
+            quantum=self.conf.get_float(Keys.SERVE_QUEUE_QUANTUM),
+            depth=self.conf.get_positive_int(Keys.SERVE_QUEUE_DEPTH),
+        )
+        cache_dir = self.conf.get_str(Keys.SERVE_CACHE_DIR)
+        self.result_cache: StageCache = (
+            DiskStageCache(f"{cache_dir}/results") if cache_dir else MemoryStageCache()
+        )
+        self.pools = WarmPoolManager(
+            size=self.conf.get_positive_int(Keys.SERVE_POOL_SIZE),
+            warm=self.conf.get_bool(Keys.SERVE_POOL_WARM),
+            recycle_jobs=self.conf.get_int(Keys.SERVE_POOL_RECYCLE_JOBS),
+            cache_dir=f"{cache_dir}/stages" if cache_dir else "",
+        )
+        self.dedup_enabled = self.conf.get_bool(Keys.SERVE_DEDUP)
+        self._lock = threading.Lock()
+        self._quiet = threading.Condition(self._lock)  # drain waits here
+        self._records: dict[str, JobRecord] = {}
+        self._order: list[str] = []  # submission order, for listings
+        self._inflight: dict[str, JobRecord] = {}  # key -> leader
+        self._seq = itertools.count(1)
+        self._active_runs = 0
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "JobService":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+        self.pools.start()
+        for index in range(self.pools.size):
+            thread = threading.Thread(
+                target=self._runner, name=f"serve-runner-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def drain(self, timeout: float = 30.0, cancel_queued: bool = True) -> bool:
+        """Graceful shutdown, phase one: refuse new submissions, cancel
+        (or finish) the queue, and wait for running jobs to complete.
+        Returns ``True`` when everything settled inside *timeout*."""
+        with self._lock:
+            self._closing = True
+        if cancel_queued:
+            for record in self.queue.drain():
+                with self._lock:
+                    if not record.terminal:
+                        self._finish(record, JobState.CANCELLED, error="drained")
+        self.queue.close()  # runners exit once the queue is empty
+        deadline = time.monotonic() + timeout
+        with self._quiet:
+            while self._active_runs > 0 or len(self.queue):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._quiet.wait(timeout=remaining):
+                    return False
+        return True
+
+    def close(self, timeout: float = 30.0) -> bool:
+        """Drain, then tear down pools and join runner threads."""
+        settled = self.drain(timeout=timeout)
+        self.pools.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        return settled and not any(t.is_alive() for t in self._threads)
+
+    def __enter__(self) -> "JobService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, request: JobRequest) -> JobRecord:
+        request.validate()
+        key = request.key()
+        with self._lock:
+            self.counters.incr(Counter.SERVE_SUBMISSIONS)
+            tenant = self.tenants.get_or_create(request.tenant)
+            tenant.submitted += 1
+            if self._closing:
+                tenant.rejected += 1
+                self.counters.incr(Counter.SERVE_REJECTED)
+                raise AdmissionRefused("service is draining", http_status=503)
+            admission = self.tenants.admit(tenant)
+            if not admission.admitted:
+                tenant.rejected += 1
+                self.counters.incr(Counter.SERVE_REJECTED)
+                raise AdmissionRefused(admission.reason, admission.http_status)
+
+            record = JobRecord(
+                id=f"j{next(self._seq):05d}", request=request, key=key
+            )
+            self._records[record.id] = record
+            self._order.append(record.id)
+
+            if self.dedup_enabled:
+                cached = self._cached_outcome(key)
+                if cached is not None:
+                    self.counters.incr(Counter.SERVE_ADMITTED)
+                    self.counters.incr(Counter.SERVE_RESULT_CACHE_HITS)
+                    tenant.cache_hits += 1
+                    record.cache_hit = True
+                    record.outcome = cached
+                    record.events.append("queued", cache_hit=True)
+                    self._finish(record, JobState.DONE)
+                    return record
+
+                leader = self._inflight.get(key)
+                if (
+                    leader is not None
+                    and not leader.terminal
+                    and not leader.cancel_requested
+                ):
+                    self.counters.incr(Counter.SERVE_ADMITTED)
+                    self.counters.incr(Counter.SERVE_DEDUP_HITS)
+                    tenant.dedup_hits += 1
+                    tenant.inflight += 1
+                    record.dedup_of = leader.id
+                    leader.waiters.append(record)
+                    record.events.append("queued", coalesced_into=leader.id)
+                    return record
+
+            tenant.inflight += 1
+            if self.dedup_enabled:
+                self._inflight[key] = record
+            pushed = self.queue.push(
+                request.tenant,
+                record,
+                cost=request.cost(),
+                weight=tenant.quota.weight,
+            )
+            if not pushed:
+                tenant.inflight -= 1
+                tenant.rejected += 1
+                self.counters.incr(Counter.SERVE_REJECTED)
+                if self._inflight.get(key) is record:
+                    del self._inflight[key]
+                del self._records[record.id]
+                self._order.remove(record.id)
+                raise AdmissionRefused(
+                    f"queue full ({self.queue.depth} submissions)", http_status=503
+                )
+            self.counters.incr(Counter.SERVE_ADMITTED)
+            record.events.append("queued")
+            return record
+
+    def _cached_outcome(self, key: str) -> JobOutcome | None:
+        entry = self.result_cache.get(key)
+        if entry is None:
+            return None
+        try:
+            outcome = pickle.loads(entry.output)
+        except Exception:  # noqa: BLE001 - a torn/stale entry is a miss
+            return None
+        return outcome if isinstance(outcome, JobOutcome) else None
+
+    # ------------------------------------------------------------------
+    # the bounded executor (runner threads)
+    # ------------------------------------------------------------------
+    def _runner(self) -> None:
+        while True:
+            record = self.queue.pop()
+            if record is None:
+                return  # queue closed and empty
+            self._run_record(record)
+
+    def _run_record(self, record: JobRecord) -> None:
+        with self._lock:
+            if record.terminal:
+                return  # cancelled while queued
+            if record.cancel_requested:
+                self._finish(record, JobState.CANCELLED)
+                return
+            record.state = JobState.RUNNING
+            record.started_at = time.time()
+            self._active_runs += 1
+        record.events.append("running")
+
+        outcome: JobOutcome | None = None
+        error: BaseException | None = None
+        try:
+            outcome = self.pools.run(record.request, key=record.id)
+        except ReproError as exc:
+            error = exc
+        except Exception as exc:  # noqa: BLE001 - a runner thread must survive
+            # anything a submission throws at it; the record carries the
+            # failure, the thread moves on to the next submission.
+            error = ServeError(f"submission {record.id} failed: {exc!r}")
+
+        with self._quiet:
+            self._active_runs -= 1
+            self.counters.incr(Counter.SERVE_POOL_LEASES)
+            self.counters.incr(Counter.SERVE_JOBS_EXECUTED)
+            tenant = self.tenants.get_or_create(record.request.tenant)
+            tenant.executed += 1
+            if record.cancel_requested:
+                self._finish(record, JobState.CANCELLED)
+            elif error is not None:
+                self._finish(record, JobState.FAILED, error=str(error))
+            else:
+                assert outcome is not None
+                tenant.attempts_used += outcome.task_attempts
+                tenant.busy_seconds += outcome.seconds
+                self._commit_result(record.key, outcome)
+                record.outcome = outcome
+                self._finish(record, JobState.DONE)
+            self._quiet.notify_all()
+
+    def _commit_result(self, key: str, outcome: JobOutcome) -> None:
+        if not self.dedup_enabled:
+            return
+        try:
+            blob = pickle.dumps(outcome)
+        except Exception:  # noqa: BLE001 - an unpicklable outcome just
+            # means no cross-restart reuse; the submission still succeeds.
+            return
+        self.result_cache.put(
+            key,
+            CacheEntry(
+                output=blob,
+                output_digest=outcome.output_digest,
+                job_id=outcome.job_id,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # completion fan-in (lock held)
+    # ------------------------------------------------------------------
+    def _finish(
+        self, record: JobRecord, state: JobState, error: str | None = None
+    ) -> None:
+        record.state = state
+        record.finished_at = time.time()
+        if error is not None:
+            record.error = error
+        tenant = self.tenants.get_or_create(record.request.tenant)
+        if record.dedup_of is None and not record.cache_hit:
+            # Leaders (and only leaders) occupy an _inflight slot.
+            if self._inflight.get(record.key) is record:
+                del self._inflight[record.key]
+        if not record.cache_hit:
+            tenant.inflight = max(0, tenant.inflight - 1)
+        if state is JobState.DONE:
+            tenant.completed += 1
+            self.counters.incr(Counter.SERVE_JOBS_COMPLETED)
+            if record.outcome is not None:
+                tenant.counters.merge(record.outcome.counters)
+                tenant.ledger.merge(record.outcome.ledger)
+        elif state is JobState.FAILED:
+            tenant.failed += 1
+            self.counters.incr(Counter.SERVE_JOBS_FAILED)
+        else:
+            tenant.cancelled += 1
+            self.counters.incr(Counter.SERVE_JOBS_CANCELLED)
+        self._emit_terminal(record)
+        # Fan every coalesced waiter in with the leader's outcome.
+        waiters, record.waiters = record.waiters, []
+        for waiter in waiters:
+            if waiter.terminal:
+                continue
+            waiter.outcome = record.outcome
+            self._finish(waiter, state, error=error)
+
+    def _emit_terminal(self, record: JobRecord) -> None:
+        data: dict = {}
+        if record.outcome is not None:
+            data = {
+                "job_id": record.outcome.job_id,
+                "output_digest": record.outcome.output_digest,
+                "records": record.outcome.records,
+                "seconds": record.outcome.seconds,
+                "task_attempts": record.outcome.task_attempts,
+            }
+            # Progress distilled from the engine's own accounting: the
+            # counters and the Ledger sample series the job accumulated.
+            record.events.append(
+                "progress",
+                counters=record.outcome.counters.as_dict(),
+                samples={
+                    name: {
+                        "count": len(values),
+                        "total": sum(values),
+                    }
+                    for name, values in record.outcome.ledger.samples.items()
+                },
+            )
+        if record.error is not None:
+            data["error"] = record.error
+        record.events.append(record.state.value, **data)
+        record.events.close()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self._records.get(job_id)
+        if record is None:
+            raise ServeError(f"unknown job {job_id!r}")
+        return record
+
+    def jobs(self, tenant: str | None = None) -> list[JobRecord]:
+        with self._lock:
+            records = [self._records[job_id] for job_id in self._order]
+        if tenant is not None:
+            records = [r for r in records if r.request.tenant == tenant]
+        return records
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobRecord:
+        """Block until the job reaches a terminal state (the event log
+        closes exactly then)."""
+        record = self.job(job_id)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        seq = -1
+        while not record.terminal:
+            step = None
+            if deadline is not None:
+                step = deadline - time.monotonic()
+                if step <= 0:
+                    raise ServeError(f"timed out waiting for job {job_id}")
+            fresh, closed = record.events.wait(after_seq=seq, timeout=step)
+            if fresh:
+                seq = fresh[-1].seq
+            if closed:
+                break
+        return record
+
+    def cancel(self, job_id: str) -> JobRecord:
+        record = self.job(job_id)
+        with self._lock:
+            if record.terminal:
+                return record
+            if record.waiters:
+                raise ServeError(
+                    f"job {job_id} leads {len(record.waiters)} coalesced "
+                    "submission(s); cancel those first"
+                )
+            if record.dedup_of is not None:
+                leader = self._records.get(record.dedup_of)
+                if leader is not None and record in leader.waiters:
+                    leader.waiters.remove(record)
+                self._finish(record, JobState.CANCELLED)
+                return record
+            record.cancel_requested = True
+            if record.state is JobState.QUEUED:
+                # Still in the queue: complete now; the runner that
+                # eventually pops it sees a terminal record and skips.
+                self._finish(record, JobState.CANCELLED)
+        return record
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            queued = len(self.queue)
+            counters = dict(self.counters.as_dict())
+        return {
+            "counters": counters,
+            "queued": queued,
+            "active_runs": self._active_runs,
+            "pool": {
+                "size": self.pools.size,
+                "warm": self.pools.warm,
+                "leases": self.pools.leases,
+                "forks": self.pools.total_forks,
+            },
+            "tenants": [
+                {
+                    "tenant": t.name,
+                    "weight": t.quota.weight,
+                    "submitted": t.submitted,
+                    "completed": t.completed,
+                    "failed": t.failed,
+                    "cancelled": t.cancelled,
+                    "rejected": t.rejected,
+                    "dedup_hits": t.dedup_hits,
+                    "cache_hits": t.cache_hits,
+                    "executed": t.executed,
+                    "inflight": t.inflight,
+                    "attempts_used": t.attempts_used,
+                    "busy_seconds": t.busy_seconds,
+                }
+                for t in self.tenants.all()
+            ],
+        }

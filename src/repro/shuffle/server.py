@@ -88,10 +88,15 @@ class ShuffleServer:
         host_label: str = "localhost",
         fault_plan: FaultPlan | None = None,
         bind_host: str = "127.0.0.1",
+        port: int = 0,
     ) -> None:
         self.host_label = host_label
         self.fault_plan = fault_plan or FaultPlan()
         self.bind_host = bind_host
+        #: Requested listen port (0 = ephemeral).  A clean ``stop()``
+        #: releases it, so a successor server can bind the same port —
+        #: the restart property the shutdown regression tests pin down.
+        self.bind_port = port
         self._outputs: dict[str, tuple[LocalDisk, SpillIndex]] = {}
         self._lock = threading.Lock()
         self._listener: socket.socket | None = None
@@ -113,9 +118,10 @@ class ShuffleServer:
     def start(self) -> "ShuffleServer":
         if self._listener is not None:
             raise ShuffleError(f"shuffle server for {self.host_label!r} already started")
+        self._stopping.clear()  # a stopped server may be started again
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.bind_host, 0))
+        listener.bind((self.bind_host, self.bind_port))
         listener.listen(64)
         # A blocking accept() does not reliably wake when another thread
         # closes the socket; poll with a short timeout so stop() returns

@@ -1,0 +1,44 @@
+"""Fixtures for the serve suite (the multi-tenant job service).
+
+Every test here carries ``@pytest.mark.serve``: they fork warm worker
+pools and bind real localhost sockets, so the autouse fixture below
+arms a per-test wall-clock alarm (mirroring the ``cluster`` marker's
+setup in ``tests/cluster/conftest.py``) — a wedged fair-queue pop or a
+lost pool worker kills the *test*, not the whole CI run.  Tune with
+``REPRO_SERVE_TEST_TIMEOUT`` (seconds).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+DEFAULT_TIMEOUT_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def serve_test_timeout(request):
+    if request.node.get_closest_marker("serve") is None or not hasattr(
+        signal, "SIGALRM"
+    ):
+        yield
+        return
+    seconds = int(
+        os.environ.get("REPRO_SERVE_TEST_TIMEOUT", DEFAULT_TIMEOUT_SECONDS)
+    )
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"serve test exceeded its {seconds}s per-test timeout "
+            "(wedged fair-queue pop or lost pool worker?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

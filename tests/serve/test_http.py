@@ -1,0 +1,165 @@
+"""The HTTP front door: routes, status codes, SSE event streaming.
+
+These go through :class:`ServeClient` — the same code path the
+``repro submit`` / ``repro jobs`` commands use — against a daemon on
+an ephemeral port, so the full wire format (request parsing, JSON
+responses, chunked SSE) is what's under test.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.config import JobConf, Keys
+from repro.errors import ServeError
+from repro.serve import JobRequest, JobService, ServeClient, ServeDaemon
+
+pytestmark = [pytest.mark.serve, pytest.mark.network]
+
+SMALL = dict(kind="app", name="wordcount", scale=0.01, splits=2)
+
+
+@pytest.fixture
+def daemon():
+    service = JobService(JobConf({
+        Keys.SERVE_POOL_SIZE: 2,
+        Keys.SERVE_TENANT_MAX_INFLIGHT: 2,
+    }))
+    d = ServeDaemon(service, port=0)
+    d.start_in_thread()
+    yield d
+    d.shutdown()
+
+
+@pytest.fixture
+def client(daemon):
+    return ServeClient(daemon.host, daemon.port)
+
+
+def test_health_reports_pool_and_queue(client):
+    health = client.health()
+    assert health["ok"] is True
+    assert health["pool"]["size"] == 2 and health["pool"]["warm"] is True
+    assert health["queued"] == 0
+
+
+def test_submit_poll_result_roundtrip(client):
+    record = client.submit(JobRequest(tenant="alice", **SMALL))
+    assert record["id"].startswith("j")
+    final = client.wait(record["id"], timeout=60.0)
+    assert final["state"] == "done"
+    result = client.result(record["id"])
+    assert result["outcome"]["records"] == 1187
+    assert result["outcome"]["output_digest"]
+    assert len(result["outcome"]["preview"]) > 0
+
+
+def test_result_before_terminal_is_409(daemon, client):
+    record = client.submit(JobRequest(tenant="alice", **SMALL))
+    conn = http.client.HTTPConnection(daemon.host, daemon.port, timeout=10)
+    try:
+        conn.request("GET", f"/v1/jobs/{record['id']}/result")
+        response = conn.getresponse()
+        body = json.loads(response.read())
+        # Either the job already finished (200) or it hasn't (409);
+        # both are legal — what's illegal is a result body pre-terminal.
+        if response.status == 409:
+            assert "outcome" not in body
+        else:
+            assert response.status == 200
+    finally:
+        conn.close()
+    client.wait(record["id"], timeout=60.0)
+
+
+def test_unknown_job_is_404(daemon):
+    conn = http.client.HTTPConnection(daemon.host, daemon.port, timeout=10)
+    try:
+        conn.request("GET", "/v1/jobs/j99999")
+        assert conn.getresponse().status == 404
+    finally:
+        conn.close()
+
+
+def test_unknown_path_is_404(daemon):
+    conn = http.client.HTTPConnection(daemon.host, daemon.port, timeout=10)
+    try:
+        conn.request("GET", "/nope")
+        assert conn.getresponse().status == 404
+    finally:
+        conn.close()
+
+
+def test_bad_submit_body_is_400(daemon):
+    conn = http.client.HTTPConnection(daemon.host, daemon.port, timeout=10)
+    try:
+        conn.request("POST", "/v1/jobs", body=b"not json",
+                     headers={"Content-Type": "application/json"})
+        assert conn.getresponse().status == 400
+    finally:
+        conn.close()
+
+
+def test_admission_refusal_is_429(daemon, client):
+    # max_inflight=2: the third distinct submission from one tenant is
+    # refused at the door while the first two are still in the system.
+    submitted = []
+    status = None
+    for i in range(5):
+        request = JobRequest(tenant="greedy", kind="app", name="wordcount",
+                             scale=0.01 + i * 0.005, splits=2)
+        conn = http.client.HTTPConnection(daemon.host, daemon.port, timeout=30)
+        try:
+            conn.request("POST", "/v1/jobs",
+                         body=json.dumps(request.as_dict()).encode(),
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            if response.status == 429:
+                status = 429
+                break
+            submitted.append(body["id"])
+        finally:
+            conn.close()
+    assert status == 429, "quota never tripped despite 5 concurrent submissions"
+    for job_id in submitted:
+        client.wait(job_id, timeout=60.0)
+
+
+def test_event_stream_replays_history(client):
+    record = client.submit(JobRequest(tenant="alice", **SMALL))
+    client.wait(record["id"], timeout=60.0)
+    # Connect *after* completion: SSE must replay the full history and
+    # then end the stream at the terminal event.
+    events = list(client.events(record["id"]))
+    types = [e["type"] for e in events]
+    assert types[0] == "queued"
+    assert types[-1] == "done"
+    progress = [e for e in events if e["type"] == "progress"]
+    assert progress and "counters" in progress[-1]
+
+
+def test_cancel_route(client):
+    record = client.submit(JobRequest(tenant="alice", **SMALL))
+    cancelled = client.cancel(record["id"])
+    assert cancelled["state"] in ("queued", "running", "cancelled", "done")
+    final = client.wait(record["id"], timeout=60.0)
+    assert final["state"] in ("cancelled", "done")
+
+
+def test_tenants_route(client):
+    record = client.submit(JobRequest(tenant="alice", **SMALL))
+    client.wait(record["id"], timeout=60.0)
+    stats = client.tenants()
+    rows = {t["tenant"]: t for t in stats["tenants"]}
+    assert rows["alice"]["submitted"] == 1
+    assert rows["alice"]["completed"] == 1
+
+
+def test_client_error_on_unreachable_daemon():
+    client = ServeClient("127.0.0.1", 1)  # nothing listens on port 1
+    with pytest.raises(ServeError):
+        client.health()

@@ -1,0 +1,324 @@
+"""The job service: admission, dedup, result cache, quotas, cancel.
+
+The headline test is the issue's required concurrency property: two
+threads submitting the *same* pipeline concurrently produce exactly
+one execution — asserted through the service's dedup counters, the
+scheduler's single-flight cache counters, and byte-identical outputs.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.config import JobConf, Keys
+from repro.engine.counters import Counter
+from repro.errors import ServeError
+from repro.serve import JobRequest, JobService, JobState, execute_request
+from repro.serve.service import AdmissionRefused
+
+pytestmark = pytest.mark.serve
+
+SMALL = dict(name="wordcount", kind="app", scale=0.01, splits=2)
+
+
+def small_conf(**extra) -> JobConf:
+    base = {
+        Keys.SERVE_POOL_SIZE: 2,
+        Keys.SERVE_QUEUE_DEPTH: 64,
+    }
+    base.update(extra)
+    return JobConf(base)
+
+
+@pytest.fixture
+def service():
+    svc = JobService(small_conf()).start()
+    yield svc
+    svc.close()
+
+
+# ----------------------------------------------------------------------
+# request validation + keys
+# ----------------------------------------------------------------------
+def test_request_validation():
+    with pytest.raises(ServeError):
+        JobRequest(tenant="t", kind="app", name="no-such-app").validate()
+    with pytest.raises(ServeError):
+        JobRequest(tenant="t", kind="pipeline", name="wordcount").validate()
+    with pytest.raises(ServeError):
+        JobRequest(tenant="", kind="app", name="wordcount").validate()
+    with pytest.raises(ServeError):
+        JobRequest(tenant="t", kind="app", name="wordcount", scale=0).validate()
+
+
+def test_request_key_ignores_tenant_and_nonsemantic_conf():
+    a = JobRequest(tenant="alice", **SMALL)
+    b = JobRequest(tenant="bob", **SMALL)
+    assert a.key() == b.key()  # cross-tenant dedup hinges on this
+    c = JobRequest(tenant="alice", conf={Keys.EXEC_WORKERS: 8}, **SMALL)
+    assert a.key() == c.key()  # execution knobs don't change the answer
+    d = JobRequest(tenant="alice", conf={Keys.GROUPING: "hash"}, **SMALL)
+    assert a.key() != d.key()  # semantic conf does
+
+
+def test_request_roundtrips_through_dict():
+    a = JobRequest(tenant="alice", conf={"k": 1}, **SMALL)
+    assert JobRequest.from_dict(a.as_dict()) == a
+
+
+# ----------------------------------------------------------------------
+# the submission lifecycle
+# ----------------------------------------------------------------------
+def test_submit_executes_and_reports(service):
+    record = service.submit(JobRequest(tenant="alice", **SMALL))
+    record = service.wait(record.id, timeout=60.0)
+    assert record.state is JobState.DONE
+    assert record.outcome.records == 1187
+    assert record.outcome.output_digest
+    assert record.outcome.task_attempts >= 2
+    types = [e.type for e in record.events.since(-1)]
+    assert types[0] == "queued" and types[-1] == "done" and "running" in types
+
+
+def test_identical_submission_coalesces_and_result_cache_serves_third(service):
+    first = service.submit(JobRequest(tenant="alice", **SMALL))
+    second = service.submit(JobRequest(tenant="bob", **SMALL))
+    service.wait(first.id, timeout=60.0)
+    second = service.wait(second.id, timeout=60.0)
+    assert second.dedup_of == first.id
+    assert second.outcome.output_digest == first.outcome.output_digest
+
+    third = service.submit(JobRequest(tenant="carol", **SMALL))
+    assert third.state is JobState.DONE and third.cache_hit  # immediate
+    assert third.outcome.output_digest == first.outcome.output_digest
+
+    counters = service.counters.as_dict()
+    assert counters[Counter.SERVE_JOBS_EXECUTED.value] == 1
+    assert counters[Counter.SERVE_JOBS_COMPLETED.value] == 3
+    assert counters[Counter.SERVE_DEDUP_HITS.value] == 1
+    assert counters[Counter.SERVE_RESULT_CACHE_HITS.value] == 1
+
+
+def test_dedup_disabled_executes_both():
+    svc = JobService(small_conf(**{Keys.SERVE_DEDUP: False})).start()
+    try:
+        a = svc.submit(JobRequest(tenant="alice", **SMALL))
+        b = svc.submit(JobRequest(tenant="bob", **SMALL))
+        a, b = svc.wait(a.id, 60.0), svc.wait(b.id, 60.0)
+        assert a.state is JobState.DONE and b.state is JobState.DONE
+        assert b.dedup_of is None and not b.cache_hit
+        assert svc.counters.as_dict()[Counter.SERVE_JOBS_EXECUTED.value] == 2
+        assert a.outcome.output_digest == b.outcome.output_digest
+    finally:
+        svc.close()
+
+
+def test_failed_job_reports_error(service):
+    record = service.submit(
+        JobRequest(tenant="alice", kind="app", name="wordcount", scale=0.01,
+                   splits=2, conf={Keys.FAULTS_SPEC: "disk.corrupt:1.0:99"})
+    )
+    record = service.wait(record.id, timeout=60.0)
+    assert record.state is JobState.FAILED
+    assert record.error
+    counters = service.counters.as_dict()
+    assert counters[Counter.SERVE_JOBS_FAILED.value] == 1
+    # A failure must not poison the result cache: resubmitting runs again.
+    retry = service.submit(JobRequest(tenant="alice", **SMALL))
+    retry = service.wait(retry.id, timeout=60.0)
+    assert retry.state is JobState.DONE and not retry.cache_hit
+
+
+def test_unknown_job_raises(service):
+    with pytest.raises(ServeError):
+        service.job("j99999")
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+def test_per_tenant_inflight_quota_rejects():
+    svc = JobService(small_conf(**{Keys.SERVE_TENANT_MAX_INFLIGHT: 1})).start()
+    try:
+        first = svc.submit(JobRequest(tenant="alice", **SMALL))
+        blocked = JobRequest(tenant="alice", kind="app", name="wordcount",
+                             scale=0.02, splits=2)
+        with pytest.raises(AdmissionRefused) as excinfo:
+            svc.submit(blocked)
+        assert excinfo.value.http_status == 429
+        # Another tenant's budget is its own.
+        other = svc.submit(JobRequest(tenant="bob", kind="app",
+                                      name="wordcount", scale=0.02, splits=2))
+        assert svc.wait(first.id, 60.0).state is JobState.DONE
+        assert svc.wait(other.id, 60.0).state is JobState.DONE
+        assert svc.tenants.get_or_create("alice").rejected == 1
+    finally:
+        svc.close()
+
+
+def test_attempt_budget_exhausts():
+    svc = JobService(small_conf(**{Keys.SERVE_TENANT_ATTEMPT_BUDGET: 2})).start()
+    try:
+        first = svc.submit(JobRequest(tenant="alice", **SMALL))
+        assert svc.wait(first.id, 60.0).state is JobState.DONE
+        # The wordcount run burned >= 2 task attempts: budget is gone.
+        with pytest.raises(AdmissionRefused):
+            svc.submit(JobRequest(tenant="alice", kind="app", name="wordcount",
+                                  scale=0.02, splits=2))
+        # ...but only for alice.
+        ok = svc.submit(JobRequest(tenant="bob", kind="app", name="wordcount",
+                                   scale=0.02, splits=2))
+        assert svc.wait(ok.id, 60.0).state is JobState.DONE
+    finally:
+        svc.close()
+
+
+def test_submit_after_close_refused():
+    svc = JobService(small_conf()).start()
+    svc.close()
+    with pytest.raises(AdmissionRefused) as excinfo:
+        svc.submit(JobRequest(tenant="alice", **SMALL))
+    assert excinfo.value.http_status == 503
+
+
+# ----------------------------------------------------------------------
+# cancellation
+# ----------------------------------------------------------------------
+def test_cancel_queued_job():
+    # One slot busy with a real job; the second queued job is cancellable.
+    svc = JobService(small_conf(**{Keys.SERVE_POOL_SIZE: 1})).start()
+    try:
+        running = svc.submit(JobRequest(tenant="alice", **SMALL))
+        queued = svc.submit(JobRequest(tenant="bob", kind="app",
+                                       name="wordcount", scale=0.02, splits=2))
+        cancelled = svc.cancel(queued.id)
+        assert cancelled.state in (JobState.CANCELLED, JobState.QUEUED)
+        final = svc.wait(queued.id, timeout=60.0)
+        assert final.state is JobState.CANCELLED
+        assert svc.wait(running.id, timeout=60.0).state is JobState.DONE
+        assert svc.counters.as_dict()[Counter.SERVE_JOBS_CANCELLED.value] == 1
+    finally:
+        svc.close()
+
+
+def test_cancel_leader_with_waiters_refused(service):
+    leader = service.submit(JobRequest(tenant="alice", **SMALL))
+    waiter = service.submit(JobRequest(tenant="bob", **SMALL))
+    if waiter.dedup_of is not None and not service.job(leader.id).terminal:
+        try:
+            service.cancel(leader.id)
+        except ServeError:
+            pass  # refused: cancelling the leader would strand its waiter
+        else:
+            # The leader finished between submit and cancel: a no-op.
+            assert service.job(leader.id).terminal
+    assert service.wait(leader.id, 60.0).state is JobState.DONE
+    assert service.wait(waiter.id, 60.0).state is JobState.DONE
+
+
+# ----------------------------------------------------------------------
+# the issue's headline property: concurrent identical submissions
+# ----------------------------------------------------------------------
+def test_two_threads_same_pipeline_one_execution(tmp_path):
+    """Two threads submit the same pipeline at the same moment; exactly
+    one execution happens (the other coalesces), and both tenants get
+    byte-identical outputs."""
+    svc = JobService(small_conf(**{
+        Keys.SERVE_CACHE_DIR: str(tmp_path / "serve-cache"),
+    })).start()
+    try:
+        barrier = threading.Barrier(2)
+        records: dict[str, object] = {}
+
+        def submit(tenant: str) -> None:
+            request = JobRequest(tenant=tenant, kind="pipeline",
+                                 name="textindex", scale=0.01)
+            barrier.wait()
+            record = svc.submit(request)
+            records[tenant] = svc.wait(record.id, timeout=120.0)
+
+        threads = [threading.Thread(target=submit, args=(t,))
+                   for t in ("alice", "bob")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+
+        alice, bob = records["alice"], records["bob"]
+        assert alice.state is JobState.DONE and bob.state is JobState.DONE
+
+        counters = svc.counters.as_dict()
+        # Exactly one execution; the other submission coalesced onto it
+        # (in-flight dedup) or read its committed result (cache hit).
+        assert counters[Counter.SERVE_JOBS_EXECUTED.value] == 1
+        assert (counters.get(Counter.SERVE_DEDUP_HITS.value, 0)
+                + counters.get(Counter.SERVE_RESULT_CACHE_HITS.value, 0)) == 1
+        assert counters[Counter.SERVE_JOBS_COMPLETED.value] == 2
+
+        # Byte-identical outputs: same digests, stage for stage.
+        assert alice.outcome.output_digest == bob.outcome.output_digest
+        assert alice.outcome.stages == bob.outcome.stages
+
+        # The one execution computed each pipeline stage exactly once.
+        executed = (alice if alice.dedup_of is None and not alice.cache_hit
+                    else bob)
+        stage_counters = executed.outcome.counters.as_dict()
+        assert stage_counters[Counter.PIPELINE_CACHE_MISSES.value] == 3
+        assert stage_counters.get(Counter.PIPELINE_CACHE_HITS.value, 0) == 0
+    finally:
+        svc.close()
+
+
+def test_concurrent_pipeline_runners_single_flight(tmp_path):
+    """Below the service: two PipelineRunners sharing a disk cache run
+    the same pipeline concurrently; the single-flight table makes one
+    compute each stage while the other blocks, then reads the cache —
+    total stage computations across both runners equal one pipeline's
+    worth."""
+    from repro.apps.pipelines import build_pipeline
+    from repro.dag import PipelineRunner
+
+    conf = JobConf({Keys.PIPELINE_CACHE_DIR: str(tmp_path / "stage-cache")})
+    barrier = threading.Barrier(2)
+    results = {}
+
+    def run(tag: str) -> None:
+        pipeline = build_pipeline("textindex", scale=0.01)
+        runner = PipelineRunner(conf=conf)
+        barrier.wait()
+        results[tag] = runner.run(pipeline)
+
+    threads = [threading.Thread(target=run, args=(t,)) for t in ("x", "y")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+
+    x, y = results["x"], results["y"]
+    assert x.ok and y.ok
+    digests = [tuple(s.output_digest for s in r.stages) for r in (x, y)]
+    assert digests[0] == digests[1]
+    misses = sum(
+        r.counters.as_dict().get(Counter.PIPELINE_CACHE_MISSES.value, 0)
+        for r in (x, y)
+    )
+    hits = sum(
+        r.counters.as_dict().get(Counter.PIPELINE_CACHE_HITS.value, 0)
+        for r in (x, y)
+    )
+    assert misses == 3  # one compute per stage, across BOTH runners
+    assert hits == 3    # the blocked runner read every stage from cache
+
+
+# ----------------------------------------------------------------------
+# serial equivalence
+# ----------------------------------------------------------------------
+def test_serve_outcome_matches_direct_run(service):
+    record = service.submit(JobRequest(tenant="alice", **SMALL))
+    record = service.wait(record.id, timeout=60.0)
+    direct = execute_request(JobRequest(tenant="direct", **SMALL))
+    assert record.outcome.output_digest == direct.output_digest
+    assert record.outcome.records == direct.records
+    assert record.outcome.preview == direct.preview

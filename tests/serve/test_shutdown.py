@@ -1,0 +1,178 @@
+"""Abrupt-shutdown regressions: ports released, children reaped.
+
+The properties pinned down here:
+
+* ``graceful_termination`` turns SIGTERM into :class:`SystemExit` so
+  ``try/finally`` teardown runs, and restores the previous handler;
+* a stopped :class:`ShuffleServer` releases its port — a successor
+  can bind the *same* port immediately (the double-start regression);
+* a SIGTERMed ``repro serve`` daemon drains, reaps its warm pool
+  children, exits cleanly, and a second daemon can rebind its port.
+
+The daemon tests run the real CLI in a subprocess: the exact artifact
+a supervisor would signal.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.shutdown import graceful_termination
+from repro.shuffle.server import ShuffleServer
+
+pytestmark = [pytest.mark.serve, pytest.mark.network]
+
+REPO_SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+# ----------------------------------------------------------------------
+# graceful_termination
+# ----------------------------------------------------------------------
+def test_sigterm_becomes_systemexit():
+    before = signal.getsignal(signal.SIGTERM)
+    cleanup_ran = []
+    with pytest.raises(SystemExit) as excinfo:
+        with graceful_termination():
+            try:
+                os.kill(os.getpid(), signal.SIGTERM)
+                time.sleep(5)  # the signal interrupts this
+            finally:
+                cleanup_ran.append(True)
+    assert excinfo.value.code == 128 + signal.SIGTERM
+    assert cleanup_ran == [True]
+    assert signal.getsignal(signal.SIGTERM) is before  # handler restored
+
+
+def test_handler_restored_after_clean_exit():
+    before = signal.getsignal(signal.SIGTERM)
+    with graceful_termination():
+        assert signal.getsignal(signal.SIGTERM) is not before
+    assert signal.getsignal(signal.SIGTERM) is before
+
+
+# ----------------------------------------------------------------------
+# ShuffleServer port release
+# ----------------------------------------------------------------------
+def test_shuffle_server_releases_port_for_successor():
+    first = ShuffleServer("host-a").start()
+    _, port = first.address
+    first.stop()
+    # A *different* server instance binds the exact port the first one
+    # just released — nothing (thread, socket) is still holding it.
+    second = ShuffleServer("host-b", port=port).start()
+    try:
+        assert second.address == ("127.0.0.1", port)
+    finally:
+        second.stop()
+
+
+def test_shuffle_server_restart_same_instance():
+    server = ShuffleServer("host-a").start()
+    _, port = server.address
+    server.stop()
+    server.bind_port = port  # pin the port it had
+    server.start()
+    try:
+        assert server.address == ("127.0.0.1", port)
+    finally:
+        server.stop()
+
+
+# ----------------------------------------------------------------------
+# the serve daemon under SIGTERM
+# ----------------------------------------------------------------------
+def _spawn_daemon(tmp_path, port: int = 0):
+    port_file = tmp_path / f"port-{port}-{time.monotonic_ns()}"
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", str(port),
+         "--port-file", str(port_file), "--pool-size", "2"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            return proc, int(port_file.read_text().strip())
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"daemon died before binding: {proc.stdout.read().decode()}"
+            )
+        time.sleep(0.1)
+    proc.kill()
+    raise AssertionError("daemon never wrote its port file")
+
+
+def _children_of(pid: int) -> list[int]:
+    try:
+        text = pathlib.Path(f"/proc/{pid}/task/{pid}/children").read_text()
+    except OSError:
+        return []
+    return [int(p) for p in text.split()]
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def test_daemon_sigterm_drains_and_reaps_workers(tmp_path):
+    proc, port = _spawn_daemon(tmp_path)
+    try:
+        # The warm pool forked its workers at startup; remember them.
+        deadline = time.monotonic() + 10.0
+        workers: list[int] = []
+        while time.monotonic() < deadline and len(workers) < 2:
+            workers = _children_of(proc.pid)
+            time.sleep(0.1)
+        assert len(workers) >= 2, "warm pool never forked its workers"
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30.0) == 0  # clean drain, not a kill
+
+        # No orphaned workerd daemons: every pre-fork child is gone.
+        time.sleep(0.2)
+        survivors = [pid for pid in workers if _alive(pid)]
+        assert survivors == []
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
+
+
+def test_daemon_restart_rebinds_same_port(tmp_path):
+    """The double-start regression: terminate a daemon, start another
+    on the very port the first was bound to."""
+    first, port = _spawn_daemon(tmp_path)
+    try:
+        first.send_signal(signal.SIGTERM)
+        assert first.wait(timeout=30.0) == 0
+    finally:
+        if first.poll() is None:
+            first.kill()
+            first.wait(timeout=10.0)
+
+    second, second_port = _spawn_daemon(tmp_path, port=port)
+    try:
+        assert second_port == port
+        # It is genuinely listening, not just claiming to.
+        with socket.create_connection(("127.0.0.1", port), timeout=5.0):
+            pass
+        second.send_signal(signal.SIGTERM)
+        assert second.wait(timeout=30.0) == 0
+    finally:
+        if second.poll() is None:
+            second.kill()
+            second.wait(timeout=10.0)

@@ -52,6 +52,15 @@ class TestRun:
         assert main(["run", "wordcount", "--scale", "0.02"]) == 0
         assert "output sha256:" in capsys.readouterr().out
 
+    def test_run_json_record(self, capsys):
+        assert main(["run", "wordcount", "--scale", "0.02", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["app"] == "wordcount"
+        assert record["records"] > 0
+        assert len(record["output_digest"]) == 64
+        assert record["task_attempts"] >= 1
+        assert record["counters"]["map_input_records"] > 0
+
 
 class TestPipeline:
     def test_textindex_runs(self, capsys):
@@ -72,6 +81,16 @@ class TestPipeline:
     def test_rejects_unknown_pipeline(self):
         with pytest.raises(SystemExit):
             main(["pipeline", "nosuchpipeline"])
+
+    def test_pipeline_json_record(self, capsys):
+        assert main(["pipeline", "textindex", "--scale", "0.01", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["pipeline"] == "textindex" and record["ok"] is True
+        assert [s["stage"] for s in record["stages"]] == [
+            "corpus", "wordcount", "invertedindex",
+        ]
+        assert all(len(s["output_digest"]) == 64 for s in record["stages"])
+        assert record["counters"]["pipeline_cache_misses"] == 3
 
 
 class TestCluster:

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Callable
 if TYPE_CHECKING:
     from ..dag.result import PipelineResult
     from ..engine.runner import JobResult
-    from ..lint import LintReport
+    from ..lint import LintReport, OptimizationPlan, PipelineAnalysis
 
 
 @dataclass(frozen=True)
@@ -359,4 +359,26 @@ def render_lint_report(report: "LintReport") -> str:
         lines.append(f"gating: {decision.describe()}")
     for note in report.notes:
         lines.append(f"note: {note}")
+    if report.plan is not None:
+        lines.append(render_optimization_plan(report.plan))
+    return "\n".join(lines)
+
+
+def render_optimization_plan(plan: "OptimizationPlan") -> str:
+    """The static optimizer's plan as indented decision lines."""
+    lines = [f"optimization plan ({plan.mode}): {plan.subject}"]
+    for decision in plan.decisions:
+        lines.append(f"  {decision.describe()}")
+    return "\n".join(lines)
+
+
+def render_pipeline_analysis(analysis: "PipelineAnalysis") -> str:
+    """Whole-pipeline analysis: stage reports, then the edge findings."""
+    lines: list[str] = [f"== pipeline analysis: {analysis.name} =="]
+    for stage in analysis.stages:
+        if stage.report is None:
+            lines.append(f"stage {stage.stage}: {stage.note}")
+            continue
+        lines.append(render_lint_report(stage.report))
+    lines.append(render_lint_report(analysis.report))
     return "\n".join(lines)

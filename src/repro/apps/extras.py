@@ -21,12 +21,13 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Mapping
 
-from ..data.accesslog import AccessLogSpec, generate_rankings
+from ..data.accesslog import AccessLogSpec, generate_rankings, generate_user_visits
 from ..data.rng import rng_for
 from ..engine.api import Emitter, Mapper, Partitioner, Reducer
 from ..engine.costmodel import UserCodeCosts
 from ..engine.inputformat import TextInput
 from ..engine.job import JobSpec
+from ..serde.numeric import VIntWritable
 from ..serde.text import Text
 from ..serde.writable import Writable
 from .base import AppJob, make_conf
@@ -36,6 +37,9 @@ SELECTION_COSTS = UserCodeCosts(
 )
 SORT_COSTS = UserCodeCosts(
     map_record=60.0, map_byte=0.8, combine_record=10.0, reduce_record=10.0
+)
+IPCOUNT_COSTS = UserCodeCosts(
+    map_record=150.0, map_byte=1.4, combine_record=12.0, reduce_record=14.0
 )
 
 
@@ -60,6 +64,26 @@ class IdentityReducer(Reducer):
     def reduce(self, key: Writable, values: Iterator[Writable], emit: Emitter) -> None:
         for value in values:
             emit(key, value)
+
+
+class AccessLogIpMapper(Mapper):
+    """Emit ``(sourceIP, 1)`` per visit record."""
+
+    def map(self, key: Writable, value: Writable, emit: Emitter) -> None:
+        line = value.value  # type: ignore[attr-defined]
+        if not line:
+            return
+        fields = line.split("|")
+        emit(Text(fields[0]), VIntWritable(1))
+
+
+class AccessLogIpReducer(Reducer):
+    """Visits per source IP — a pure integer sum fold, and the job
+    deliberately declares *no* combiner: it exists to exercise the
+    static optimizer's combiner synthesis."""
+
+    def reduce(self, key: Writable, values: Iterator[Writable], emit: Emitter) -> None:
+        emit(key, VIntWritable(sum(v.value for v in values)))  # type: ignore[attr-defined]
 
 
 class SortMapper(Mapper):
@@ -142,6 +166,48 @@ def build_selection(
         job=job,
         oracle=oracle,
         info={"log": spec, "threshold": threshold, "bytes": len(data)},
+    )
+
+
+def build_accesslogip(
+    scale: float = 0.1,
+    conf_overrides: Mapping[str, Any] | None = None,
+    num_splits: int = 4,
+    seed: int = 0,
+) -> AppJob:
+    """``SELECT sourceIP, count(*) FROM UserVisits GROUP BY sourceIP``."""
+    spec = AccessLogSpec(seed=seed).scaled(scale)
+    data = generate_user_visits(spec)
+    conf = make_conf(conf_overrides)
+    split_size = max(1, len(data) // num_splits)
+
+    job = JobSpec(
+        name="accesslogip",
+        input_format=TextInput(data, split_size=split_size, path="uservisits.dat"),
+        mapper_factory=AccessLogIpMapper,
+        reducer_factory=AccessLogIpReducer,
+        combiner_factory=None,  # the static optimizer synthesizes one
+        map_output_key_cls=Text,
+        map_output_value_cls=VIntWritable,
+        conf=conf,
+        user_costs=IPCOUNT_COSTS,
+    )
+
+    def oracle() -> dict:
+        out: dict[str, int] = {}
+        for line in data.decode().splitlines():
+            if not line:
+                continue
+            ip = line.split("|")[0]
+            out[ip] = out.get(ip, 0) + 1
+        return out
+
+    return AppJob(
+        app_name="accesslogip",
+        text_centric=False,
+        job=job,
+        oracle=oracle,
+        info={"log": spec, "bytes": len(data)},
     )
 
 

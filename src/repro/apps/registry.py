@@ -62,7 +62,7 @@ TEXT_CENTRIC_APPS: tuple[str, ...] = tuple(
 # Extra workloads beyond the paper's suite (see repro.apps.extras);
 # registered for the CLI and tests but excluded from APP_NAMES so the
 # reproduced tables keep exactly the paper's rows.
-from .extras import build_distributedsort, build_selection  # noqa: E402
+from .extras import build_accesslogip, build_distributedsort, build_selection  # noqa: E402
 
 EXTRA_REGISTRY: dict[str, AppEntry] = {
     "selection": AppEntry(
@@ -73,6 +73,10 @@ EXTRA_REGISTRY: dict[str, AppEntry] = {
         "distributedsort", build_distributedsort, False,
         "TeraSort-shaped total ordering with a range partitioner",
     ),
+    "accesslogip": AppEntry(
+        "accesslogip", build_accesslogip, False,
+        "visits per sourceIP, no combiner — the optimizer synthesizes one",
+    ),
 }
 
 EXTRA_APP_NAMES: tuple[str, ...] = tuple(EXTRA_REGISTRY)
@@ -80,12 +84,16 @@ EXTRA_APP_NAMES: tuple[str, ...] = tuple(EXTRA_REGISTRY)
 # Lint fixtures: deliberately rule-violating jobs kept out of the
 # benchmark registries (they exist to be *rejected* by `repro lint`,
 # never measured), but reachable by name so the CLI can demo findings.
-from .unsafe import build_unsafewordcount  # noqa: E402
+from .unsafe import build_unsafeopt, build_unsafewordcount  # noqa: E402
 
 FIXTURE_REGISTRY: dict[str, AppEntry] = {
     "unsafewordcount": AppEntry(
         "unsafewordcount", build_unsafewordcount, True,
         "WordCount variant violating every lint rule (analyzer fixture)",
+    ),
+    "unsafeopt": AppEntry(
+        "unsafeopt", build_unsafeopt, True,
+        "job defeating every optimizer rewrite rule (optimizer fixture)",
     ),
 }
 

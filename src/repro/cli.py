@@ -123,6 +123,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         Keys.EXEC_LIVE_PIPELINE: args.live_pipeline,
         Keys.SHUFFLE_MODE: args.shuffle,
         Keys.LINT_MODE: args.lint,
+        Keys.LINT_OPT_MODE: args.opt,
     }
     if args.shuffle_fetchers is not None:
         extra[Keys.SHUFFLE_FETCHERS] = args.shuffle_fetchers
@@ -181,6 +182,7 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         Keys.EXEC_WORKERS: args.workers,
         Keys.SHUFFLE_MODE: args.shuffle,
         Keys.LINT_MODE: args.lint,
+        Keys.LINT_OPT_MODE: args.opt,
     }
     if args.shuffle_fetchers is not None:
         stage_conf[Keys.SHUFFLE_FETCHERS] = args.shuffle_fetchers
@@ -240,23 +242,43 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0 if all(c.holds for c in result.claims) else 1
 
 
+def _lint_app(name: str, scale: float) -> list:
+    """Lint one registered app (fixtures are resolvable here, and only
+    here: the lint CLI exists to analyze them, never to run them)."""
+    from .lint import analyze_app
+
+    app = build_application(name, scale=scale, include_fixtures=True)
+    return [analyze_app(app)]
+
+
+def _lint_pipeline(name: str) -> list:
+    """Lint every job stage of a registered pipeline, plus its edges."""
+    from .lint import analyze_pipeline
+
+    analysis = analyze_pipeline(build_pipeline(name))
+    reports = [s.report for s in analysis.stages if s.report is not None]
+    reports.append(analysis.report)
+    return reports
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
-    from .lint import analyze_app, analyze_engine
+    from .lint import analyze_engine
 
     reports = []
     if args.app == "engine":
         reports.append(analyze_engine())
+    elif args.app == "all":
+        for name in list(REGISTRY) + list(EXTRA_REGISTRY):
+            reports.extend(_lint_app(name, args.scale))
+        for name in PIPELINE_NAMES:
+            reports.extend(_lint_pipeline(name))
+        reports.append(analyze_engine())
+    elif args.app in REGISTRY or args.app in EXTRA_REGISTRY or args.app in FIXTURE_REGISTRY:
+        # Apps win name collisions with pipelines (`pagerank` names both);
+        # the pipeline of the same name is still linted under `all`.
+        reports.extend(_lint_app(args.app, args.scale))
     else:
-        names = (
-            list(REGISTRY) + list(EXTRA_REGISTRY) if args.app == "all" else [args.app]
-        )
-        for name in names:
-            # Fixtures are resolvable here (and only here): the lint CLI
-            # exists to analyze them, never to run them.
-            app = build_application(name, scale=args.scale, include_fixtures=True)
-            reports.append(analyze_app(app))
-        if args.app == "all":
-            reports.append(analyze_engine())
+        reports.extend(_lint_pipeline(args.app))
 
     if args.json:
         print(json.dumps([r.as_dict() for r in reports], indent=2))
@@ -264,6 +286,48 @@ def cmd_lint(args: argparse.Namespace) -> int:
         for report in reports:
             print(render_lint_report(report))
     return 1 if any(r.has_errors for r in reports) else 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis.report import render_pipeline_analysis
+    from .lint import analyze_app, analyze_pipeline, plan_job
+
+    app_names: list[str] = []
+    pipeline_names: list[str] = []
+    if args.subject == "all":
+        # Registered apps + every pipeline; fixtures only by explicit name
+        # (they exist to be rejected, so `all` must stay green in CI).
+        app_names = list(REGISTRY) + list(EXTRA_REGISTRY)
+        pipeline_names = list(PIPELINE_NAMES)
+    elif (
+        args.subject in REGISTRY
+        or args.subject in EXTRA_REGISTRY
+        or args.subject in FIXTURE_REGISTRY
+    ):
+        app_names = [args.subject]
+    else:
+        pipeline_names = [args.subject]
+
+    reports = []
+    analyses = []
+    for name in app_names:
+        app = build_application(name, scale=args.scale, include_fixtures=True)
+        report = analyze_app(app)
+        report.plan = plan_job(app.job, subject=name, mode="advise")
+        reports.append(report)
+    for name in pipeline_names:
+        analyses.append(analyze_pipeline(build_pipeline(name)))
+
+    if args.json:
+        payload = [r.as_dict() for r in reports] + [a.as_dict() for a in analyses]
+        print(json.dumps(payload, indent=2))
+    else:
+        for report in reports:
+            print(render_lint_report(report))
+        for analysis in analyses:
+            print(render_pipeline_analysis(analysis))
+    failed = any(r.has_errors for r in reports) or any(a.has_errors for a in analyses)
+    return 1 if failed else 0
 
 
 def _parse_conf_value(text: str):
@@ -501,6 +565,11 @@ def main(argv: list[str] | None = None) -> int:
              "gates unproven optimizations, strict refuses unsafe jobs",
     )
     run_parser.add_argument(
+        "--opt", choices=("off", "advise", "apply"), default="off",
+        help="static optimizer at submit: advise records the rewrite "
+             "plan, apply runs the equivalently rewritten job",
+    )
+    run_parser.add_argument(
         "--json", action="store_true",
         help="emit a machine-readable job record (stamp, digest, counters)",
     )
@@ -534,6 +603,10 @@ def main(argv: list[str] | None = None) -> int:
         help="static job-safety analysis applied at every stage's submit",
     )
     pipe_parser.add_argument(
+        "--opt", choices=("off", "advise", "apply"), default="off",
+        help="static optimizer applied at every stage's submit",
+    )
+    pipe_parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the content-hash result cache (recompute every stage)",
     )
@@ -565,15 +638,41 @@ def main(argv: list[str] | None = None) -> int:
     )
     lint_parser.add_argument(
         "app",
-        choices=APP_NAMES + EXTRA_APP_NAMES + tuple(FIXTURE_REGISTRY) + ("all", "engine"),
-        help="an application, 'all' (every registered app + engine "
-             "self-lint), or 'engine' (thread-contract self-lint only)",
+        choices=tuple(dict.fromkeys(
+            APP_NAMES + EXTRA_APP_NAMES + tuple(FIXTURE_REGISTRY)
+            + PIPELINE_NAMES + ("all", "engine")
+        )),
+        help="an application, a pipeline (lints every stage job), 'all' "
+             "(every registered app + pipeline + engine self-lint), or "
+             "'engine' (thread-contract self-lint only)",
     )
     lint_parser.add_argument("--scale", type=float, default=0.01,
                              help="dataset scale used to materialize the job")
     lint_parser.add_argument("--json", action="store_true",
                              help="emit machine-readable reports")
     lint_parser.set_defaults(fn=cmd_lint)
+
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="static optimizer: per-job rewrite plans and whole-pipeline "
+             "dataflow analysis",
+    )
+    analyze_parser.add_argument(
+        "subject",
+        choices=tuple(dict.fromkeys(
+            APP_NAMES + EXTRA_APP_NAMES + tuple(FIXTURE_REGISTRY)
+            + PIPELINE_NAMES + ("all",)
+        )),
+        help="an application (advise-mode optimization plan), a pipeline "
+             "(per-stage plans + handoff type-flow and cache checks), or "
+             "'all' (every registered app and pipeline; fixtures only by "
+             "explicit name)",
+    )
+    analyze_parser.add_argument("--scale", type=float, default=0.01,
+                                help="dataset scale used to materialize the job")
+    analyze_parser.add_argument("--json", action="store_true",
+                                help="emit machine-readable plans and reports")
+    analyze_parser.set_defaults(fn=cmd_analyze)
 
     serve_parser = sub.add_parser(
         "serve", help="run the multi-tenant job service daemon"

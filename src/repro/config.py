@@ -68,6 +68,12 @@ class Keys:
     # --- static job-safety analysis (repro.lint) ---
     LINT_MODE = "repro.lint.mode"  # off | warn | strict
 
+    # --- static optimizer (repro.lint.opt) ---
+    LINT_OPT_MODE = "repro.lint.opt.mode"  # off | advise | apply
+    LINT_OPT_SELECT = "repro.lint.opt.select"  # selection pushdown rule
+    LINT_OPT_PROJECT = "repro.lint.opt.project"  # projection pruning rule
+    LINT_OPT_SYNTH = "repro.lint.opt.synth"  # auto-combiner synthesis rule
+
     # --- dataflow pipelines (repro.dag) ---
     PIPELINE_CACHE = "repro.pipeline.cache.enabled"  # skip unchanged stages
     PIPELINE_CACHE_DIR = "repro.pipeline.cache.dir"  # "" = in-memory only
@@ -146,6 +152,10 @@ DEFAULTS: dict[str, Any] = {
     Keys.FAULTS_SEED: 1234,
     Keys.FAULTS_DELAY: 0.05,
     Keys.LINT_MODE: "off",
+    Keys.LINT_OPT_MODE: "off",
+    Keys.LINT_OPT_SELECT: True,
+    Keys.LINT_OPT_PROJECT: True,
+    Keys.LINT_OPT_SYNTH: True,
     Keys.PIPELINE_CACHE: True,
     Keys.PIPELINE_CACHE_DIR: "",
     Keys.PIPELINE_MAX_CONCURRENT: 4,

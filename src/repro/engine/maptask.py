@@ -116,6 +116,8 @@ class MapTaskRunner:
 
         mapper = job.mapper_factory()
         emit = self.collector.collect
+        if job.value_projection is not None:
+            emit = self._projecting_emit(emit, job.value_projection)
 
         try:
             mapper.setup()
@@ -125,6 +127,19 @@ class MapTaskRunner:
         split_length = max(1, self.split.length)
         consumed_total = 0
         for key, value, consumed in job.input_format.record_reader(self.split):
+            if key is None:
+                # Pushed-down selection filtered this record at the
+                # reader: the bytes were scanned but no writables were
+                # built and the mapper never runs — charge the read,
+                # keep progress honest, and count the skip.
+                instruments.charge_map_thread(Op.READ, model.read_byte * consumed)
+                counters.incr(Counter.MAP_INPUT_BYTES, consumed)
+                counters.incr(Counter.OPT_SELECT_SKIPPED)
+                consumed_total += consumed
+                self.collector.note_input_progress(
+                    min(1.0, consumed_total / split_length)
+                )
+                continue
             instruments.charge_map_thread(
                 Op.READ, model.read_byte * consumed + model.deserialize_record
             )
@@ -166,3 +181,26 @@ class MapTaskRunner:
             pipeline=pipeline_result,
             host=self.host,
         )
+
+    def _projecting_emit(self, collect, projection):
+        """Wrap the collector's collect() with the optimizer's field
+        projection: dead fields of Text values are blanked before the
+        value is serialized, and the byte saving is counted.  Non-Text
+        values pass through untouched (the proof only covers Text)."""
+        from ..serde.text import Text
+
+        counters = self.counters
+
+        def emit(key, value):
+            if isinstance(value, Text):
+                projected = projection.project(value.value)
+                if projected != value.value:
+                    slim = Text(projected)
+                    counters.incr(
+                        Counter.OPT_PROJ_BYTES_SAVED,
+                        max(0, value.serialized_size() - slim.serialized_size()),
+                    )
+                    value = slim
+            collect(key, value)
+
+        return emit

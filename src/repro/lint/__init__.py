@@ -35,14 +35,28 @@ from __future__ import annotations
 
 from .engine import analyze_app, analyze_engine, analyze_job, gate_job
 from .findings import Finding, GatingDecision, LintReport, Severity
+from .opt import (
+    OptimizationPlan,
+    PipelineAnalysis,
+    PlanDecision,
+    analyze_pipeline,
+    apply_plan,
+    plan_job,
+)
 
 __all__ = [
     "Finding",
     "GatingDecision",
     "LintReport",
+    "OptimizationPlan",
+    "PipelineAnalysis",
+    "PlanDecision",
     "Severity",
     "analyze_app",
     "analyze_engine",
     "analyze_job",
+    "analyze_pipeline",
+    "apply_plan",
     "gate_job",
+    "plan_job",
 ]

@@ -1,0 +1,126 @@
+"""Plan types: what the optimizer decided, and why.
+
+An :class:`OptimizationPlan` is the per-job artifact of the static
+optimizer pass — one :class:`PlanDecision` per rule (selection
+pushdown, projection pruning, combiner synthesis), each either
+proposing a rewrite or explaining, with a source anchor, why the rule
+does not apply.  ``advise`` mode stops here; ``apply`` mode turns the
+proposals into an equivalent rewritten job and flips their action to
+``applied``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...serde.projection import FieldProjection
+    from .synth import FoldCombinerFactory
+
+#: Optimization names (PlanDecision.optimization).
+OPT_SELECT = "select-pushdown"
+OPT_PROJECT = "projection"
+OPT_SYNTH = "auto-combiner"
+
+#: Decision actions.
+ACTION_ADVISED = "advised"  # rewrite proven safe; advise mode stops here
+ACTION_APPLIED = "applied"  # rewrite installed on the job that will run
+ACTION_REJECTED = "rejected"  # analysis found a defeater (reason + anchor)
+ACTION_SKIPPED = "skipped"  # rule not applicable to this job's shape
+ACTION_DISABLED = "disabled"  # switched off by repro.lint.opt.* conf
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """One optimizer verdict, :class:`GatingDecision`-shaped but anchored.
+
+    Rejections carry the ``file:line`` of the construct that defeated
+    the rule — the same honesty contract as lint findings, so tests and
+    users can point at the exact statement to change.
+    """
+
+    optimization: str  # OPT_SELECT | OPT_PROJECT | OPT_SYNTH | pipeline rules
+    action: str  # ACTION_* above
+    reason: str
+    file: str = ""
+    line: int = 0
+    detail: str = ""  # predicate source / projection spec / fold template
+
+    @property
+    def anchor(self) -> str:
+        return f"{self.file}:{self.line}" if self.file else ""
+
+    def describe(self) -> str:
+        where = f" at {self.anchor}" if self.file else ""
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"{self.optimization} {self.action}: {self.reason}{where}{extra}"
+
+    def as_dict(self) -> dict:
+        return {
+            "optimization": self.optimization,
+            "action": self.action,
+            "reason": self.reason,
+            "file": self.file,
+            "line": self.line,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class OptimizationPlan:
+    """The optimizer's verdicts plus the rewrite artifacts for one job."""
+
+    subject: str
+    mode: str  # "advise" | "apply"
+    decisions: list[PlanDecision] = field(default_factory=list)
+    #: Compiled keep-predicate source for selection pushdown (``None``
+    #: when the rule rejected or was skipped/disabled).
+    predicate_source: str | None = None
+    #: The projection proven safe for this job's map-output values.
+    projection: "FieldProjection | None" = None
+    #: Picklable factory for the synthesized combiner.
+    synthesized_combiner: "FoldCombinerFactory | None" = None
+
+    def decision_for(self, optimization: str) -> PlanDecision | None:
+        for decision in self.decisions:
+            if decision.optimization == optimization:
+                return decision
+        return None
+
+    def mark_applied(self, optimization: str) -> None:
+        """Flip a proposal's action to ``applied`` (apply mode only)."""
+        self.decisions = [
+            replace(d, action=ACTION_APPLIED)
+            if d.optimization == optimization and d.action == ACTION_ADVISED
+            else d
+            for d in self.decisions
+        ]
+
+    @property
+    def applied(self) -> list[PlanDecision]:
+        return [d for d in self.decisions if d.action == ACTION_APPLIED]
+
+    @property
+    def proposals(self) -> list[PlanDecision]:
+        return [
+            d for d in self.decisions if d.action in (ACTION_ADVISED, ACTION_APPLIED)
+        ]
+
+    def as_dict(self) -> dict:
+        return {
+            "subject": self.subject,
+            "mode": self.mode,
+            "decisions": [d.as_dict() for d in self.decisions],
+            "predicate_source": self.predicate_source,
+            "projection": self.projection.as_dict() if self.projection else None,
+            "synthesized_combiner": (
+                self.synthesized_combiner.describe()
+                if self.synthesized_combiner
+                else None
+            ),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)

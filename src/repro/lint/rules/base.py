@@ -112,6 +112,10 @@ MUTATOR_METHODS = frozenset(
         "discard",
         "clear",
         "__setitem__",
+        # deque mutators (the DRR queue's ring is a deque)
+        "popleft",
+        "appendleft",
+        "rotate",
     }
 )
 

@@ -65,8 +65,11 @@ class ThreadContract:
 def _default_contracts() -> tuple[ThreadContract, ...]:
     # Imported lazily so `repro.lint` does not drag the execution stack
     # in at import time (core already layers on engine).
+    from ...cluster.runtime.membership import Membership
+    from ...dag.cache import SingleFlight
     from ...engine.collector import StandardCollector
     from ...exec.livepipeline import LiveStandardCollector
+    from ...serve.queue import FairQueue
 
     return (
         # The modelled collector's consume path doubles as the live
@@ -90,6 +93,37 @@ def _default_contracts() -> tuple[ThreadContract, ...]:
             shared_writes=("_support_error", "_spill_target", "spill_indices"),
             support_private=("_support_instruments", "_support_counters", "_support_combiner"),
             join_methods=("__init__", "_join_support", "abort"),
+        ),
+        # The dataflow cache's single-flight table: every method may run
+        # on any pipeline scheduler thread; under the lock the only
+        # mutable state is the flights dict itself.
+        ThreadContract(
+            cls=SingleFlight,
+            support_methods=("begin", "done", "in_flight"),
+            shared_writes=("_flights",),
+        ),
+        # The job service's deficit-round-robin queue: submission
+        # handlers push while scheduler threads pop/drain; all mutation
+        # stays within the four lock-guarded structures (per-lane state
+        # hangs off _lanes values, not off self).
+        ThreadContract(
+            cls=FairQueue,
+            support_methods=(
+                "push", "pop", "_pop_drr", "close", "drain", "__len__", "queued_for",
+            ),
+            shared_writes=("_lanes", "_ring", "_size", "_closed"),
+        ),
+        # The cluster master's membership table: ping-handler threads
+        # and the scheduling loop share it; only the worker-record dict
+        # is ever (re)bound on self — state transitions mutate the
+        # records it holds, under the same lock.
+        ThreadContract(
+            cls=Membership,
+            support_methods=(
+                "register", "heartbeat", "mark_dead", "sweep",
+                "get", "records", "alive", "schedulable",
+            ),
+            shared_writes=("_workers",),
         ),
     )
 

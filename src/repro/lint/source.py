@@ -41,12 +41,35 @@ class ClassSource:
                 yield stmt
 
 
+#: Bound on ``__wrapped__`` unwrapping — defends against cycles.
+_MAX_UNWRAP = 8
+
+
+def _unwrap(cls: type) -> type:
+    """Follow ``__wrapped__`` to the class a decorator hid.
+
+    Decorators that replace a class (registration wrappers,
+    ``functools.wraps``-style shims) conventionally point back at the
+    original via ``__wrapped__``; the wrapper itself usually has no
+    retrievable source, so anchors would silently degrade to
+    ``<unknown>:0`` without this hop."""
+    for _ in range(_MAX_UNWRAP):
+        wrapped = getattr(cls, "__wrapped__", None)
+        if not isinstance(wrapped, type) or wrapped is cls:
+            return cls
+        cls = wrapped
+    return cls
+
+
 def class_source(cls: type) -> ClassSource | None:
     """Resolve a class to its parsed source, or ``None`` if impossible."""
+    cls = _unwrap(cls)
     try:
         file = introspect.getsourcefile(cls)
         lines, start = introspect.getsourcelines(cls)
-    except (OSError, TypeError):
+    except (OSError, TypeError, ValueError):
+        # ValueError: inspect refuses __wrapped__ cycles it detects
+        # itself (our _unwrap bails out of them, inspect's raises).
         return None
     if file is None:
         return None
@@ -67,13 +90,14 @@ def class_source(cls: type) -> ClassSource | None:
 
 def class_location(cls: type) -> tuple[str, int]:
     """Best-effort ``(file, line)`` for a class, even when unparsable."""
+    cls = _unwrap(cls)
     try:
         file = introspect.getsourcefile(cls) or "<unknown>"
     except TypeError:
         file = "<unknown>"
     try:
         _, line = introspect.getsourcelines(cls)
-    except (OSError, TypeError):
+    except (OSError, TypeError, ValueError):
         line = 0
     return file, line
 

@@ -1,0 +1,46 @@
+"""Projection-aware value pruning for delimited Text map outputs.
+
+The static optimizer (:mod:`repro.lint.opt`) proves which fields of a
+job's delimited map-output values the downstream combine/reduce code
+ever reads; a :class:`FieldProjection` is the runtime artifact of that
+proof.  Applied at emit time, it blanks the dead fields while keeping
+the field *count* (and the delimiter layout) intact, so every
+``value.split(delim)[i]`` the consumer performs still lands on the same
+position — the rewrite changes intermediate bytes, never final output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FieldProjection:
+    """Keep only the listed field positions of a delimited value.
+
+    Positions are 0-based indices into ``text.split(delimiter)``.
+    Fields outside ``keep`` become empty strings; the delimiters stay,
+    preserving positional addressing for the consumer.
+    """
+
+    delimiter: str
+    keep: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if not self.delimiter:
+            raise ValueError("projection delimiter must be non-empty")
+        if any(i < 0 for i in self.keep):
+            raise ValueError(f"projection keeps negative field index: {sorted(self.keep)}")
+
+    def project(self, text: str) -> str:
+        parts = text.split(self.delimiter)
+        return self.delimiter.join(
+            part if i in self.keep else "" for i, part in enumerate(parts)
+        )
+
+    def describe(self) -> str:
+        fields = ",".join(str(i) for i in sorted(self.keep))
+        return f"keep fields [{fields}] of {self.delimiter!r}-delimited values"
+
+    def as_dict(self) -> dict:
+        return {"delimiter": self.delimiter, "keep": sorted(self.keep)}

@@ -16,6 +16,11 @@ def test_shipped_engine_contracts_hold():
     # self-lint is distinguishable from a passing one.
     assert any("StandardCollector" in note for note in report.notes)
     assert any("LiveStandardCollector" in note for note in report.notes)
+    # The lock-guarded shared structures of the dag/serve/cluster layers
+    # are contracted too.
+    assert any("SingleFlight" in note for note in report.notes)
+    assert any("FairQueue" in note for note in report.notes)
+    assert any("Membership" in note for note in report.notes)
 
 
 class LeakyWorker:

@@ -1,0 +1,47 @@
+"""Source anchors survive class-replacing decorators via ``__wrapped__``."""
+
+from __future__ import annotations
+
+from repro.lint.source import class_location, class_source
+from repro.serde.text import Text
+
+
+class RealMapperClass:
+    def map(self, key, value, emit):
+        emit(Text(value.value), Text(value.value))
+
+
+def wrapperize(cls: type) -> type:
+    """A registration-style decorator: replaces the class with a
+    ``type()``-manufactured shim that points back via ``__wrapped__``."""
+    return type(cls.__name__, (cls,), {"__wrapped__": cls, "__module__": "synthetic"})
+
+
+def test_class_source_unwraps_to_the_real_definition():
+    wrapper = wrapperize(RealMapperClass)
+    source = class_source(wrapper)
+    assert source is not None
+    assert source.cls is RealMapperClass
+    assert source.file.endswith("test_source_unwrap.py")
+    assert source.method("map") is not None
+
+
+def test_class_location_unwraps_too():
+    wrapper = wrapperize(RealMapperClass)
+    file, line = class_location(wrapper)
+    assert file.endswith("test_source_unwrap.py")
+    assert line > 0
+
+
+def test_unwrap_is_cycle_safe():
+    wrapper = wrapperize(RealMapperClass)
+    wrapper.__wrapped__ = wrapper  # self-cycle must not hang or recurse
+    file, _ = class_location(wrapper)
+    assert isinstance(file, str)
+
+
+def test_double_wrapping_unwraps_fully():
+    inner = wrapperize(RealMapperClass)
+    outer = wrapperize(inner)
+    source = class_source(outer)
+    assert source is not None and source.cls is RealMapperClass

@@ -1,0 +1,178 @@
+"""k-means clustering as an iterative MapReduce pipeline.
+
+The second canonical iterative workload next to PageRank, and the same
+driver shape: a static dataset (the point cloud) plus an evolving state
+dataset (the centroids), re-run until the state stops moving.
+
+One Lloyd's step per iteration:
+
+* **map** — assign each point to its nearest current centroid (ties to
+  the lowest centroid index) and emit the point under that centroid's
+  key; also re-emit every centroid as a keep-alive record so a cluster
+  that captures no points this round keeps its position instead of
+  vanishing from the state.
+* **reduce** — the centroid recompute happens entirely reduce-side: sum
+  the member points per centroid and emit the mean as the new centroid.
+  There is deliberately no combiner; partial means are easy to get
+  subtly wrong (weights!) and the reduce-side totals keep the arithmetic
+  trivially comparable to the numpy reference
+  (:func:`~repro.data.points.reference_kmeans_iteration`).
+
+The mapper needs the current centroids, which change every iteration —
+that is what ``functools.partial`` in the stage builder carries, and why
+:func:`~repro.engine.job.source_fingerprint` knows how to fingerprint
+partials (the bound centroid text must participate in job identity, or
+every iteration would wrongly hit the previous iteration's cache entry).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..engine.api import Emitter, Mapper, Reducer
+from ..engine.costmodel import UserCodeCosts
+from ..engine.inputformat import TextInput
+from ..engine.job import JobSpec
+from ..serde.text import Text
+from ..serde.writable import Writable
+from .base import make_conf
+
+#: Stop when no centroid coordinate moved more than this between
+#: iterations.  State coordinates render at 12 significant digits
+#: (``%.12e``), far below the bound.
+KMEANS_TOLERANCE = 1e-6
+KMEANS_MAX_ITERATIONS = 50
+
+KMEANS_COSTS = UserCodeCosts(
+    map_record=420.0, map_byte=2.0, combine_record=20.0, reduce_record=90.0
+)
+
+
+def parse_centroids(state: bytes) -> list[tuple[float, ...]]:
+    """``index<TAB>x,y,...`` lines -> coordinate tuples in index order."""
+    centroids: list[tuple[int, tuple[float, ...]]] = []
+    for line in state.decode("utf-8").splitlines():
+        if not line:
+            continue
+        index_text, coords_text = line.split("\t")
+        centroids.append(
+            (int(index_text), tuple(float(c) for c in coords_text.split(",")))
+        )
+    centroids.sort()
+    return [coords for _index, coords in centroids]
+
+
+def render_centroids(centroids: Iterable[tuple[float, ...]]) -> bytes:
+    """Coordinate tuples -> the ``index<TAB>x,y,...`` state format."""
+    lines = [
+        f"{index:04d}\t" + ",".join(f"{value:.12e}" for value in coords)
+        for index, coords in enumerate(centroids)
+    ]
+    return ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
+
+
+def initial_centroids(points_data: bytes, clusters: int) -> bytes:
+    """Deterministic seeding: the first *clusters* points, verbatim —
+    the same rule the numpy reference test uses."""
+    coords = []
+    for line in points_data.decode("utf-8").splitlines():
+        if not line:
+            continue
+        coords.append(tuple(float(c) for c in line.split(",")))
+        if len(coords) == clusters:
+            break
+    if len(coords) < clusters:
+        raise ValueError(
+            f"need at least {clusters} points to seed centroids, "
+            f"got {len(coords)}"
+        )
+    return render_centroids(iter(coords))
+
+
+class KMeansMapper(Mapper):
+    """Assign each point to its nearest centroid (ties: lowest index)."""
+
+    def __init__(self, centroids_text: str) -> None:
+        self.centroids = parse_centroids(centroids_text.encode("utf-8"))
+        self._sent_keepalive = False
+
+    def map(self, key: Writable, value: Writable, emit: Emitter) -> None:
+        line = value.value  # type: ignore[attr-defined]
+        if not line:
+            return
+        if not self._sent_keepalive:
+            # Once per map task: keep every centroid alive so empty
+            # clusters survive the round with their old position.
+            for index, coords in enumerate(self.centroids):
+                keep = ",".join(f"{c:.12e}" for c in coords)
+                emit(Text(f"{index:04d}"), Text(f"K:{keep}"))
+            self._sent_keepalive = True
+        point = tuple(float(c) for c in line.split(","))
+        best, best_distance = 0, float("inf")
+        for index, centroid in enumerate(self.centroids):
+            distance = sum((p - c) ** 2 for p, c in zip(point, centroid))
+            if distance < best_distance:
+                best, best_distance = index, distance
+        emit(Text(f"{best:04d}"), Text("P:" + line))
+
+
+class KMeansReducer(Reducer):
+    """New centroid = mean of member points; keep-alive if none."""
+
+    def reduce(self, key: Writable, values: Iterator[Writable], emit: Emitter) -> None:
+        sums: list[float] | None = None
+        count = 0
+        keepalive = ""
+        for value in values:
+            text = value.value  # type: ignore[attr-defined]
+            if text.startswith("K:"):
+                keepalive = text[2:]
+                continue
+            coords = [float(c) for c in text[2:].split(",")]
+            if sums is None:
+                sums = [0.0] * len(coords)
+            for dim, coord in enumerate(coords):
+                sums[dim] += coord
+            count += 1
+        if sums is None:
+            emit(key, Text(keepalive))
+        else:
+            emit(key, Text(",".join(f"{s / count:.12e}" for s in sums)))
+
+
+def kmeans_jobspec(
+    points: bytes,
+    centroids_text: str,
+    conf_overrides: Mapping[str, Any] | None = None,
+    num_splits: int = 4,
+    path: str = "points.dat",
+    name: str = "kmeans",
+) -> JobSpec:
+    """One Lloyd's step over *points* with the given current centroids
+    (state-format text).  The reducer's output renders back into the
+    same state format, so the iterative driver feeds it straight in."""
+    split_size = max(1, len(points) // num_splits)
+    return JobSpec(
+        name=name,
+        input_format=TextInput(points, split_size=split_size, path=path),
+        mapper_factory=functools.partial(KMeansMapper, centroids_text),
+        reducer_factory=KMeansReducer,
+        combiner_factory=None,  # centroid recompute is reduce-side only
+        map_output_key_cls=Text,
+        map_output_value_cls=Text,
+        conf=make_conf(conf_overrides),
+        user_costs=KMEANS_COSTS,
+    )
+
+
+def max_centroid_shift(previous: bytes, current: bytes) -> float:
+    """Largest absolute per-coordinate centroid move between two states
+    — the convergence measure of the iterative driver."""
+    before = parse_centroids(previous)
+    after = parse_centroids(current)
+    shift = 0.0
+    for old, new in zip(before, after):
+        for old_c, new_c in zip(old, new):
+            shift = max(shift, abs(new_c - old_c))
+    return shift

@@ -14,15 +14,27 @@ provenance record than ``<lambda>``.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable
 
 from ..dag import IterativeStage, JobStage, Pipeline, SourceStage, StageContext
+from ..data.accesslog import AccessLogSpec, generate_user_visits
+from ..data.points import PointsSpec, generate_points
 from ..data.textcorpus import CorpusSpec, generate_corpus
 from ..data.webgraph import WebGraphSpec, generate_webgraph
+from ..engine.inputformat import TextInput
 from ..engine.job import JobSpec
 from .invertedindex import invertedindex_jobspec
+from .kmeans import (
+    KMEANS_MAX_ITERATIONS,
+    KMEANS_TOLERANCE,
+    initial_centroids,
+    kmeans_jobspec,
+    max_centroid_shift,
+)
 from .pagerank import max_rank_delta, pagerank_jobspec
+from .sessionize import STREAM_SPLIT_BYTES, sessionhist_jobspec, sessionize_jobspec
 from .wordcount import wordcount_jobspec
 
 #: Convergence bound for the registered PageRank pipeline: the rendered
@@ -61,6 +73,29 @@ def _pagerank_stage(ctx: StageContext) -> JobSpec:
 
 def _pagerank_converged(previous: bytes, current: bytes, iteration: int) -> bool:
     return max_rank_delta(previous, current) < PAGERANK_TOLERANCE
+
+
+def _sessionize_stage(ctx: StageContext) -> JobSpec:
+    """Sessionize the UserVisits log.  Fixed split size: the log is the
+    streaming suite's append-only input, and split-level delta reuse
+    needs stable split boundaries across appends."""
+    return sessionize_jobspec(ctx.inputs["uservisits"])
+
+
+def _sessionhist_stage(ctx: StageContext) -> JobSpec:
+    """Histogram the per-IP session counts from the sessionize table."""
+    return sessionhist_jobspec(ctx.inputs["sessionize"])
+
+
+def _kmeans_stage(ctx: StageContext) -> JobSpec:
+    """One Lloyd's step: static points + current centroid state."""
+    return kmeans_jobspec(
+        ctx.inputs["points"], ctx.inputs["centroids"].decode("utf-8")
+    )
+
+
+def _kmeans_converged(previous: bytes, current: bytes, iteration: int) -> bool:
+    return max_centroid_shift(previous, current) < KMEANS_TOLERANCE
 
 
 # ----------------------------------------------------------------------
@@ -124,6 +159,95 @@ def build_pagerank_pipeline(scale: float = 0.05, seed: int = 0) -> Pipeline:
     return pipeline
 
 
+def build_sessionize(scale: float = 0.05, seed: int = 0) -> Pipeline:
+    """uservisits -> sessionize -> sessionhist: the streaming suite's
+    log-mining pipeline, also runnable as an ordinary batch pipeline."""
+    spec = AccessLogSpec(seed=seed).scaled(scale)
+    pipeline = Pipeline("sessionize")
+    pipeline.add(
+        SourceStage(
+            "uservisits",
+            generate=lambda: generate_user_visits(spec),
+            params=spec,
+        )
+    )
+    pipeline.add(
+        JobStage("sessionize", build=_sessionize_stage, inputs=("uservisits",))
+    )
+    pipeline.add(
+        JobStage("sessionhist", build=_sessionhist_stage, inputs=("sessionize",))
+    )
+    return pipeline
+
+
+def build_kmeans_pipeline(scale: float = 0.05, seed: int = 0) -> Pipeline:
+    """points + centroids -> kmeans iterated to fixpoint.  Like PageRank
+    but with a *static* side input: only the centroid state evolves."""
+    spec = PointsSpec(seed=seed).scaled(scale)
+    pipeline = Pipeline("kmeans")
+    pipeline.add(
+        SourceStage("points", generate=lambda: generate_points(spec), params=spec)
+    )
+    pipeline.add(
+        SourceStage(
+            "centroids",
+            generate=lambda: initial_centroids(generate_points(spec), spec.clusters),
+            params=spec,
+        )
+    )
+    pipeline.add(
+        IterativeStage(
+            "kmeans",
+            build=_kmeans_stage,
+            converged=_kmeans_converged,
+            inputs=("points", "centroids"),
+            state_input="centroids",
+            max_iterations=KMEANS_MAX_ITERATIONS,
+        )
+    )
+    return pipeline
+
+
+# ----------------------------------------------------------------------
+# streaming builders (``repro stream <name>``)
+# ----------------------------------------------------------------------
+def build_sessionize_stream(snapshot: bytes) -> Pipeline:
+    """The sessionize pipeline over one input-file snapshot."""
+    from ..stream.driver import snapshot_source
+
+    pipeline = Pipeline("sessionize")
+    pipeline.add(snapshot_source("uservisits", snapshot))
+    pipeline.add(
+        JobStage("sessionize", build=_sessionize_stage, inputs=("uservisits",))
+    )
+    pipeline.add(
+        JobStage("sessionhist", build=_sessionhist_stage, inputs=("sessionize",))
+    )
+    return pipeline
+
+
+def _wordcount_stream_stage(ctx: StageContext) -> JobSpec:
+    """WordCount with a fixed split size (append-stable boundaries)."""
+    return dataclasses.replace(
+        wordcount_jobspec(ctx.inputs["corpus"], path="corpus.txt"),
+        input_format=TextInput(
+            ctx.inputs["corpus"], split_size=STREAM_SPLIT_BYTES, path="corpus.txt"
+        ),
+    )
+
+
+def build_wordcount_stream(snapshot: bytes) -> Pipeline:
+    """WordCount over one snapshot of an append-only text corpus."""
+    pipeline = Pipeline("wordcount")
+    from ..stream.driver import snapshot_source
+
+    pipeline.add(snapshot_source("corpus", snapshot))
+    pipeline.add(
+        JobStage("wordcount", build=_wordcount_stream_stage, inputs=("corpus",))
+    )
+    return pipeline
+
+
 # ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
@@ -149,9 +273,60 @@ PIPELINE_REGISTRY: dict[str, PipelineEntry] = {
         "pagerank", build_pagerank_pipeline,
         "crawl -> pagerank iterated to fixpoint (iterative driver)",
     ),
+    "sessionize": PipelineEntry(
+        "sessionize", build_sessionize,
+        "uservisits -> sessionize -> sessionhist (log mining)",
+    ),
+    "kmeans": PipelineEntry(
+        "kmeans", build_kmeans_pipeline,
+        "points + centroids -> kmeans iterated to fixpoint",
+    ),
 }
 
 PIPELINE_NAMES: tuple[str, ...] = tuple(PIPELINE_REGISTRY)
+
+
+@dataclass(frozen=True)
+class StreamEntry:
+    """Registry metadata for one streamable pipeline: a builder from an
+    input-file snapshot, plus the generator used to seed demo inputs."""
+
+    name: str
+    builder: Callable[[bytes], Pipeline]
+    generate: Callable[[float, int], bytes]
+    description: str
+
+
+def _generate_uservisits(scale: float, seed: int) -> bytes:
+    return generate_user_visits(AccessLogSpec(seed=seed).scaled(scale))
+
+
+def _generate_corpus(scale: float, seed: int) -> bytes:
+    return generate_corpus(CorpusSpec(seed=seed).scaled(scale))
+
+
+STREAM_REGISTRY: dict[str, StreamEntry] = {
+    "sessionize": StreamEntry(
+        "sessionize", build_sessionize_stream, _generate_uservisits,
+        "tail a UserVisits log -> sessionize -> sessionhist",
+    ),
+    "wordcount": StreamEntry(
+        "wordcount", build_wordcount_stream, _generate_corpus,
+        "tail a text corpus -> wordcount",
+    ),
+}
+
+STREAM_NAMES: tuple[str, ...] = tuple(STREAM_REGISTRY)
+
+
+def build_stream(name: str) -> StreamEntry:
+    """Look up a streamable pipeline by name."""
+    try:
+        return STREAM_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stream {name!r}; have {sorted(STREAM_REGISTRY)}"
+        ) from None
 
 
 def build_pipeline(name: str, scale: float = 0.05, seed: int = 0) -> Pipeline:

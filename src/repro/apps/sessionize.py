@@ -1,0 +1,203 @@
+"""Sessionization over the UserVisits access log — the streaming-suite
+text workload.
+
+The classic log-mining pipeline: group a visit log by source IP, order
+each IP's visits by time, and cut the ordered run into *sessions*
+wherever the gap between consecutive visits exceeds a threshold.  A
+second stage histograms the per-IP session counts.  Both stages are
+line-oriented text jobs over the Pavlo-style UserVisits table
+(:mod:`repro.data.accesslog`), which is exactly the shape the split
+manifest wants: an append-only log where yesterday's splits never
+change.
+
+Two delta-relevant design points:
+
+* The sessionize reduce is **order-sensitive** (it sorts, then scans for
+  gaps), so there is deliberately no combiner — gap-cutting is not
+  associative.  The lint layer classifies that as combiner-free, which
+  keeps the job eligible for split-level delta recompute.
+* ``sessionize_jobspec`` takes an explicit ``split_size`` (defaulting to
+  the fixed :data:`STREAM_SPLIT_BYTES`) rather than deriving it from the
+  data length.  A derived split size moves *every* split boundary when
+  the log grows, which silently defeats split reuse; a fixed size keeps
+  all fully-contained old splits byte-identical across appends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from ..engine.api import Combiner, Emitter, Mapper, Reducer
+from ..engine.costmodel import UserCodeCosts
+from ..engine.inputformat import TextInput
+from ..engine.job import JobSpec
+from ..serde.numeric import VIntWritable
+from ..serde.text import Text
+from ..serde.writable import Writable
+from .base import make_conf
+
+#: Visits by one IP further apart than this many days start a new
+#: session.  The generator spreads dates over one year, so a week-sized
+#: gap yields a realistic mix of one- and multi-session IPs.
+SESSION_GAP_DAYS = 7
+
+#: Fixed input split size for streaming runs (see the module docstring:
+#: a data-derived size would shift every boundary on append).
+STREAM_SPLIT_BYTES = 32 * 1024
+
+SESSIONIZE_COSTS = UserCodeCosts(
+    map_record=250.0, map_byte=2.0, combine_record=20.0, reduce_record=60.0
+)
+
+SESSIONHIST_COSTS = UserCodeCosts(
+    map_record=180.0, map_byte=2.0, combine_record=18.0, reduce_record=18.0
+)
+
+
+def visit_day(date: str) -> int:
+    """Day-of-year ordinal from the generator's ``2014-MM-DD`` dates
+    (which use uniform 31-day months; we invert exactly that)."""
+    _year, month, day = date.split("-")
+    return (int(month) - 1) * 31 + (int(day) - 1)
+
+
+class SessionizeMapper(Mapper):
+    """Parse a visit record; emit ``(sourceIP, day|adRevenue)``."""
+
+    def map(self, key: Writable, value: Writable, emit: Emitter) -> None:
+        line = value.value  # type: ignore[attr-defined]
+        if not line:
+            return
+        fields = line.split("|")
+        emit(Text(fields[0]), Text(f"{visit_day(fields[2]):03d}|{fields[3]}"))
+
+
+class SessionizeReducer(Reducer):
+    """Order one IP's visits by day and cut sessions at the gap bound.
+
+    Output: ``sourceIP -> sessions<TAB>visits<TAB>revenue`` — the
+    session count, the total visit count, and the summed ad revenue.
+    """
+
+    def reduce(self, key: Writable, values: Iterator[Writable], emit: Emitter) -> None:
+        visits = []
+        for value in values:
+            day_text, revenue_text = value.value.split("|")  # type: ignore[attr-defined]
+            visits.append((int(day_text), revenue_text))
+        visits.sort()
+        sessions = 0
+        previous_day: int | None = None
+        revenue = 0.0
+        for day, revenue_text in visits:
+            if previous_day is None or day - previous_day > SESSION_GAP_DAYS:
+                sessions += 1
+            previous_day = day
+            revenue += float(revenue_text)
+        emit(key, Text(f"{sessions}\t{len(visits)}\t{revenue:.2f}"))
+
+
+class SessionHistogramMapper(Mapper):
+    """Over sessionize output lines: emit ``(session_count, 1)``."""
+
+    def map(self, key: Writable, value: Writable, emit: Emitter) -> None:
+        line = value.value  # type: ignore[attr-defined]
+        if not line:
+            return
+        sessions = line.split("\t")[1]
+        emit(Text(f"{int(sessions):02d}"), VIntWritable(1))
+
+
+class SessionHistogramCombiner(Combiner):
+    """Pre-sum bucket counts (plain addition: fold-safe)."""
+
+    def combine(self, key: Writable, values: list[Writable], emit: Emitter) -> None:
+        emit(key, VIntWritable(sum(v.value for v in values)))  # type: ignore[attr-defined]
+
+
+class SessionHistogramReducer(Reducer):
+    """IPs per session-count bucket."""
+
+    def reduce(self, key: Writable, values: Iterator[Writable], emit: Emitter) -> None:
+        emit(key, VIntWritable(sum(v.value for v in values)))  # type: ignore[attr-defined]
+
+
+def sessionize_jobspec(
+    data: bytes,
+    conf_overrides: Mapping[str, Any] | None = None,
+    split_size: int | None = None,
+    path: str = "uservisits.dat",
+    name: str = "sessionize",
+) -> JobSpec:
+    """The sessionize job over a UserVisits table snapshot."""
+    return JobSpec(
+        name=name,
+        input_format=TextInput(
+            data, split_size=split_size or STREAM_SPLIT_BYTES, path=path
+        ),
+        mapper_factory=SessionizeMapper,
+        reducer_factory=SessionizeReducer,
+        combiner_factory=None,  # gap-cutting is order-sensitive
+        map_output_key_cls=Text,
+        map_output_value_cls=Text,
+        conf=make_conf(conf_overrides),
+        user_costs=SESSIONIZE_COSTS,
+    )
+
+
+def sessionhist_jobspec(
+    data: bytes,
+    conf_overrides: Mapping[str, Any] | None = None,
+    split_size: int | None = None,
+    path: str = "sessions.tsv",
+    name: str = "sessionhist",
+) -> JobSpec:
+    """The histogram job over sessionize's rendered output."""
+    return JobSpec(
+        name=name,
+        input_format=TextInput(
+            data, split_size=split_size or STREAM_SPLIT_BYTES, path=path
+        ),
+        mapper_factory=SessionHistogramMapper,
+        reducer_factory=SessionHistogramReducer,
+        combiner_factory=SessionHistogramCombiner,
+        map_output_key_cls=Text,
+        map_output_value_cls=VIntWritable,
+        conf=make_conf(conf_overrides),
+        user_costs=SESSIONHIST_COSTS,
+    )
+
+
+# ----------------------------------------------------------------------
+# oracles
+# ----------------------------------------------------------------------
+def reference_sessionize(data: bytes) -> dict[str, str]:
+    """Naive sessionization of a UserVisits table:
+    ``sourceIP -> "sessions<TAB>visits<TAB>revenue"``."""
+    per_ip: dict[str, list[tuple[int, str]]] = {}
+    for line in data.decode("utf-8").splitlines():
+        if not line:
+            continue
+        fields = line.split("|")
+        per_ip.setdefault(fields[0], []).append((visit_day(fields[2]), fields[3]))
+    out: dict[str, str] = {}
+    for ip, visits in per_ip.items():
+        visits.sort()
+        sessions = 0
+        previous: int | None = None
+        revenue = 0.0
+        for day, revenue_text in visits:
+            if previous is None or day - previous > SESSION_GAP_DAYS:
+                sessions += 1
+            previous = day
+            revenue += float(revenue_text)
+        out[ip] = f"{sessions}\t{len(visits)}\t{revenue:.2f}"
+    return out
+
+
+def reference_histogram(sessions: Mapping[str, str]) -> dict[str, int]:
+    """Bucketed session counts from :func:`reference_sessionize`."""
+    out: dict[str, int] = {}
+    for summary in sessions.values():
+        count = int(summary.split("\t")[0])
+        out[f"{count:02d}"] = out.get(f"{count:02d}", 0) + 1
+    return out

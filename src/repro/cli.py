@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli run wordcount --backend process --shuffle net --shuffle-fetchers 8
     python -m repro.cli pipeline textindex --backend thread
     python -m repro.cli pipeline pagerank --scale 0.03
+    python -m repro.cli stream sessionize --input visits.log --state-dir .stream --generate
     python -m repro.cli cluster invertedindex --cluster local --config freq --gantt
     python -m repro.cli experiment table3
     python -m repro.cli lint wordcount
@@ -19,7 +20,9 @@ Usage::
 ``run`` executes an application on the single-node engine and prints
 output stats plus the work breakdown; ``pipeline`` runs a registered
 multi-job dataflow pipeline (``repro.dag``) with per-stage result
-caching; ``cluster`` runs an app on a simulated cluster with optional
+caching; ``stream`` tails an append-only input with the micro-batch
+driver (``repro.stream``), recomputing only new/changed splits per
+batch and publishing versioned outputs; ``cluster`` runs an app on a simulated cluster with optional
 Gantt chart; ``experiment`` regenerates one of the paper's
 tables/figures; ``lint`` statically analyzes an application's user code
 against the job-safety rule catalog (``all`` sweeps every registered
@@ -42,8 +45,16 @@ from .analysis.report import (
     render_lint_report,
     render_pipeline_report,
     render_shuffle_traffic,
+    render_stream_report,
 )
-from .apps.pipelines import PIPELINE_NAMES, PIPELINE_REGISTRY, build_pipeline
+from .apps.pipelines import (
+    PIPELINE_NAMES,
+    PIPELINE_REGISTRY,
+    STREAM_NAMES,
+    STREAM_REGISTRY,
+    build_pipeline,
+    build_stream,
+)
 from .apps.registry import (
     APP_NAMES,
     EXTRA_APP_NAMES,
@@ -213,6 +224,53 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         return 0 if result.ok else 1
     print(render_pipeline_report(result))
     return 0 if result.ok else 1
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    import os
+
+    from .config import JobConf
+    from .stream import StreamDriver
+
+    entry = build_stream(args.name)
+    if not os.path.exists(args.input):
+        if not args.generate:
+            print(
+                f"input file {args.input!r} does not exist "
+                f"(pass --generate to seed it)",
+                file=sys.stderr,
+            )
+            return 2
+        with open(args.input, "wb") as handle:
+            handle.write(entry.generate(args.scale, 0))
+        print(f"seeded {args.input} ({os.path.getsize(args.input)} bytes)")
+    conf = JobConf({
+        Keys.STREAM_STATE_DIR: args.state_dir,
+        Keys.STREAM_POLL_INTERVAL: args.poll_interval,
+        Keys.STREAM_MIN_BATCH_BYTES: args.min_batch_bytes,
+        Keys.STREAM_RETAIN_VERSIONS: args.retain,
+        Keys.STREAM_MAX_BATCHES: args.max_batches,
+        Keys.STREAM_IDLE_TIMEOUT: args.idle_timeout,
+        Keys.STREAM_DELTA: not args.no_delta,
+    })
+    stage_conf = {
+        Keys.EXEC_BACKEND: args.backend,
+        Keys.EXEC_WORKERS: args.workers,
+        Keys.SHUFFLE_MODE: args.shuffle,
+        Keys.LINT_MODE: args.lint,
+        Keys.LINT_OPT_MODE: args.opt,
+    }
+    stage_conf.update(_fault_conf(args))
+    stage_conf.update(_cluster_conf(args))
+    driver = StreamDriver(
+        args.name, entry.builder, args.input, conf=conf, stage_conf=stage_conf
+    )
+    report = driver.run()
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0 if report.ok else 1
+    print(render_stream_report(report))
+    return 0 if report.ok else 1
 
 
 def cmd_cluster(args: argparse.Namespace) -> int:
@@ -475,6 +533,10 @@ def cmd_list(_args: argparse.Namespace) -> int:
     for name, pipe_entry in PIPELINE_REGISTRY.items():
         print(f"  {name:15s} {pipe_entry.description}")
     print()
+    print("streams (micro-batch tailing, `repro stream <name>`):")
+    for name, stream_entry in STREAM_REGISTRY.items():
+        print(f"  {name:15s} {stream_entry.description}")
+    print()
     print("execution backends (`repro run <app> --backend <name>`):")
     backend_blurbs = {
         "serial": "in-order, in-thread reference backend",
@@ -621,6 +683,81 @@ def main(argv: list[str] | None = None) -> int:
     _add_cluster_args(pipe_parser)
     _add_fault_args(pipe_parser)
     pipe_parser.set_defaults(fn=cmd_pipeline)
+
+    stream_parser = sub.add_parser(
+        "stream",
+        help="tail an append-only input with the micro-batch streaming driver",
+    )
+    stream_parser.add_argument("name", choices=STREAM_NAMES)
+    stream_parser.add_argument(
+        "--input", required=True,
+        help="the tailed append-only input file",
+    )
+    stream_parser.add_argument(
+        "--state-dir", required=True,
+        help="driver state directory (split manifest, stage cache, "
+             "published versions, batch watermark); reuse it across "
+             "invocations to resume where the last run stopped",
+    )
+    stream_parser.add_argument(
+        "--generate", action="store_true",
+        help="seed --input with generated data if it does not exist",
+    )
+    stream_parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="dataset scale knob for --generate",
+    )
+    stream_parser.add_argument(
+        "--backend", choices=("serial", "thread", "process", "cluster"),
+        default="serial", help="execution backend every batch's jobs run on",
+    )
+    stream_parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker count for parallel backends (0 = one per CPU)",
+    )
+    stream_parser.add_argument(
+        "--shuffle", choices=("mem", "net"), default="mem",
+        help="shuffle transport for every batch's jobs",
+    )
+    stream_parser.add_argument(
+        "--lint", choices=("off", "warn", "strict"), default="off",
+        help="static job-safety analysis applied at every job's submit",
+    )
+    stream_parser.add_argument(
+        "--opt", choices=("off", "advise", "apply"), default="off",
+        help="static optimizer applied at every job's submit",
+    )
+    stream_parser.add_argument(
+        "--poll-interval", type=float, default=0.2,
+        help="seconds between input-size polls",
+    )
+    stream_parser.add_argument(
+        "--min-batch-bytes", type=int, default=1,
+        help="new bytes required before a batch runs (first batch exempt)",
+    )
+    stream_parser.add_argument(
+        "--max-batches", type=int, default=0,
+        help="stop after this many successful batches (0 = unbounded)",
+    )
+    stream_parser.add_argument(
+        "--idle-timeout", type=float, default=5.0,
+        help="stop after this many seconds without new input (0 = never)",
+    )
+    stream_parser.add_argument(
+        "--retain", type=int, default=3,
+        help="published versions kept per dataset (older ones retire)",
+    )
+    stream_parser.add_argument(
+        "--no-delta", action="store_true",
+        help="disable split-level delta recompute (full recompute per batch)",
+    )
+    stream_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable per-batch report",
+    )
+    _add_cluster_args(stream_parser)
+    _add_fault_args(stream_parser)
+    stream_parser.set_defaults(fn=cmd_stream)
 
     cluster_parser = sub.add_parser("cluster", help="run an app on a simulated cluster")
     _add_common_app_args(cluster_parser)

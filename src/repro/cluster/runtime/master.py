@@ -394,16 +394,18 @@ class Master:
         outcomes = self._run_phase(map_tasks, reduce_mode=False)
         self._collect(map_tasks, outcomes)
 
-        reduce_tasks = [
-            ClusterTask(
-                key=reduce_task_id(self.job, partition),
-                kind="reduce",
-                payload=partition,
-            )
-            for partition in range(self.job.num_reducers)
-        ]
-        outcomes = self._run_phase(reduce_tasks, reduce_mode=True)
-        reduce_results = self._collect(reduce_tasks, outcomes)
+        reduce_results: list = []
+        if not self.job.conf.get_bool(Keys.EXEC_MAP_ONLY):
+            reduce_tasks = [
+                ClusterTask(
+                    key=reduce_task_id(self.job, partition),
+                    kind="reduce",
+                    payload=partition,
+                )
+                for partition in range(self.job.num_reducers)
+            ]
+            outcomes = self._run_phase(reduce_tasks, reduce_mode=True)
+            reduce_results = self._collect(reduce_tasks, outcomes)
         map_results = [self._map_outcomes[key] for key in self._map_keys]
         return map_results, reduce_results
 

@@ -83,6 +83,7 @@ class Keys:
 
     # --- engine ---
     NUM_REDUCERS = "repro.job.reduces"
+    EXEC_MAP_ONLY = "repro.exec.map.only"  # run map phase only (delta recompute)
     COMBINER_MIN_SPILL_RECORDS = "repro.combine.min.spill.records"
     EXACT_COMPARISON_COUNTING = "repro.instrument.exact.comparisons"
     SPILL_COMPRESSION = "repro.io.spill.compression"  # identity|zlib|rle+zlib
@@ -107,6 +108,15 @@ class Keys:
     SERVE_CACHE_DIR = "repro.serve.cache.dir"  # result cache ("" = in-memory)
     SERVE_TENANT_MAX_INFLIGHT = "repro.serve.tenant.max.inflight"  # default quota
     SERVE_TENANT_ATTEMPT_BUDGET = "repro.serve.tenant.attempt.budget"  # 0 = unlimited
+
+    # --- micro-batch streaming (repro.stream) ---
+    STREAM_STATE_DIR = "repro.stream.state.dir"  # manifest + published versions
+    STREAM_POLL_INTERVAL = "repro.stream.poll.interval.seconds"
+    STREAM_MIN_BATCH_BYTES = "repro.stream.min.batch.bytes"
+    STREAM_RETAIN_VERSIONS = "repro.stream.retain.versions"  # published outputs kept
+    STREAM_MAX_BATCHES = "repro.stream.max.batches"  # 0 = run until idle timeout
+    STREAM_IDLE_TIMEOUT = "repro.stream.idle.timeout.seconds"  # 0 = poll forever
+    STREAM_DELTA = "repro.stream.delta.enabled"  # split-level delta recompute
 
     # --- cluster runtime (repro.cluster.runtime) ---
     CLUSTER_WORKERS = "repro.cluster.workers"  # 0 = fall back to repro.exec.workers
@@ -185,6 +195,14 @@ DEFAULTS: dict[str, Any] = {
     Keys.SERVE_CACHE_DIR: "",
     Keys.SERVE_TENANT_MAX_INFLIGHT: 64,
     Keys.SERVE_TENANT_ATTEMPT_BUDGET: 0,
+    Keys.EXEC_MAP_ONLY: False,
+    Keys.STREAM_STATE_DIR: "",
+    Keys.STREAM_POLL_INTERVAL: 0.2,
+    Keys.STREAM_MIN_BATCH_BYTES: 1,
+    Keys.STREAM_RETAIN_VERSIONS: 3,
+    Keys.STREAM_MAX_BATCHES: 0,
+    Keys.STREAM_IDLE_TIMEOUT: 5.0,
+    Keys.STREAM_DELTA: True,
     Keys.CLUSTER_WORKERS: 0,
     Keys.CLUSTER_HEARTBEAT_INTERVAL: 0.1,
     Keys.CLUSTER_SUSPECT_MISSES: 3,

@@ -43,6 +43,16 @@ class StageResult:
     status: StageStatus
     #: Satisfied from the content-hash result cache — no job ran.
     cache_hit: bool = False
+    #: Recomputed *incrementally*: the stage's input changed, but cached
+    #: map segments covered the unchanged splits and only the rest ran
+    #: (counted under ``PIPELINE_CACHE_DELTA``, never as a plain miss).
+    cache_delta: bool = False
+    #: Delta recompute only: split-level reuse accounting.
+    splits_reused: int = 0
+    splits_recomputed: int = 0
+    #: Why a delta-capable run fell back to a full recompute (unsafe
+    #: combiner fold, non-text input, ...); empty otherwise.
+    delta_reason: str = ""
     #: Wall-clock seconds for the stage (including cache lookup and
     #: dataset handoff; ~0 on a hit).
     seconds: float = 0.0
@@ -76,6 +86,8 @@ class StageResult:
         if self.status is StageStatus.FAILED:
             return f"{self.stage}: failed: {self.error}"
         hit = " [cache]" if self.cache_hit else ""
+        if self.cache_delta:
+            hit = f" [delta {self.splits_reused}r/{self.splits_recomputed}c]"
         iters = f" x{self.iterations}" if self.iterations else ""
         return (
             f"{self.stage}: {self.status.value}{hit}{iters} "

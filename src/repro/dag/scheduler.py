@@ -30,7 +30,7 @@ import hashlib
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..config import JobConf, Keys
 from ..engine.counters import Counter, Counters
@@ -49,6 +49,9 @@ from .pipeline import Pipeline
 from .result import PipelineResult, StageResult, StageStatus
 from .stage import IterativeStage, JobStage, SourceStage, Stage, StageContext
 from .store import DfsDatasetStore
+
+if TYPE_CHECKING:  # pragma: no cover - stream builds on dag; typing only
+    from ..stream.manifest import SplitManifest
 
 
 @dataclass
@@ -87,6 +90,7 @@ class PipelineRunner:
         conf: JobConf | None = None,
         stage_conf: Mapping[str, Any] | None = None,
         cache: StageCache | None = None,
+        manifest: "SplitManifest | None" = None,
     ) -> None:
         self.conf = conf or JobConf()
         self.stage_conf = dict(stage_conf or {})
@@ -96,6 +100,21 @@ class PipelineRunner:
         else:
             cache_dir = self.conf.get_str(Keys.PIPELINE_CACHE_DIR)
             self.cache = DiskStageCache(cache_dir) if cache_dir else MemoryStageCache()
+        if manifest is None and self.conf.get_bool(Keys.STREAM_DELTA):
+            state_dir = self.conf.get_str(Keys.STREAM_STATE_DIR)
+            if state_dir:
+                import os
+
+                from ..stream.manifest import SplitManifest
+
+                manifest = SplitManifest(os.path.join(state_dir, "manifest"))
+        #: When set, stage-cache misses on job stages attempt a
+        #: split-level delta recompute against this manifest instead of
+        #: a plain full run (:func:`repro.stream.delta.delta_run_job`).
+        self.manifest = manifest
+        #: Split content keys touched by delta runs (all batches of this
+        #: runner's lifetime) — the driver's raw material for manifest GC.
+        self.manifest_keys_used: set[str] = set()
 
     # ------------------------------------------------------------------
     # the scheduler
@@ -201,9 +220,15 @@ class PipelineRunner:
             }[stage_result.status]
             result.counters.incr(status_counter)
             if stage_result.status is StageStatus.DONE:
-                hit = Counter.PIPELINE_CACHE_HITS if stage_result.cache_hit \
-                    else Counter.PIPELINE_CACHE_MISSES
-                result.counters.incr(hit)
+                # Three-way cache accounting: a full hit ran nothing, a
+                # delta run recomputed only changed splits, a miss ran
+                # everything — delta runs must not inflate the miss count.
+                if stage_result.cache_hit:
+                    result.counters.incr(Counter.PIPELINE_CACHE_HITS)
+                elif stage_result.cache_delta:
+                    result.counters.incr(Counter.PIPELINE_CACHE_DELTA)
+                else:
+                    result.counters.incr(Counter.PIPELINE_CACHE_MISSES)
                 result.counters.incr(
                     Counter.PIPELINE_HANDOFF_BYTES, stage_result.output_bytes
                 )
@@ -374,13 +399,32 @@ class PipelineRunner:
             semantic_conf_items(job.conf),
         )
         def compute() -> _StageOutcome:
-            job_result = LocalJobRunner().run(job)
+            delta = False
+            splits_reused = 0
+            splits_recomputed = 0
+            delta_reason = ""
+            if self.manifest is not None:
+                from ..stream.delta import delta_run_job
+
+                outcome = delta_run_job(job, self.manifest)
+                job_result = outcome.result
+                self.manifest_keys_used.update(outcome.split_keys)
+                delta = outcome.eligible and outcome.reused > 0
+                splits_reused = outcome.reused
+                splits_recomputed = outcome.recomputed
+                delta_reason = outcome.reason
+            else:
+                job_result = LocalJobRunner().run(job)
             data = stage.render(job_result)
             entry = self._commit(stage, key, data, store, job_id=job_result.job_id)
             return _StageOutcome(
                 StageResult(
                     stage=stage.name,
                     status=StageStatus.DONE,
+                    cache_delta=delta,
+                    splits_reused=splits_reused,
+                    splits_recomputed=splits_recomputed,
+                    delta_reason=delta_reason,
                     output_bytes=len(data),
                     output_digest=entry.output_digest,
                     job_id=job_result.job_id,

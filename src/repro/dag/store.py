@@ -41,6 +41,7 @@ class DfsDatasetStore:
             names, block_size=block_bytes, replication=min(replication, hosts)
         )
         self._client: DfsClient = self.cluster.client(names[0])
+        self._versions: dict[str, list[int]] = {}
 
     # ------------------------------------------------------------------
     def path(self, dataset: str) -> str:
@@ -58,6 +59,14 @@ class DfsDatasetStore:
         if self.exists(dataset):
             self._client.delete_file(self.path(dataset))
         self._client.write_file(self.path(dataset), data)
+
+    def append(self, dataset: str, data: bytes) -> None:
+        """Grow *dataset* by appending.  Rewrites the file (the DFS has
+        no append primitive), but because blocks are cut at fixed byte
+        boundaries every full block of the old content keeps its digest
+        — exactly the property split-level delta recompute leans on."""
+        existing = self.get(dataset) if self.exists(dataset) else b""
+        self.put(dataset, existing + data)
 
     def get(self, dataset: str) -> bytes:
         try:
@@ -78,6 +87,62 @@ class DfsDatasetStore:
     def block_digests(self, dataset: str) -> tuple[str, ...]:
         """Content identity of the stored dataset, block by block."""
         return self._client.block_digests(self.path(dataset))
+
+    # ------------------------------------------------------------------
+    # versioned publish (the streaming driver's output protocol)
+    # ------------------------------------------------------------------
+    def version_dataset(self, dataset: str, version: int) -> str:
+        return f"{dataset}@v{version:08d}"
+
+    def put_version(self, dataset: str, version: int, data: bytes) -> None:
+        """Stage one immutable published version of *dataset*.  Versions
+        are written under ``<dataset>@v<NNNNNNNN>`` and become visible
+        to readers only on :meth:`promote`."""
+        if version < 1:
+            raise PipelineError(f"published versions start at 1, got {version}")
+        self.put(self.version_dataset(dataset, version), data)
+        self._versions.setdefault(dataset, []).append(version)
+
+    def promote(self, dataset: str, version: int) -> None:
+        """Atomically flip the current pointer of *dataset* to *version*
+        (readers resolve through the pointer, so they see the old
+        version or the new one, never a partial write)."""
+        if version not in self._versions.get(dataset, []):
+            raise PipelineError(
+                f"cannot promote {dataset!r} to unstaged version {version}"
+            )
+        self.put(f"{dataset}@current", str(version).encode("ascii"))
+
+    def current_version(self, dataset: str) -> int | None:
+        if not self.exists(f"{dataset}@current"):
+            return None
+        return int(self.get(f"{dataset}@current").decode("ascii"))
+
+    def get_current(self, dataset: str) -> bytes:
+        version = self.current_version(dataset)
+        if version is None:
+            raise PipelineError(f"dataset {dataset!r} has no promoted version")
+        return self.get(self.version_dataset(dataset, version))
+
+    def versions(self, dataset: str) -> list[int]:
+        return sorted(self._versions.get(dataset, []))
+
+    def retain(self, dataset: str, keep: int) -> int:
+        """Delete the oldest staged versions beyond the newest *keep*
+        (the promoted version is never deleted); returns the number
+        retired."""
+        if keep < 1:
+            raise PipelineError(f"must retain at least 1 version, got {keep}")
+        versions = self.versions(dataset)
+        current = self.current_version(dataset)
+        retired = 0
+        for version in versions[:-keep] if len(versions) > keep else []:
+            if version == current:
+                continue
+            self._client.delete_file(self.path(self.version_dataset(dataset, version)))
+            self._versions[dataset].remove(version)
+            retired += 1
+        return retired
 
     @property
     def read_failovers(self) -> int:

@@ -1,0 +1,92 @@
+"""Clustered point-cloud generator (the k-means workload's input).
+
+Points are drawn as Gaussian blobs around ``clusters`` randomly placed
+centers — the standard synthetic clustering benchmark shape — and
+rendered as one comma-delimited coordinate line per point::
+
+    12.345678,-3.210987
+
+Coordinates are fixed at six decimals so the rendered bytes (what the
+engine actually parses) are the ground truth: the numpy reference in
+:func:`reference_kmeans_iteration` re-parses the same lines, keeping the
+engine and the oracle bit-level honest about their shared input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .rng import rng_for
+
+
+@dataclass(frozen=True)
+class PointsSpec:
+    """Shape parameters for the clustered point cloud.
+
+    Defaults at unit scale: 4,000 points in 4 blobs on the 2-D plane,
+    blob centers uniform in ``[-spread*10, spread*10]`` with unit-ish
+    spread — well-separated enough that Lloyd's algorithm converges in
+    a handful of iterations, overlapping enough that assignments move
+    between the first iterations.
+    """
+
+    points: int = 4_000
+    clusters: int = 4
+    dims: int = 2
+    spread: float = 1.5
+    seed: int = 0
+
+    def scaled(self, scale: float) -> "PointsSpec":
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        return PointsSpec(
+            points=max(50, int(self.points * scale)),
+            clusters=self.clusters,
+            dims=self.dims,
+            spread=self.spread,
+            seed=self.seed,
+        )
+
+
+def generate_points(spec: PointsSpec) -> bytes:
+    """The point cloud: one ``x,y,...`` line per point."""
+    rng = rng_for("points", spec.seed)
+    centers = rng.uniform(-10.0 * spec.spread, 10.0 * spec.spread,
+                          size=(spec.clusters, spec.dims))
+    blob_ids = rng.integers(0, spec.clusters, size=spec.points)
+    coords = centers[blob_ids] + rng.normal(0.0, spec.spread,
+                                            size=(spec.points, spec.dims))
+    lines = [",".join(f"{value:.6f}" for value in row) for row in coords]
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def parse_points(data: bytes) -> np.ndarray:
+    """``(n, dims)`` float64 array from rendered point lines."""
+    rows = [
+        [float(field) for field in line.split(",")]
+        for line in data.decode("utf-8").splitlines()
+        if line
+    ]
+    return np.asarray(rows, dtype=np.float64)
+
+
+def reference_kmeans_iteration(
+    points: np.ndarray, centroids: np.ndarray
+) -> np.ndarray:
+    """One Lloyd's step computed with numpy: assign every point to its
+    nearest centroid (ties to the lowest index, matching the engine's
+    mapper) and return the per-cluster means.  Empty clusters keep their
+    previous centroid, again matching the engine's reducer-side
+    keep-alive record."""
+    distances = np.linalg.norm(
+        points[:, None, :] - centroids[None, :, :], axis=2
+    )
+    assignment = np.argmin(distances, axis=1)
+    updated = centroids.copy()
+    for cluster in range(centroids.shape[0]):
+        members = points[assignment == cluster]
+        if len(members):
+            updated[cluster] = members.mean(axis=0)
+    return updated

@@ -63,6 +63,13 @@ class Counter(str, Enum):
     PIPELINE_CACHE_MISSES = "pipeline_cache_misses"  # stages that actually (re)computed
     PIPELINE_ITERATIONS = "pipeline_iterations"  # iterative-driver job runs
     PIPELINE_HANDOFF_BYTES = "pipeline_handoff_bytes"  # dataset bytes written to the DFS
+    PIPELINE_CACHE_DELTA = "pipeline_cache_delta"  # stages recomputed incrementally
+    # --- micro-batch streaming (repro.stream) ---
+    STREAM_SPLITS_REUSED = "stream_splits_reused"  # map segments served from the manifest
+    STREAM_SPLITS_RECOMPUTED = "stream_splits_recomputed"  # map tasks actually re-run
+    STREAM_BATCHES = "stream_batches"  # micro-batches executed by the driver
+    STREAM_VERSIONS_PUBLISHED = "stream_versions_published"  # dataset versions promoted
+    STREAM_VERSIONS_RETIRED = "stream_versions_retired"  # old versions GC'd by retention
     # --- multi-tenant job service (repro.serve) ---
     SERVE_SUBMISSIONS = "serve_submissions"  # requests reaching the admission controller
     SERVE_ADMITTED = "serve_admitted"  # submissions past admission (incl. dedup/cache)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import inspect
 from dataclasses import dataclass, field
@@ -33,6 +34,10 @@ NON_SEMANTIC_CONF_PREFIXES: tuple[str, ...] = (
     # The cluster runtime's topology and speculation knobs move work
     # between daemons; recovered/speculated runs stay byte-identical.
     "repro.cluster.",
+    # Streaming cadence (poll interval, batch sizing, retention) shapes
+    # *when* batches run, never what a batch computes — delta recompute
+    # is byte-identical to a cold run by contract.
+    "repro.stream.",
 )
 
 
@@ -52,6 +57,17 @@ def source_fingerprint(obj: Any) -> str:
     cache's job-source digest relies on."""
     if obj is None:
         return "-"
+    if isinstance(obj, functools.partial):
+        # A bare ``type(partial)`` fingerprint would collapse every
+        # partial to "functools.partial", letting two jobs whose only
+        # difference is the bound arguments (e.g. per-iteration k-means
+        # centroids) share a source digest.  Fingerprint the wrapped
+        # callable plus the bound arguments instead.
+        bound = ", ".join(
+            [repr(a) for a in obj.args]
+            + [f"{k}={v!r}" for k, v in sorted(obj.keywords.items())]
+        )
+        return f"functools.partial({bound})\n{source_fingerprint(obj.func)}"
     target = obj if inspect.isclass(obj) or inspect.isroutine(obj) else type(obj)
     name = f"{getattr(target, '__module__', '?')}.{getattr(target, '__qualname__', repr(target))}"
     try:

@@ -108,18 +108,20 @@ class ProcessExecutor(Executor):
                             ]
                         )
                     )
-                    reduce_results = self._collect(
-                        pool.run(
-                            [
-                                PoolTask(
-                                    key=reduce_task_id(job, p),
-                                    kind="reduce",
-                                    payload=(p, map_results),
-                                )
-                                for p in range(job.num_reducers)
-                            ]
+                    reduce_results = []
+                    if not job.conf.get_bool(Keys.EXEC_MAP_ONLY):
+                        reduce_results = self._collect(
+                            pool.run(
+                                [
+                                    PoolTask(
+                                        key=reduce_task_id(job, p),
+                                        kind="reduce",
+                                        payload=(p, map_results),
+                                    )
+                                    for p in range(job.num_reducers)
+                                ]
+                            )
                         )
-                    )
             for result in map_results:
                 materialize_map_result(result)
         finally:

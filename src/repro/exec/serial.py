@@ -11,6 +11,7 @@ the tasks of one node.
 
 from __future__ import annotations
 
+from ..config import Keys
 from ..engine.job import JobSpec
 from ..engine.maptask import MapTaskResult
 from ..engine.reducetask import ReduceTaskResult
@@ -59,12 +60,13 @@ class SerialExecutor(Executor):
                 map_results.append(result)
 
             reduce_results: list[ReduceTaskResult] = []
-            for partition in range(job.num_reducers):
-                result, _ = run_reduce_with_retries(
-                    job, partition, map_results, self.host,
-                    attempts_out=self.task_attempts,
-                )
-                reduce_results.append(result)
+            if not job.conf.get_bool(Keys.EXEC_MAP_ONLY):
+                for partition in range(job.num_reducers):
+                    result, _ = run_reduce_with_retries(
+                        job, partition, map_results, self.host,
+                        attempts_out=self.task_attempts,
+                    )
+                    reduce_results.append(result)
         finally:
             if server is not None:
                 server.stop()

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 
+from ..config import Keys
 from ..engine.job import JobSpec
 from ..engine.maptask import MapTaskResult
 from ..engine.reducetask import ReduceTaskResult
@@ -73,20 +74,20 @@ class ThreadExecutor(Executor):
                         result.serve_address = server.address
 
                 # Barrier: every reduce needs every map's output.
-                reduce_futures = [
-                    pool.submit(
-                        run_reduce_with_retries,
-                        job,
-                        partition,
-                        map_results,
-                        self.host,
-                        attempts_out=self.task_attempts,
-                    )
-                    for partition in range(job.num_reducers)
-                ]
-                reduce_results: list[ReduceTaskResult] = [
-                    future.result()[0] for future in reduce_futures
-                ]
+                reduce_results: list[ReduceTaskResult] = []
+                if not job.conf.get_bool(Keys.EXEC_MAP_ONLY):
+                    reduce_futures = [
+                        pool.submit(
+                            run_reduce_with_retries,
+                            job,
+                            partition,
+                            map_results,
+                            self.host,
+                            attempts_out=self.task_attempts,
+                        )
+                        for partition in range(job.num_reducers)
+                    ]
+                    reduce_results = [future.result()[0] for future in reduce_futures]
         finally:
             if server is not None:
                 server.stop()

@@ -1,0 +1,39 @@
+"""repro.stream — split-level delta recompute and a micro-batch driver.
+
+Two layers:
+
+* :mod:`repro.stream.manifest` + :mod:`repro.stream.delta` push caching
+  below stage granularity: a per-split manifest maps a split's content
+  key to its stored map-output segments, so when a stage's input grows
+  by appending, only map tasks for new/changed splits run and their
+  fresh segments merge with the cached segments of unchanged splits
+  before the reduce phase — byte-identical to a cold full run.
+* :mod:`repro.stream.driver` + :mod:`repro.stream.publish` wrap that in
+  a micro-batch streaming loop: tail an append-only input, run each
+  batch as a delta recompute, and publish versioned outputs with atomic
+  promotion and retention — all recoverable after a driver restart.
+"""
+
+from .delta import DeltaOutcome, delta_eligibility, delta_run_job
+from .driver import (
+    BatchRecord,
+    StreamDriver,
+    StreamReport,
+    pipeline_sinks,
+    snapshot_source,
+)
+from .manifest import SplitManifest
+from .publish import VersionedPublisher
+
+__all__ = [
+    "BatchRecord",
+    "DeltaOutcome",
+    "SplitManifest",
+    "StreamDriver",
+    "StreamReport",
+    "VersionedPublisher",
+    "delta_eligibility",
+    "delta_run_job",
+    "pipeline_sinks",
+    "snapshot_source",
+]

@@ -1,0 +1,163 @@
+"""The split manifest: durable per-split map-output segments.
+
+A :class:`SplitManifest` is the delta-recompute subsystem's memory.  It
+maps a *split content key* — a digest over the split's effective byte
+range plus the user code and semantic configuration that mapped it
+(:func:`repro.stream.delta.split_content_key`) — to the map task's
+final output: one uncompressed record-frame payload per reduce
+partition, exactly what the shuffle would serve to reducers.
+
+Layout under the manifest root::
+
+    index.json          # key -> {partitions, records, split meta}
+    <key>.p<N>.seg      # partition N's payload (raw record frames)
+
+Durability protocol: segment files land first, then ``index.json`` is
+rewritten via temp-file + ``os.replace`` — an index entry therefore
+never references a missing segment after a crash, and a torn write
+loses at most the newest entries (they recompute on the next batch).
+Entries whose segment files are missing on load are dropped, so a
+half-written manifest degrades to extra recomputation, never to wrong
+output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+
+__all__ = ["CachedSegments", "SplitManifest"]
+
+
+@dataclass(frozen=True)
+class CachedSegments:
+    """One split's cached map output: per-partition payloads + counts."""
+
+    key: str
+    payloads: tuple[bytes, ...]  # indexed by partition
+    records: tuple[int, ...]  # record count per partition
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.payloads)
+
+
+class SplitManifest:
+    """Disk-backed split-key -> map-segment store with atomic index."""
+
+    INDEX = "index.json"
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._entries: dict[str, dict] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        index_path = os.path.join(self.root, self.INDEX)
+        try:
+            with open(index_path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return
+        entries = raw.get("entries", {}) if isinstance(raw, dict) else {}
+        for key, meta in entries.items():
+            if not isinstance(meta, dict):
+                continue
+            partitions = meta.get("partitions")
+            records = meta.get("records")
+            if not isinstance(partitions, int) or not isinstance(records, list):
+                continue
+            if len(records) != partitions:
+                continue
+            if all(os.path.exists(self._segment_path(key, p)) for p in range(partitions)):
+                self._entries[key] = meta
+
+    def _segment_path(self, key: str, partition: int) -> str:
+        return os.path.join(self.root, f"{key}.p{partition}.seg")
+
+    def _write_index(self) -> None:
+        index_path = os.path.join(self.root, self.INDEX)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump({"version": 1, "entries": self._entries}, handle)
+            os.replace(tmp, index_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> list[str]:
+        return list(self._entries)
+
+    def get(self, key: str) -> CachedSegments | None:
+        meta = self._entries.get(key)
+        if meta is None:
+            return None
+        payloads: list[bytes] = []
+        for partition in range(meta["partitions"]):
+            try:
+                with open(self._segment_path(key, partition), "rb") as handle:
+                    payloads.append(handle.read())
+            except OSError:
+                # A segment vanished under us: treat the whole entry as
+                # a miss and forget it, forcing a recompute.
+                self._entries.pop(key, None)
+                return None
+        return CachedSegments(
+            key=key, payloads=tuple(payloads), records=tuple(meta["records"])
+        )
+
+    def put(self, key: str, payloads: list[bytes], records: list[int]) -> None:
+        if len(payloads) != len(records):
+            raise ValueError("payloads and records must be partition-parallel")
+        for partition, payload in enumerate(payloads):
+            path = self._segment_path(key, partition)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        self._entries[key] = {
+            "partitions": len(payloads),
+            "records": list(records),
+        }
+        self._write_index()
+
+    def gc(self, keep: set[str]) -> int:
+        """Drop every entry (and its segment files) not in *keep*;
+        returns the number of entries retired."""
+        stale = [key for key in self._entries if key not in keep]
+        for key in stale:
+            meta = self._entries.pop(key)
+            for partition in range(meta["partitions"]):
+                try:
+                    os.unlink(self._segment_path(key, partition))
+                except OSError:
+                    pass
+        if stale:
+            self._write_index()
+        return len(stale)

@@ -1,0 +1,131 @@
+"""Durable versioned output publishing for the streaming driver.
+
+The pipeline-side :class:`~repro.dag.store.DfsDatasetStore` is an
+in-memory DFS — it dies with the process — so the driver mirrors every
+promoted version here, on real disk under the stream state directory::
+
+    <root>/<dataset>/v00000001.data
+    <root>/<dataset>/CURRENT        # ascii version number
+
+Publish protocol (crash-safe by ordering):
+
+1. the version's data file lands via temp-file + ``os.replace``;
+2. only then does ``CURRENT`` flip to it, again via ``os.replace``.
+
+A reader (or a restarted driver) that resolves ``CURRENT`` therefore
+always finds a complete data file: a crash between the steps leaves the
+previous version promoted and the new file staged but invisible.
+Retention unlinks the oldest versions beyond the newest N, never the
+promoted one.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+
+__all__ = ["VersionedPublisher"]
+
+_VERSION_FILE = re.compile(r"^v(\d{8})\.data$")
+
+
+class VersionedPublisher:
+    """On-disk versioned datasets with atomic promotion."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _dataset_dir(self, dataset: str) -> str:
+        # Dataset names are pipeline-internal identifiers; keep the
+        # directory name filesystem-safe.
+        safe = dataset.replace(os.sep, "_")
+        return os.path.join(self.root, safe)
+
+    def _version_path(self, dataset: str, version: int) -> str:
+        return os.path.join(self._dataset_dir(dataset), f"v{version:08d}.data")
+
+    @staticmethod
+    def _atomic_write(path: str, data: bytes) -> None:
+        directory = os.path.dirname(path)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def publish(self, dataset: str, version: int, data: bytes) -> None:
+        """Stage *data* as *version* and promote it."""
+        if version < 1:
+            raise ValueError(f"published versions start at 1, got {version}")
+        directory = self._dataset_dir(dataset)
+        os.makedirs(directory, exist_ok=True)
+        self._atomic_write(self._version_path(dataset, version), data)
+        self._atomic_write(
+            os.path.join(directory, "CURRENT"), str(version).encode("ascii")
+        )
+
+    def current(self, dataset: str) -> int | None:
+        try:
+            with open(
+                os.path.join(self._dataset_dir(dataset), "CURRENT"), "rb"
+            ) as handle:
+                return int(handle.read().decode("ascii"))
+        except (OSError, ValueError):
+            return None
+
+    def read(self, dataset: str, version: int | None = None) -> bytes:
+        if version is None:
+            version = self.current(dataset)
+            if version is None:
+                raise FileNotFoundError(f"dataset {dataset!r} has no promoted version")
+        with open(self._version_path(dataset, version), "rb") as handle:
+            return handle.read()
+
+    def versions(self, dataset: str) -> list[int]:
+        try:
+            names = os.listdir(self._dataset_dir(dataset))
+        except OSError:
+            return []
+        out = []
+        for name in names:
+            match = _VERSION_FILE.match(name)
+            if match:
+                out.append(int(match.group(1)))
+        return sorted(out)
+
+    def datasets(self) -> list[str]:
+        try:
+            return sorted(
+                name
+                for name in os.listdir(self.root)
+                if os.path.isdir(os.path.join(self.root, name))
+            )
+        except OSError:
+            return []
+
+    def retain(self, dataset: str, keep: int) -> int:
+        """Unlink the oldest versions beyond the newest *keep* (the
+        promoted version survives regardless); returns versions retired."""
+        if keep < 1:
+            raise ValueError(f"must retain at least 1 version, got {keep}")
+        versions = self.versions(dataset)
+        current = self.current(dataset)
+        retired = 0
+        for version in versions[:-keep] if len(versions) > keep else []:
+            if version == current:
+                continue
+            try:
+                os.unlink(self._version_path(dataset, version))
+                retired += 1
+            except OSError:
+                pass
+        return retired

@@ -1,0 +1,168 @@
+"""The streaming-suite applications: sessionize and k-means.
+
+Sessionize is checked against a naive reference over the same UserVisits
+bytes; k-means is checked against the numpy Lloyd's-step reference, per
+iteration and at the pipeline fixpoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import (
+    KMeansMapper,
+    KMeansReducer,
+    initial_centroids,
+    kmeans_jobspec,
+    max_centroid_shift,
+    parse_centroids,
+    render_centroids,
+)
+from repro.apps.pipelines import build_kmeans_pipeline, build_sessionize
+from repro.apps.sessionize import (
+    SessionizeMapper,
+    SessionizeReducer,
+    reference_histogram,
+    reference_sessionize,
+    sessionize_jobspec,
+    visit_day,
+)
+from repro.dag import PipelineRunner
+from repro.dag.stage import render_tsv
+from repro.data.accesslog import AccessLogSpec, generate_user_visits
+from repro.data.points import (
+    PointsSpec,
+    generate_points,
+    parse_points,
+    reference_kmeans_iteration,
+)
+from repro.engine.runner import LocalJobRunner
+from repro.serde.text import Text
+
+
+def run_mapper(mapper, value):
+    out = []
+    mapper.setup()
+    mapper.map(None, Text(value), lambda k, v: out.append((k.value, v.value)))
+    return out
+
+
+def run_reducer(reducer, key, values):
+    out = []
+    reducer.setup()
+    reducer.reduce(
+        Text(key), iter([Text(v) for v in values]),
+        lambda k, v: out.append((k.value, v.value)),
+    )
+    return out
+
+
+# ----------------------------------------------------------------------
+# sessionize
+# ----------------------------------------------------------------------
+class TestSessionize:
+    def test_visit_day_inverts_the_generator_dates(self):
+        assert visit_day("2014-01-01") == 0
+        assert visit_day("2014-02-01") == 31
+        assert visit_day("2014-12-31") == 11 * 31 + 30
+
+    def test_mapper_emits_ip_keyed_day_revenue(self):
+        line = "1.2.3.4|url000001.example.org/page|2014-02-03|12.50|UA|USA|en|w|9"
+        assert run_mapper(SessionizeMapper(), line) == [("1.2.3.4", "033|12.50")]
+
+    def test_reducer_cuts_sessions_at_the_gap(self):
+        # days 1,2 then a 30-day jump: two sessions, three visits
+        out = run_reducer(
+            SessionizeReducer(), "ip", ["001|1.00", "002|2.00", "032|3.00"]
+        )
+        assert out == [("ip", "2\t3\t6.00")]
+
+    def test_reducer_orders_before_cutting(self):
+        # arrival order scrambled; same answer
+        out = run_reducer(
+            SessionizeReducer(), "ip", ["032|3.00", "001|1.00", "002|2.00"]
+        )
+        assert out == [("ip", "2\t3\t6.00")]
+
+    def test_job_matches_reference(self):
+        visits = generate_user_visits(AccessLogSpec().scaled(0.02))
+        result = LocalJobRunner().run(sessionize_jobspec(visits))
+        got = {k.value: v.value for k, v in result.output_pairs()}
+        assert got == reference_sessionize(visits)
+
+    def test_pipeline_histogram_matches_reference(self):
+        result = PipelineRunner().run(build_sessionize(scale=0.02))
+        assert result.ok
+        visits = generate_user_visits(AccessLogSpec().scaled(0.02))
+        want = reference_histogram(reference_sessionize(visits))
+        got = {}
+        for line in result.output("sessionhist").decode().splitlines():
+            bucket, count = line.split("\t")
+            got[bucket] = int(count)
+        assert got == want
+
+
+# ----------------------------------------------------------------------
+# k-means
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def cloud():
+    spec = PointsSpec().scaled(0.05)
+    data = generate_points(spec)
+    return spec, data
+
+
+class TestKMeans:
+    def test_centroid_state_roundtrip(self):
+        state = render_centroids([(1.0, -2.5), (0.125, 3.0)])
+        assert parse_centroids(state) == [(1.0, -2.5), (0.125, 3.0)]
+
+    def test_mapper_assigns_nearest_with_low_index_ties(self, cloud):
+        centroids = render_centroids([(0.0, 0.0), (2.0, 0.0)]).decode()
+        out = run_mapper(KMeansMapper(centroids), "1.9,0.0")
+        # two keep-alives, then the assignment to the nearer centroid 1
+        assert [k for k, _ in out] == ["0000", "0001", "0001"]
+        # equidistant point goes to the lowest index
+        out = run_mapper(KMeansMapper(centroids), "1.0,0.0")
+        assert out[-1][0] == "0000"
+
+    def test_reducer_means_members_and_keeps_empty_clusters(self):
+        out = run_reducer(
+            KMeansReducer(), "0000",
+            ["K:1.0,1.0", "P:0.0,0.0", "P:2.0,4.0"],
+        )
+        assert parse_centroids(f"0000\t{out[0][1]}".encode()) == [(1.0, 2.0)]
+        out = run_reducer(KMeansReducer(), "0001", ["K:1.0,1.0"])
+        assert out == [("0001", "1.0,1.0")]
+
+    def test_one_iteration_matches_numpy(self, cloud):
+        """Satellite acceptance: the reduce-side centroid recompute is
+        the numpy Lloyd's step, to float tolerance."""
+        spec, data = cloud
+        state = initial_centroids(data, spec.clusters)
+        result = LocalJobRunner().run(kmeans_jobspec(data, state.decode()))
+        engine = np.asarray(parse_centroids(render_tsv(result)))
+        reference = reference_kmeans_iteration(
+            parse_points(data), np.asarray(parse_centroids(state))
+        )
+        assert np.allclose(engine, reference, atol=1e-9)
+
+    def test_pipeline_converges_to_the_numpy_fixpoint(self, cloud):
+        spec, data = cloud
+        result = PipelineRunner().run(build_kmeans_pipeline(scale=0.05))
+        assert result.ok
+        stage = result.stage("kmeans")
+        assert stage.converged and stage.iterations >= 2
+
+        points = parse_points(data)
+        reference = np.asarray(parse_centroids(initial_centroids(data, spec.clusters)))
+        for _ in range(stage.iterations):
+            reference = reference_kmeans_iteration(points, reference)
+        engine = np.asarray(parse_centroids(result.output("kmeans")))
+        assert np.allclose(engine, reference, atol=1e-6)
+
+    def test_max_centroid_shift(self):
+        a = render_centroids([(0.0, 0.0), (1.0, 1.0)])
+        b = render_centroids([(0.5, 0.0), (1.0, 1.25)])
+        assert max_centroid_shift(a, b) == pytest.approx(0.5)

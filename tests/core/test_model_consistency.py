@@ -70,8 +70,14 @@ def test_engine_matches_analytic_waits_stable_regime(p, c, x):
     engine = run_engine_timeline(p, c, x)
     analytic = evolve_pipeline(p, c, x, CAPACITY, TOTAL)
 
+    # Size-rounding slack: the engine spills integer bytes while the
+    # analytic recurrence is continuous, and a per-spill wait is the
+    # *difference* of produce and consume spans (e.g. 2·size − M when
+    # blocked on buffer space), so each spill's sub-byte truncation can
+    # shift its wait by up to two bytes' worth of time — accumulated
+    # over every spill, not amortized.
     tolerance = max(
-        2.0 * max(1.0 / p, 1.0 / c) * CAPACITY / 100,  # size-rounding slack
+        2.0 * max(1.0 / p, 1.0 / c) * len(analytic.spill_sizes),
         0.03 * (analytic.map_wait + analytic.support_wait),
     )
     assert engine.map_wait == pytest.approx(analytic.map_wait, abs=tolerance)

@@ -1,0 +1,239 @@
+"""The micro-batch streaming driver, end to end.
+
+Each test tails a real file through a real state directory.  The
+contracts pinned here:
+
+* append-then-batch output is byte-identical to a cold full run of the
+  same snapshot, across backends and shuffle transports;
+* a restarted driver recovers its batch counter, watermark, split
+  manifest, and stage cache — and the recovered state actually shows up
+  as split reuse in the next batch;
+* retention retires old published versions but never the promoted one;
+* a batch that dies mid-flight (worker-kill chaos) publishes nothing
+  and leaves every piece of durable state untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.apps.pipelines import build_stream, build_wordcount_stream
+from repro.config import JobConf, Keys
+from repro.dag.scheduler import PipelineRunner
+from repro.stream import SplitManifest, StreamDriver
+
+pytestmark = pytest.mark.stream
+
+
+def stream_conf(state_dir: str, **extra) -> JobConf:
+    conf = JobConf({
+        Keys.STREAM_STATE_DIR: state_dir,
+        Keys.STREAM_POLL_INTERVAL: 0.02,
+        Keys.STREAM_IDLE_TIMEOUT: 0.2,
+        Keys.STREAM_MAX_BATCHES: 1,
+    })
+    conf.update(extra)
+    return conf
+
+
+def make_driver(tmp_path, input_path: str, stage_conf=None, **extra) -> StreamDriver:
+    return StreamDriver(
+        "wordcount",
+        build_wordcount_stream,
+        input_path,
+        conf=stream_conf(str(tmp_path / "state"), **extra),
+        stage_conf=stage_conf,
+    )
+
+
+def write(path: str, data: bytes, mode: str = "wb") -> None:
+    with open(path, mode) as handle:
+        handle.write(data)
+
+
+@pytest.mark.parametrize(
+    "stage_conf",
+    [
+        pytest.param({}, id="serial-mem"),
+        pytest.param(
+            {Keys.EXEC_BACKEND: "process", Keys.EXEC_WORKERS: 2},
+            id="process-mem",
+        ),
+        pytest.param(
+            {Keys.SHUFFLE_MODE: "net"},
+            id="serial-net",
+            marks=pytest.mark.network,
+        ),
+        pytest.param(
+            {
+                Keys.EXEC_BACKEND: "process",
+                Keys.EXEC_WORKERS: 2,
+                Keys.SHUFFLE_MODE: "net",
+            },
+            id="process-net",
+            marks=pytest.mark.network,
+        ),
+    ],
+)
+def test_append_batch_matches_cold_run(tmp_path, corpus_lines, stage_conf) -> None:
+    """The acceptance contract: after an append, the delta batch output
+    is byte-identical to a cold full run over the same snapshot."""
+    input_path = str(tmp_path / "corpus.txt")
+    write(input_path, corpus_lines)
+    first = make_driver(tmp_path, input_path, stage_conf=stage_conf).run()
+    assert first.ok and len(first.batches) == 1
+    assert first.batches[0].splits_reused == 0
+
+    tail = b"fresh words appended to the corpus\n" * 60
+    write(input_path, tail, mode="ab")
+    driver = make_driver(tmp_path, input_path, stage_conf=stage_conf)
+    second = driver.run()
+    assert second.ok and len(second.batches) == 1
+    record = second.batches[0]
+    assert record.splits_reused > 0, "append must reuse unchanged splits"
+    assert record.splits_recomputed < (
+        record.splits_reused + record.splits_recomputed
+    )
+
+    cold = PipelineRunner().run(build_wordcount_stream(corpus_lines + tail))
+    assert driver.publisher.read("wordcount") == cold.output("wordcount")
+    assert driver.store.get_current("wordcount") == cold.output("wordcount")
+
+
+def test_restart_recovers_driver_state(tmp_path, corpus_lines) -> None:
+    """Satellite: batch counter, watermark, and manifest all survive a
+    driver restart (a brand-new StreamDriver over the same state dir)."""
+    input_path = str(tmp_path / "corpus.txt")
+    write(input_path, corpus_lines)
+    make_driver(tmp_path, input_path).run()
+
+    state = json.load(open(tmp_path / "state" / "driver.json"))
+    assert state == {"batch": 1, "processed_bytes": len(corpus_lines)}
+    manifest = SplitManifest(str(tmp_path / "state" / "manifest"))
+    assert len(manifest) > 0
+
+    restarted = make_driver(tmp_path, input_path)
+    assert restarted.batch == 1
+    assert restarted.processed_bytes == len(corpus_lines)
+    # nothing new arrived: the driver idles out without running a batch
+    report = restarted.run()
+    assert report.batches == [] and report.ok
+
+    write(input_path, b"more words arrive after the restart\n" * 30, mode="ab")
+    report = make_driver(tmp_path, input_path).run()
+    assert report.ok and report.batches[0].batch == 2
+    assert report.batches[0].splits_reused > 0, (
+        "recovered manifest must produce split reuse, not a cold start"
+    )
+
+
+def test_min_batch_bytes_defers_small_appends(tmp_path, corpus_lines) -> None:
+    input_path = str(tmp_path / "corpus.txt")
+    write(input_path, corpus_lines)
+    make_driver(tmp_path, input_path).run()
+    write(input_path, b"tiny\n", mode="ab")
+    report = make_driver(
+        tmp_path, input_path, **{Keys.STREAM_MIN_BATCH_BYTES: 10_000}
+    ).run()
+    assert report.batches == [], "5 new bytes must not trigger a batch"
+
+
+def test_truncation_resets_watermark(tmp_path, corpus_lines) -> None:
+    input_path = str(tmp_path / "corpus.txt")
+    write(input_path, corpus_lines)
+    make_driver(tmp_path, input_path).run()
+    shrunk = corpus_lines[: len(corpus_lines) // 2]
+    write(input_path, shrunk)  # truncate: not an append
+    report = make_driver(tmp_path, input_path).run()
+    assert report.ok and len(report.batches) == 1
+    assert report.batches[0].input_bytes == len(shrunk)
+    cold = PipelineRunner().run(build_wordcount_stream(shrunk))
+    driver = make_driver(tmp_path, input_path)
+    assert driver.publisher.read("wordcount") == cold.output("wordcount")
+
+
+def test_retention_retires_old_versions(tmp_path, corpus_lines) -> None:
+    """Satellite: with retain=2, four batches leave at most two
+    published versions per dataset, the newest still promoted."""
+    input_path = str(tmp_path / "corpus.txt")
+    write(input_path, corpus_lines)
+    retired_total = 0
+    for round_number in range(4):
+        if round_number:
+            write(
+                input_path,
+                b"appended batch %d line of words\n" % round_number * 20,
+                mode="ab",
+            )
+        report = make_driver(
+            tmp_path, input_path, **{Keys.STREAM_RETAIN_VERSIONS: 2}
+        ).run()
+        assert report.ok and len(report.batches) == 1
+        retired_total += report.batches[0].versions_retired
+    driver = make_driver(tmp_path, input_path)
+    assert driver.publisher.versions("wordcount") == [3, 4]
+    assert driver.publisher.current("wordcount") == 4
+    assert driver.store.versions("wordcount") == []  # fresh in-memory DFS
+    assert retired_total == 2
+
+
+def test_stream_delta_off_recomputes_everything(tmp_path, corpus_lines) -> None:
+    input_path = str(tmp_path / "corpus.txt")
+    write(input_path, corpus_lines)
+    make_driver(tmp_path, input_path, **{Keys.STREAM_DELTA: False}).run()
+    write(input_path, b"appended words\n" * 20, mode="ab")
+    report = make_driver(
+        tmp_path, input_path, **{Keys.STREAM_DELTA: False}
+    ).run()
+    assert report.ok
+    assert report.batches[0].splits_reused == 0
+    assert not os.path.isdir(tmp_path / "state" / "manifest")
+
+
+def test_chaos_failed_batch_leaves_published_state_untouched(
+    tmp_path, corpus_lines
+) -> None:
+    """Chaos satellite: a worker-kill storm mid-batch fails the batch —
+    and the previously promoted version, the watermark, and the manifest
+    are exactly as they were.  A fault-free restart then succeeds and
+    matches the cold run."""
+    input_path = str(tmp_path / "corpus.txt")
+    write(input_path, corpus_lines)
+    make_driver(tmp_path, input_path).run()
+    driver = make_driver(tmp_path, input_path)
+    before_published = driver.publisher.read("wordcount")
+    before_state = json.load(open(tmp_path / "state" / "driver.json"))
+    before_keys = sorted(
+        SplitManifest(str(tmp_path / "state" / "manifest")).keys()
+    )
+
+    write(input_path, b"poisoned append that will not publish\n" * 30, mode="ab")
+    chaos_conf = {
+        Keys.EXEC_BACKEND: "process",
+        Keys.EXEC_WORKERS: 2,
+        Keys.FAULTS_SPEC: "worker.kill:1.0:99",
+        Keys.TASK_MAX_ATTEMPTS: 2,
+    }
+    report = make_driver(tmp_path, input_path, stage_conf=chaos_conf).run()
+    assert len(report.batches) == 1 and not report.ok
+    record = report.batches[0]
+    assert not record.ok and record.error
+    assert record.published == {}
+
+    after = make_driver(tmp_path, input_path)
+    assert after.publisher.read("wordcount") == before_published
+    assert after.publisher.current("wordcount") == 1
+    assert json.load(open(tmp_path / "state" / "driver.json")) == before_state
+    assert sorted(
+        SplitManifest(str(tmp_path / "state" / "manifest")).keys()
+    ) == before_keys
+
+    recovery = after.run()
+    assert recovery.ok and recovery.batches[0].batch == 2
+    cold = PipelineRunner().run(
+        build_wordcount_stream(open(input_path, "rb").read())
+    )
+    assert after.publisher.read("wordcount") == cold.output("wordcount")

@@ -1,0 +1,93 @@
+"""The split manifest: durable key -> map-segment storage.
+
+The manifest is the delta engine's source of truth, so these tests pin
+its durability contract: entries survive reopening, torn or vanished
+state degrades to a miss (never a crash or a wrong hit), and GC only
+removes what it is told to.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.stream.manifest import SplitManifest
+
+pytestmark = pytest.mark.stream
+
+
+def _put(manifest: SplitManifest, key: str, tag: bytes) -> None:
+    manifest.put(key, [b"p0-" + tag, b"p1-" + tag], [3, 4])
+
+
+def test_put_get_roundtrip(tmp_path) -> None:
+    manifest = SplitManifest(str(tmp_path / "m"))
+    _put(manifest, "k1", b"alpha")
+    cached = manifest.get("k1")
+    assert cached is not None
+    assert cached.payloads == (b"p0-alpha", b"p1-alpha")
+    assert cached.records == (3, 4)
+    assert cached.num_partitions == 2
+    assert "k1" in manifest and len(manifest) == 1
+    assert manifest.get("missing") is None
+
+
+def test_entries_survive_reopen(tmp_path) -> None:
+    root = str(tmp_path / "m")
+    first = SplitManifest(root)
+    _put(first, "k1", b"alpha")
+    _put(first, "k2", b"beta")
+
+    reopened = SplitManifest(root)
+    assert sorted(reopened.keys()) == ["k1", "k2"]
+    cached = reopened.get("k2")
+    assert cached is not None and cached.payloads[0] == b"p0-beta"
+
+
+def test_overwrite_replaces_payloads(tmp_path) -> None:
+    manifest = SplitManifest(str(tmp_path / "m"))
+    _put(manifest, "k1", b"old")
+    _put(manifest, "k1", b"new")
+    cached = manifest.get("k1")
+    assert cached is not None and cached.payloads[0] == b"p0-new"
+    assert len(manifest) == 1
+
+
+def test_vanished_segment_degrades_to_miss(tmp_path) -> None:
+    """Deleting a segment file behind the manifest's back must read as
+    a miss (the entry self-heals away), not return truncated bytes."""
+    root = str(tmp_path / "m")
+    manifest = SplitManifest(root)
+    _put(manifest, "k1", b"alpha")
+    for name in os.listdir(root):
+        if name.endswith(".seg"):
+            os.unlink(os.path.join(root, name))
+    assert manifest.get("k1") is None
+    assert "k1" not in manifest
+
+
+def test_torn_index_loads_empty(tmp_path) -> None:
+    root = str(tmp_path / "m")
+    manifest = SplitManifest(root)
+    _put(manifest, "k1", b"alpha")
+    with open(os.path.join(root, "index.json"), "w", encoding="utf-8") as fh:
+        fh.write('{"entries": [truncated')
+    reopened = SplitManifest(root)
+    assert len(reopened) == 0
+    # and it keeps working after the torn state
+    _put(reopened, "k2", b"beta")
+    assert reopened.get("k2") is not None
+
+
+def test_gc_keeps_only_requested_keys(tmp_path) -> None:
+    root = str(tmp_path / "m")
+    manifest = SplitManifest(root)
+    for key in ("k1", "k2", "k3"):
+        _put(manifest, key, key.encode("ascii"))
+    removed = manifest.gc({"k2"})
+    assert removed == 2
+    assert sorted(manifest.keys()) == ["k2"]
+    # segment files of evicted entries are gone from disk too
+    segments = [n for n in os.listdir(root) if n.endswith(".seg")]
+    assert all(name.startswith("k2") for name in segments)

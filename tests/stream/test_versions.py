@@ -1,0 +1,102 @@
+"""Versioned output publishing: the DFS store protocol and its durable
+on-disk mirror.
+
+Both implement the same contract — stage, then atomically promote, then
+retire old versions without ever touching the promoted one — so both
+are pinned here side by side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.store import DfsDatasetStore
+from repro.errors import PipelineError
+from repro.stream.publish import VersionedPublisher
+
+pytestmark = pytest.mark.stream
+
+
+# ----------------------------------------------------------------------
+# DfsDatasetStore versioned publish
+# ----------------------------------------------------------------------
+def test_store_put_promote_read() -> None:
+    store = DfsDatasetStore("t", hosts=1)
+    assert store.current_version("out") is None
+    store.put_version("out", 1, b"v1 bytes")
+    with pytest.raises(PipelineError):
+        store.get_current("out")  # staged but not promoted yet
+    store.promote("out", 1)
+    assert store.current_version("out") == 1
+    assert store.get_current("out") == b"v1 bytes"
+
+    store.put_version("out", 2, b"v2 bytes")
+    assert store.get_current("out") == b"v1 bytes", "promotion is explicit"
+    store.promote("out", 2)
+    assert store.get_current("out") == b"v2 bytes"
+    assert store.versions("out") == [1, 2]
+
+
+def test_store_promote_unstaged_version_raises() -> None:
+    store = DfsDatasetStore("t", hosts=1)
+    with pytest.raises(PipelineError):
+        store.promote("out", 7)
+    with pytest.raises(PipelineError):
+        store.put_version("out", 0, b"")
+
+
+def test_store_retain_never_deletes_current() -> None:
+    store = DfsDatasetStore("t", hosts=1)
+    for version in (1, 2, 3, 4):
+        store.put_version("out", version, b"v%d" % version)
+    store.promote("out", 1)  # current is the OLDEST
+    retired = store.retain("out", 2)
+    # candidates for retirement were 1 and 2; the promoted version is
+    # untouchable, so only 2 actually retires.
+    assert retired == 1
+    assert store.versions("out") == [1, 3, 4]
+    assert store.get_current("out") == b"v1"
+
+
+def test_store_append_grows_dataset() -> None:
+    store = DfsDatasetStore("t", hosts=1)
+    store.put("log", b"alpha\n")
+    store.append("log", b"beta\n")
+    assert store.get("log") == b"alpha\nbeta\n"
+
+
+# ----------------------------------------------------------------------
+# VersionedPublisher (the on-disk mirror)
+# ----------------------------------------------------------------------
+def test_publisher_publish_read_current(tmp_path) -> None:
+    pub = VersionedPublisher(str(tmp_path / "pub"))
+    assert pub.current("out") is None
+    with pytest.raises(FileNotFoundError):
+        pub.read("out")
+    pub.publish("out", 1, b"v1 bytes")
+    pub.publish("out", 2, b"v2 bytes")
+    assert pub.current("out") == 2
+    assert pub.read("out") == b"v2 bytes"
+    assert pub.read("out", version=1) == b"v1 bytes"
+    assert pub.versions("out") == [1, 2]
+    assert pub.datasets() == ["out"]
+
+
+def test_publisher_survives_reopen(tmp_path) -> None:
+    root = str(tmp_path / "pub")
+    VersionedPublisher(root).publish("out", 3, b"payload")
+    assert VersionedPublisher(root).read("out") == b"payload"
+
+
+def test_publisher_retain_never_deletes_current(tmp_path) -> None:
+    pub = VersionedPublisher(str(tmp_path / "pub"))
+    for version in (1, 2, 3, 4):
+        pub.publish("out", version, b"v%d" % version)
+    retired = pub.retain("out", 2)
+    assert retired == 2
+    assert pub.versions("out") == [3, 4]
+    assert pub.read("out") == b"v4"
+    with pytest.raises(ValueError):
+        pub.retain("out", 0)
+    with pytest.raises(ValueError):
+        pub.publish("out", 0, b"")

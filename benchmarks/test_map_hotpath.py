@@ -1,0 +1,141 @@
+"""Map hot path: packed binary collector vs the object collector.
+
+Two claims from the packed-buffer + in-node-combining work, measured
+and written to ``BENCH_map.json``:
+
+* **Throughput** — records/sec through the collect → sort → spill →
+  merge path (the component the binary buffer replaces), driven with a
+  pre-tokenized Zipf-ish word stream so the measurement isolates the
+  collector rather than the user mapper.  The packed path must clear
+  1.5x the object path.
+* **Shuffle bytes** — in-node combining must cut the bytes reducers
+  fetch *beyond* what per-task frequency buffering already saves:
+  wordcount with freqbuf only vs freqbuf + node-combine.
+
+Both runs assert byte-identical outputs first — a fast wrong path or a
+lossy byte saving would make the numbers meaningless.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.config import Keys
+from repro.engine.api import HashPartitioner
+from repro.engine.collector import BinaryStandardCollector, StandardCollector
+from repro.engine.combiner import CombinerRunner
+from repro.engine.costmodel import DEFAULT_COST_MODEL, UserCodeCosts
+from repro.engine.counters import Counter, Counters
+from repro.engine.instrumentation import Ledger, TaskInstruments
+from repro.engine.runner import LocalJobRunner
+from repro.engine.spillpolicy import StaticSpillPolicy
+from repro.experiments.common import build_app
+from repro.io.blockdisk import LocalDisk
+from repro.serde.numeric import VIntWritable
+from repro.serde.text import Text
+from tests.conftest import SumCombiner
+
+OUTPUT_FILE = "BENCH_map.json"
+NUM_RECORDS = 150_000
+DISTINCT_KEYS = 997
+TRIALS = 3
+THROUGHPUT_BAR = 1.5
+
+COLLECTORS = {"object": StandardCollector, "binary": BinaryStandardCollector}
+
+
+def _make_collector(mode: str):
+    counters = Counters()
+    return COLLECTORS[mode](
+        task_id="bench",
+        disk=LocalDisk(),
+        num_partitions=4,
+        partitioner=HashPartitioner(),
+        policy=StaticSpillPolicy(0.8),
+        capacity_bytes=1 << 20,
+        cost_model=DEFAULT_COST_MODEL,
+        instruments=TaskInstruments(Ledger()),
+        counters=counters,
+        combiner_runner=CombinerRunner(
+            SumCombiner(), Text, VIntWritable, UserCodeCosts(), counters
+        ),
+    )
+
+
+def _collect_run(mode: str, keys) -> tuple[float, "object"]:
+    collector = _make_collector(mode)
+    one = VIntWritable(1)
+    collect = collector.collect
+    start = time.perf_counter()
+    for key in keys:
+        collect(key, one)
+    index = collector.flush()
+    return NUM_RECORDS / (time.perf_counter() - start), index
+
+
+def measure_throughput() -> dict:
+    # Zipf-ish repetition: key i%997 with quadratic skew toward low ids.
+    words = [f"word{(i * i) % DISTINCT_KEYS}" for i in range(NUM_RECORDS)]
+    rates = {"object": 0.0, "binary": 0.0}
+    digests = {}
+    for _ in range(TRIALS):
+        for mode in rates:
+            keys = [Text(word) for word in words]
+            rate, index = _collect_run(mode, keys)
+            rates[mode] = max(rates[mode], rate)  # best-of damps CI noise
+            digests[mode] = (index.total_records, index.total_bytes)
+    assert digests["binary"] == digests["object"], "collectors diverged"
+    return {
+        "records": NUM_RECORDS,
+        "object_records_per_sec": round(rates["object"]),
+        "binary_records_per_sec": round(rates["binary"]),
+        "speedup": round(rates["binary"] / rates["object"], 3),
+    }
+
+
+def _shuffle_bytes(node_combine: bool) -> tuple[int, str]:
+    app = build_app(
+        "wordcount",
+        "freq",
+        scale=0.05,
+        num_splits=4,
+        extra_conf={
+            Keys.NODE_COMBINE: node_combine,
+            Keys.FREQBUF_SHARE_ACROSS_TASKS: False,
+            Keys.SPILL_BUFFER_BYTES: 32 * 1024,
+        },
+    )
+    result = LocalJobRunner().run(app.job)
+    return result.counters.get(Counter.SHUFFLE_BYTES), result.output_digest()
+
+
+def measure_shuffle_reduction() -> dict:
+    freq_only, digest_off = _shuffle_bytes(node_combine=False)
+    with_node, digest_on = _shuffle_bytes(node_combine=True)
+    assert digest_on == digest_off, "node combining changed the job output"
+    assert freq_only > 0
+    return {
+        "freqbuf_only_shuffle_bytes": freq_only,
+        "plus_node_combine_shuffle_bytes": with_node,
+        "bytes_saved": freq_only - with_node,
+        "reduction_percent": round(100.0 * (freq_only - with_node) / freq_only, 2),
+    }
+
+
+def test_map_hotpath() -> None:
+    throughput = measure_throughput()
+    shuffle = measure_shuffle_reduction()
+    report = {"throughput": throughput, "shuffle": shuffle}
+    with open(OUTPUT_FILE, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+    print()
+    print(json.dumps(report, indent=2))
+
+    assert throughput["speedup"] >= THROUGHPUT_BAR, (
+        f"binary collector only {throughput['speedup']}x the object path "
+        f"(bar: {THROUGHPUT_BAR}x)"
+    )
+    assert shuffle["bytes_saved"] > 0, (
+        "node combining saved no shuffle bytes beyond frequency buffering"
+    )

@@ -23,6 +23,7 @@ OP_ORDER: tuple[Op, ...] = (
     Op.COMBINE,
     Op.SPILL_IO,
     Op.MERGE,
+    Op.NODE_COMBINE,
     Op.SHUFFLE,
     Op.REDUCE,
     Op.OUTPUT,

@@ -86,12 +86,18 @@ def _add_common_app_args(parser: argparse.ArgumentParser) -> None:
         "--compression", choices=("identity", "zlib", "rle+zlib"), default="identity",
         help="spill/shuffle segment codec",
     )
+    parser.add_argument(
+        "--collector", choices=("object", "binary"), default="object",
+        help="map-output buffer representation: per-record objects or the "
+             "packed binary spill buffer (byte-identical outputs)",
+    )
 
 
 def _build(args: argparse.Namespace, extra: dict | None = None):
     conf = {
         Keys.GROUPING: args.grouping,
         Keys.SPILL_COMPRESSION: args.compression,
+        Keys.IO_COLLECTOR: args.collector,
     }
     if args.reducers:
         conf[Keys.NUM_REDUCERS] = args.reducers
@@ -138,6 +144,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     }
     if args.shuffle_fetchers is not None:
         extra[Keys.SHUFFLE_FETCHERS] = args.shuffle_fetchers
+    if args.node_combine:
+        extra[Keys.NODE_COMBINE] = True
     extra.update(_fault_conf(args))
     extra.update(_cluster_conf(args))
     app = _build(args, extra=extra)
@@ -620,6 +628,12 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument(
         "--shuffle-fetchers", type=int, default=None,
         help="parallel fetcher threads per reduce task (net shuffle only)",
+    )
+    run_parser.add_argument(
+        "--node-combine", action="store_true",
+        help="fold each node's finished map outputs with the job combiner "
+             "before reducers fetch (gated on a fold-verified combiner "
+             "when --lint is warn/strict)",
     )
     run_parser.add_argument(
         "--lint", choices=("off", "warn", "strict"), default="off",

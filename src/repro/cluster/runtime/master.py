@@ -155,6 +155,14 @@ class Master:
         self._map_keys: list[str] = []
         self._map_outcomes: dict[str, Any] = {}
         self._map_server_worker: dict[str, str] = {}
+        # In-node combining (repro.shuffle.node.combine): set between the
+        # phases when the stage ran.  Reducers then fetch the synthetic
+        # per-node outputs (served by the master's own shuffle server in
+        # net mode) instead of the per-task originals.
+        self._node_combined = False
+        self._fetch_results: list[Any] = []
+        self._nc_server: Any = None
+        self.node_combine_outcome: Any = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -178,6 +186,10 @@ class Master:
         stats, then join (politely, then firmly).  Returns the collected
         :class:`~repro.shuffle.server.ShuffleHostStats` snapshots."""
         self._closing = True
+        if self._nc_server is not None:
+            self._nc_server.stop()
+            self._shuffle_stats.append(self._nc_server.snapshot())
+            self._nc_server = None
         # A worker still grinding a cancelled attempt would only answer
         # BYE after the attempt ends; its result is already discarded, so
         # kill it now rather than stalling the shutdown drain.
@@ -396,6 +408,7 @@ class Master:
 
         reduce_results: list = []
         if not self.job.conf.get_bool(Keys.EXEC_MAP_ONLY):
+            self._apply_node_combine()
             reduce_tasks = [
                 ClusterTask(
                     key=reduce_task_id(self.job, partition),
@@ -408,6 +421,37 @@ class Master:
             reduce_results = self._collect(reduce_tasks, outcomes)
         map_results = [self._map_outcomes[key] for key in self._map_keys]
         return map_results, reduce_results
+
+    def _apply_node_combine(self) -> None:
+        """Fold the finished map outputs per node before the reduce
+        phase (``repro.shuffle.node.combine``).
+
+        The stage runs in the master process: worker daemons spill to a
+        shared temp tree, so the master reads every output directly in
+        both shuffle modes.  In net mode the synthetic per-node outputs
+        are served by a shuffle server the *master* owns — the originals
+        on daemon servers stop mattering to reducers, so a daemon death
+        after this point no longer forces map re-execution."""
+        job = self.job
+        if not job.conf.get_bool(Keys.NODE_COMBINE) or job.combiner_factory is None:
+            return
+        from ...exec.base import apply_node_combine, start_shuffle_server
+
+        originals = [self._map_outcomes[key] for key in self._map_keys]
+        if not originals:
+            return
+        server = start_shuffle_server(job, "master") if self._net_shuffle else None
+        fetch_results, outcome = apply_node_combine(
+            job, originals, self.hosts[0] if self.hosts else "node00", server=server
+        )
+        if outcome is None:
+            if server is not None:
+                server.stop()
+            return
+        self._nc_server = server
+        self._fetch_results = fetch_results
+        self.node_combine_outcome = outcome
+        self._node_combined = True
 
     def _await_registration(self) -> None:
         deadline = time.monotonic() + self._register_timeout
@@ -721,6 +765,13 @@ class Master:
             for key, server_worker in self._map_server_worker.items()
             if server_worker == worker_id
         ]
+        if self._node_combined:
+            # Reducers fetch the master-served per-node outputs, not the
+            # daemons' originals — nothing to re-execute, and the final
+            # results must stay in _map_outcomes for the job result.
+            for key in lost:
+                del self._map_server_worker[key]
+            return
         for key in lost:
             del self._map_server_worker[key]
             self._map_outcomes.pop(key, None)
@@ -755,6 +806,9 @@ class Master:
         to fetch from (net mode); a repair map is always ready."""
         if task.kind != "reduce" or not self._net_shuffle:
             return True
+        if self._node_combined:
+            # The master's own server hosts everything reducers fetch.
+            return True
         alive = {record.worker_id for record in self.membership.alive()}
         return all(
             self._map_server_worker.get(key) in alive for key in self._map_keys
@@ -763,6 +817,8 @@ class Master:
     def _reduce_payload(self, partition: int) -> tuple:
         """Built at dispatch time, so a reducer always sees the *current*
         map results — including any re-hosted outputs."""
+        if self._node_combined:
+            return (partition, list(self._fetch_results))
         return (partition, [self._map_outcomes[key] for key in self._map_keys])
 
     def _send_task(
@@ -966,4 +1022,5 @@ class ClusterExecutor(Executor):
             shuffle_hosts=shuffle_hosts,
             task_attempts=self.task_attempts,
             events=events,
+            node_combine=master.node_combine_outcome,
         )

@@ -25,6 +25,7 @@ class Keys:
     SPILL_BUFFER_BYTES = "repro.io.sort.buffer.bytes"
     SPILL_PERCENT = "repro.io.sort.spill.percent"
     SORT_FACTOR = "repro.io.sort.factor"  # max streams merged at once
+    IO_COLLECTOR = "repro.io.collector"  # object (BufferedRecord) | binary (packed kvbuffer)
 
     # --- frequency-buffering (the paper's Section III) ---
     FREQBUF_ENABLED = "repro.freqbuf.enabled"
@@ -59,6 +60,9 @@ class Keys:
     SHUFFLE_FAULT_ATTEMPTS = "repro.shuffle.fault.attempts"  # faulty attempts per fetch
     SHUFFLE_FAULT_DELAY = "repro.shuffle.fault.delay.seconds"  # for kind=delay
     SHUFFLE_FAULT_SEED = "repro.shuffle.fault.seed"
+    # --- in-node combining before shuffle (arXiv 1511.04861) ---
+    NODE_COMBINE = "repro.shuffle.node.combine"  # fold map outputs per node pre-fetch
+    NODE_COMBINE_BUFFER_BYTES = "repro.shuffle.node.combine.buffer.bytes"  # hash cap
 
     # --- unified fault injection (repro.faults) ---
     FAULTS_SPEC = "repro.faults.spec"  # "site.kind:fraction[:attempts][;...]"
@@ -135,6 +139,9 @@ DEFAULTS: dict[str, Any] = {
     Keys.SPILL_BUFFER_BYTES: 1 << 20,  # 1 MiB (scaled-down io.sort.mb=100)
     Keys.SPILL_PERCENT: 0.8,  # Hadoop default, as stated in Section V-C
     Keys.SORT_FACTOR: 10,
+    Keys.IO_COLLECTOR: "object",
+    Keys.NODE_COMBINE: False,
+    Keys.NODE_COMBINE_BUFFER_BYTES: 1 << 20,  # bounded per-node hash budget
     Keys.FREQBUF_ENABLED: False,
     Keys.FREQBUF_K: 3000,
     Keys.FREQBUF_SAMPLE_FRACTION: 0.01,

@@ -23,14 +23,15 @@ from ..io.blockdisk import LocalDisk
 from ..io.merger import MergeStats, merge_and_combine
 from ..io.spillfile import SpillIndex, read_segment, write_spill
 from ..serde.writable import SerdePair, Writable
-from .api import Partitioner
+from .api import HashPartitioner, Partitioner
 from .combiner import CombinerRunner
 from .costmodel import CostModel
 from .counters import Counter, Counters
 from .instrumentation import Op, TaskInstruments
 from .pipeline import PipelineTimeline
-from .sorter import cut_partitions, sort_spill
-from .spillbuffer import SpillBuffer
+from .binarybuffer import BinarySpill, BinarySpillBuffer
+from .sorter import SortStats, cut_partitions, sort_spill
+from .spillbuffer import RECORD_METADATA_BYTES, SpillBuffer, oversized_record_message
 from .spillpolicy import SpillPolicy
 
 
@@ -96,7 +97,7 @@ class StandardCollector(MapOutputCollector):
         self.sort_factor = max(2, sort_factor)
         self.codec = codec  # optional spill/shuffle compression (§VII extension)
 
-        self.buffer = SpillBuffer(capacity_bytes)
+        self.buffer = self._make_buffer(capacity_bytes)
         self.timeline = PipelineTimeline(capacity_bytes)
         self.spill_indices: list[SpillIndex] = []
         self._spill_target = self.timeline.expected_next_size(
@@ -104,6 +105,12 @@ class StandardCollector(MapOutputCollector):
         )
         self._produce_mark = instruments.map_thread_work
         self._flushed = False
+
+    def _make_buffer(self, capacity_bytes: int):
+        """The accumulation buffer.  :class:`BinaryStandardCollector`
+        swaps in the packed binary buffer; both share the capacity and
+        occupancy-accounting contract, so spill boundaries agree."""
+        return SpillBuffer(capacity_bytes)
 
     # ------------------------------------------------------------------
     # collection path
@@ -132,6 +139,20 @@ class StandardCollector(MapOutputCollector):
             self.counters.incr(Counter.MAP_OUTPUT_BYTES, payload)
 
         partition = self.partitioner.partition(key_bytes, self.num_partitions)
+        if payload + RECORD_METADATA_BYTES > self.buffer.capacity_bytes:
+            # A record larger than the whole buffer can never be spilled;
+            # fail before uselessly spilling everything already buffered,
+            # and identify the record (a record merely larger than the
+            # spill *threshold* falls through and cuts a clean
+            # single-record spill below).
+            raise SpillBufferError(
+                oversized_record_message(
+                    partition,
+                    key_bytes,
+                    payload + RECORD_METADATA_BYTES,
+                    self.buffer.capacity_bytes,
+                )
+            )
         if self.buffer.would_overflow(len(key_bytes), len(value_bytes)):
             # Hard capacity: spill whatever we have before appending.
             self._spill()
@@ -180,7 +201,7 @@ class StandardCollector(MapOutputCollector):
         model = self.cost_model
 
         # --- sort (support thread) ---
-        ordered, sort_stats = sort_spill(records, self.exact_comparisons)
+        ordered, sort_stats = self._sort_drained(records)
         consume_work = instruments.charge_support_thread(
             Op.SORT,
             model.sort_comparison * sort_stats.comparisons
@@ -188,7 +209,7 @@ class StandardCollector(MapOutputCollector):
         )
 
         # --- combine (support thread, user code) ---
-        partitions = cut_partitions(ordered, self.num_partitions)
+        partitions = self._cut_drained(ordered)
         if combiner_runner is not None:
             combined: list[list[SerdePair]] = []
             for run in partitions:
@@ -228,6 +249,19 @@ class StandardCollector(MapOutputCollector):
         counters.incr(Counter.SPILLED_RECORDS, index.total_records)
         counters.incr(Counter.SPILLED_BYTES, index.total_bytes)
         return consume_work
+
+    def _sort_drained(self, drained) -> tuple[object, SortStats]:
+        """Order one drained buffer-load by (partition, key bytes).
+
+        Returns an opaque ordered form plus stats for the SORT charge;
+        :meth:`_cut_drained` turns the ordered form into per-partition
+        record runs.  The pair exists so the binary collector can swap
+        in its kvindex sort without touching the shared combine/spill
+        logic above."""
+        return sort_spill(drained, self.exact_comparisons)
+
+    def _cut_drained(self, ordered) -> list[list[SerdePair]]:
+        return cut_partitions(ordered, self.num_partitions)
 
     def _run_combiner(
         self,
@@ -335,3 +369,133 @@ class StandardCollector(MapOutputCollector):
         self.instruments.charge(Op.MERGE, merge_work)
         self.counters.incr(Counter.MERGED_RECORDS, total_stats.records_in)
         return final
+
+
+#: Bound on the binary collector's key→partition memo.  Text keys are
+#: Zipfian (the paper's premise), so a modest cap catches nearly every
+#: lookup while keeping worst-case memory bounded on high-cardinality
+#: key spaces.
+_PARTITION_MEMO_MAX = 1 << 16
+
+_EMIT_OP = Op.EMIT
+_MAP_OUTPUT_RECORDS = Counter.MAP_OUTPUT_RECORDS
+_MAP_OUTPUT_BYTES = Counter.MAP_OUTPUT_BYTES
+
+
+class BinaryStandardCollector(StandardCollector):
+    """StandardCollector over the packed binary spill buffer.
+
+    Selected by ``repro.io.collector = binary``.  The collect loop
+    appends serialized bytes into one contiguous buffer plus a flat
+    uint32 kvindex, and spills order themselves with the key-prefix
+    integer sort (:mod:`repro.engine.binarybuffer`).  Everything
+    downstream of the sort — combine batching per key run, spill files,
+    merges, counters, and every ledger charge — is the shared
+    ``StandardCollector`` code over identical record sequences, which is
+    what makes this path byte-for-byte and charge-for-charge identical
+    to the object collector.
+
+    The collect hot loop is *fused*: :meth:`collect_serialized` inlines
+    the EMIT charge, the output counters, and the buffer append into one
+    frame, and memoizes the default partitioner's key hash (the FNV loop
+    is per key byte — by far the most expensive per-record step, and a
+    pure function of the key, so a memo changes nothing).  Every
+    externally observable effect — ledger floats in charge order,
+    counter integers, spill boundaries, error behaviour — is identical
+    to the shared path's, record for record.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        # Memoize only the stock partitioner: a custom Partitioner is
+        # user code and owns its own (key, n) -> partition semantics.
+        self._partition_memo: dict[bytes, int] | None = (
+            {} if type(self.partitioner) is HashPartitioner else None
+        )
+
+    def _make_buffer(self, capacity_bytes: int) -> BinarySpillBuffer:
+        return BinarySpillBuffer(capacity_bytes)
+
+    def collect_serialized(
+        self, key_bytes: bytes, value_bytes: bytes, count_output: bool = True
+    ) -> None:
+        # Fused rewrite of StandardCollector.collect_serialized: same
+        # operations in the same order (charge, count, partition,
+        # oversized check, overflow spill, append, threshold spill) with
+        # the per-record method-call fan-out collapsed.  Floats
+        # accumulate in the same sequence, so ledgers match bit for bit.
+        model = self.cost_model
+        payload = len(key_bytes) + len(value_bytes)
+        amount = model.serialize_byte * payload + model.collect_record
+        instruments = self.instruments
+        if amount:
+            work = instruments.ledger.work
+            work[_EMIT_OP] = work.get(_EMIT_OP, 0.0) + amount
+            instruments.map_thread_work += amount
+        if count_output:
+            values = self.counters.values
+            values[_MAP_OUTPUT_RECORDS] = values.get(_MAP_OUTPUT_RECORDS, 0) + 1
+            if payload:
+                values[_MAP_OUTPUT_BYTES] = values.get(_MAP_OUTPUT_BYTES, 0) + payload
+
+        memo = self._partition_memo
+        if memo is None:
+            partition = self.partitioner.partition(key_bytes, self.num_partitions)
+        else:
+            partition = memo.get(key_bytes, -1)
+            if partition < 0:
+                partition = self.partitioner.partition(key_bytes, self.num_partitions)
+                if len(memo) < _PARTITION_MEMO_MAX:
+                    memo[key_bytes] = partition
+
+        buffer = self.buffer
+        accounted = payload + RECORD_METADATA_BYTES
+        capacity = buffer.capacity_bytes
+        if accounted > capacity:
+            # A record larger than the whole buffer can never be spilled;
+            # fail before uselessly spilling everything already buffered,
+            # and identify the record (a record merely larger than the
+            # spill *threshold* falls through and cuts a clean
+            # single-record spill below).
+            raise SpillBufferError(
+                oversized_record_message(partition, key_bytes, accounted, capacity)
+            )
+        if buffer._occupancy + accounted > capacity:
+            # Hard capacity: spill whatever we have before appending.
+            self._spill()
+        # Inlined BinarySpillBuffer.append (see that class's hot-path
+        # contract note): payload bytes into the kvbuffer, five uint32s
+        # into the kvindex, occupancy in accounted bytes.
+        data = buffer._data
+        key_off = len(data)
+        data += key_bytes
+        val_off = len(data)
+        data += value_bytes
+        buffer._meta.extend(
+            (partition, key_off, len(key_bytes), val_off, len(value_bytes))
+        )
+        occupancy = buffer._occupancy = buffer._occupancy + accounted
+        if occupancy >= self._spill_target:
+            self._spill()
+
+    def _sort_drained(self, drained: BinarySpill) -> tuple[object, SortStats]:
+        order, stats = drained.sort(self.exact_comparisons)
+        return (drained, order), stats
+
+    def _cut_drained(self, ordered) -> list[list[SerdePair]]:
+        spill, order = ordered
+        partitions: list[list[SerdePair]] = [[] for _ in range(self.num_partitions)]
+        appends = [run.append for run in partitions]
+        data = spill.data
+        meta = spill.meta
+        for seq in order:
+            base = 5 * seq
+            key_off = meta[base + 1]
+            val_off = meta[base + 3]
+            appends[meta[base]](
+                (
+                    data[key_off : key_off + meta[base + 2]],
+                    data[val_off : val_off + meta[base + 4]],
+                )
+            )
+        return partitions

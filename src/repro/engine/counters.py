@@ -38,6 +38,13 @@ class Counter(str, Enum):
     OPT_PROJ_BYTES_SAVED = "opt_proj_bytes_saved"  # map-output bytes pruned by projection
     SHUFFLE_BYTES = "shuffle_bytes"
     SHUFFLE_FETCHES = "shuffle_fetches"  # network shuffle: successful fetches
+    # --- in-node combining before shuffle (repro.shuffle.node.combine) ---
+    NODE_COMBINE_IN_RECORDS = "node_combine_in_records"  # records read from map outputs
+    NODE_COMBINE_OUT_RECORDS = "node_combine_out_records"  # records after folding
+    NODE_COMBINE_IN_BYTES = "node_combine_in_bytes"  # payload bytes entering the stage
+    NODE_COMBINE_OUT_BYTES = "node_combine_out_bytes"  # payload bytes reducers now fetch
+    NODE_COMBINE_FLUSHES = "node_combine_flushes"  # partial flushes forced by the hash cap
+    NODE_COMBINE_HOSTS = "node_combine_hosts"  # node groups the stage folded
     SHUFFLE_FETCH_RETRIES = "shuffle_fetch_retries"  # failed attempts retried
     SHUFFLE_BACKOFF_MS = "shuffle_backoff_ms"  # total retry backoff + lost-attempt wait
     # --- fault tolerance (repro.faults + executor recovery) ---

@@ -44,6 +44,7 @@ class Op(str, Enum):
     PROFILE = "profile"  # frequency-buffering: Space-Saving + Zipf fit overhead
     HASHBUF = "hashbuf"  # frequency-buffering: frequent-key hash table work
     # --- shuffle phase ---
+    NODE_COMBINE = "node_combine"  # in-node folding of map outputs before fetch
     SHUFFLE = "shuffle"  # fetching map outputs over the network + reduce merge
     # --- reduce phase ---
     REDUCE = "reduce"  # user reduce() execution
@@ -60,6 +61,7 @@ OP_PHASE: dict[Op, Phase] = {
     Op.MERGE: Phase.MAP,
     Op.PROFILE: Phase.MAP,
     Op.HASHBUF: Phase.MAP,
+    Op.NODE_COMBINE: Phase.SHUFFLE,
     Op.SHUFFLE: Phase.SHUFFLE,
     Op.REDUCE: Phase.REDUCE,
     Op.OUTPUT: Phase.REDUCE,

@@ -24,6 +24,28 @@ from ..errors import SpillBufferError
 RECORD_METADATA_BYTES = 16
 """Accounting overhead per buffered record (Hadoop's kvindex entry)."""
 
+_KEY_PREVIEW_BYTES = 64
+
+
+def oversized_record_message(
+    partition: int, key: bytes, accounted_bytes: int, capacity_bytes: int
+) -> str:
+    """Error text for a record that can never fit the spill buffer.
+
+    Identifies the offending record (partition and a key preview) so the
+    failure is actionable — "some record was too big" is useless when a
+    job emits millions of them.  Shared by both buffer implementations
+    so the object and binary collectors fail identically.
+    """
+    preview = key[:_KEY_PREVIEW_BYTES]
+    ellipsis = "..." if len(key) > _KEY_PREVIEW_BYTES else ""
+    return (
+        f"single record (partition {partition}, key {preview!r}{ellipsis}) of "
+        f"{accounted_bytes} accounted bytes (payload + {RECORD_METADATA_BYTES}-byte "
+        f"kvindex metadata) exceeds the whole buffer capacity of {capacity_bytes} "
+        f"bytes; raise repro.io.sort.buffer.bytes or emit smaller records"
+    )
+
 
 @dataclass(frozen=True)
 class BufferedRecord:
@@ -79,8 +101,9 @@ class SpillBuffer:
         record = BufferedRecord(partition, key, value)
         if record.accounted_bytes > self.capacity_bytes:
             raise SpillBufferError(
-                f"record of {record.accounted_bytes} bytes exceeds buffer "
-                f"capacity {self.capacity_bytes}"
+                oversized_record_message(
+                    partition, key, record.accounted_bytes, self.capacity_bytes
+                )
             )
         self._records.append(record)
         self._occupancy += record.accounted_bytes

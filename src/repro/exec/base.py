@@ -157,6 +157,60 @@ def recovery_counters(job: JobSpec, task_attempts: dict[str, int]) -> Counters:
     return events
 
 
+def apply_node_combine(
+    job: JobSpec,
+    map_results: list[MapTaskResult],
+    host: str,
+    server=None,
+):
+    """Run the in-node combine stage, when configured and applicable.
+
+    Groups the finished *map_results* by the host they ran on (falling
+    back to the executor's own *host* for results without one) and folds
+    each group into one synthetic per-node output
+    (:mod:`repro.shuffle.nodecombine`).  Returns ``(fetch_results,
+    outcome)``: the results reducers should fetch from, and the stage's
+    accounting (``None`` when the stage did not run).  The originals are
+    left untouched — they stay in the job result and its ledger sums.
+
+    The stage is skipped when it cannot apply: no combiner declared, a
+    map-only run (delta recompute caches the *per-split* map outputs, so
+    collapsing them per node would break split-level reuse), or nothing
+    to fold.  ``repro.shuffle.node.combine`` itself is gated at submit
+    by the static analyzer (fold-like combiners only).
+
+    With a *server* (network shuffle) each synthetic output is
+    registered so reducers can fetch it over TCP like any map output.
+    """
+    conf = job.conf
+    if not conf.get_bool(Keys.NODE_COMBINE):
+        return map_results, None
+    if job.combiner_factory is None or not map_results:
+        return map_results, None
+    if conf.get_bool(Keys.EXEC_MAP_ONLY):
+        return map_results, None
+    from ..shuffle.nodecombine import NodeCombiner
+
+    combiner = NodeCombiner(job)
+    order: list[str] = []
+    groups: dict[str, list[MapTaskResult]] = {}
+    for result in map_results:
+        result_host = result.host or host
+        if result_host not in groups:
+            order.append(result_host)
+            groups[result_host] = []
+        groups[result_host].append(result)
+
+    fetch_results: list[MapTaskResult] = []
+    for result_host in order:
+        synthetic = combiner.combine_host(result_host, groups[result_host])
+        if server is not None:
+            server.register(synthetic.task_id, synthetic.output_index, synthetic.disk)
+            synthetic.serve_address = server.address
+        fetch_results.append(synthetic)
+    return fetch_results, combiner.outcome(fetch_results)
+
+
 def assemble_job_result(
     job: JobSpec,
     map_results: list[MapTaskResult],
@@ -164,6 +218,7 @@ def assemble_job_result(
     shuffle_hosts: list | None = None,
     task_attempts: dict[str, int] | None = None,
     events: Counters | None = None,
+    node_combine=None,
 ) -> JobResult:
     """Merge per-task accounting into a job result, in task order, so
     every backend produces an identical ledger/counter aggregation.
@@ -172,7 +227,10 @@ def assemble_job_result(
     ``TASK_REEXECUTIONS`` counter; *events* carries executor-level
     counters no single task owns (worker crashes, timeouts,
     quarantines).  Neither perturbs the ledger, so fault-free runs stay
-    bit-identical across backends.
+    bit-identical across backends.  *node_combine* is the in-node
+    combine stage's :class:`~repro.shuffle.nodecombine.
+    NodeCombineOutcome`, whose ledger and counters fold into the job
+    totals after the per-task sums.
     """
     ledger = Ledger.summed(
         [r.ledger for r in map_results] + [r.ledger for r in reduce_results]
@@ -184,6 +242,9 @@ def assemble_job_result(
     counters.merge(recovery_counters(job, attempts))
     if events is not None:
         counters.merge(events)
+    if node_combine is not None:
+        ledger.merge(node_combine.ledger)
+        counters.merge(node_combine.counters)
     return JobResult(
         job_name=job.name,
         map_results=map_results,

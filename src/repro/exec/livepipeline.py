@@ -36,7 +36,7 @@ import threading
 import time
 from typing import Callable
 
-from ..engine.collector import StandardCollector
+from ..engine.collector import BinaryStandardCollector, StandardCollector
 from ..engine.combiner import CombinerRunner
 from ..engine.counters import Counters
 from ..engine.instrumentation import Ledger, TaskInstruments
@@ -166,3 +166,19 @@ class LiveStandardCollector(StandardCollector):
         ledger.add_sample(SAMPLE_T_P, t_p)
         ledger.add_sample(SAMPLE_T_C, t_c)
         ledger.add_sample(SAMPLE_X, x)
+
+
+class LiveBinaryCollector(LiveStandardCollector, BinaryStandardCollector):
+    """The live two-thread pipeline over the packed binary buffer.
+
+    Cooperative multiple inheritance: the live class contributes the
+    real support thread and the queue handoff (``_spill``,
+    ``_join_support``, ``abort``), the binary class contributes the
+    buffer and the kvindex sort (``_make_buffer``, ``_sort_drained``,
+    ``_cut_drained``), and the shared ``_consume_spill`` body runs the
+    binary sort on the support thread unchanged — drained
+    :class:`~repro.engine.binarybuffer.BinarySpill` objects are
+    self-contained, so the handoff needs no awareness of which buffer
+    produced them.
+    """
+

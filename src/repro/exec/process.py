@@ -47,6 +47,7 @@ from ..faults.runtime import installed
 from . import workers
 from .base import (
     Executor,
+    apply_node_combine,
     assemble_job_result,
     fault_plan_for,
     job_splits,
@@ -108,6 +109,13 @@ class ProcessExecutor(Executor):
                             ]
                         )
                     )
+                    # The node-combine stage runs in the parent: it reads
+                    # the workers' temp-disk outputs and (net mode)
+                    # registers its synthetic outputs with the parent's
+                    # shuffle server directly.
+                    fetch_results, node_combine = apply_node_combine(
+                        job, map_results, self.host, server=server
+                    )
                     reduce_results = []
                     if not job.conf.get_bool(Keys.EXEC_MAP_ONLY):
                         reduce_results = self._collect(
@@ -116,7 +124,7 @@ class ProcessExecutor(Executor):
                                     PoolTask(
                                         key=reduce_task_id(job, p),
                                         kind="reduce",
-                                        payload=(p, map_results),
+                                        payload=(p, fetch_results),
                                     )
                                     for p in range(job.num_reducers)
                                 ]
@@ -139,6 +147,7 @@ class ProcessExecutor(Executor):
             shuffle_hosts=shuffle_hosts,
             task_attempts=self.task_attempts,
             events=events,
+            node_combine=node_combine,
         )
 
     def _collect(self, outcomes) -> list:

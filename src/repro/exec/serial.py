@@ -19,6 +19,7 @@ from ..engine.runner import JobResult
 from ..faults.runtime import installed
 from .base import (
     Executor,
+    apply_node_combine,
     assemble_job_result,
     fault_plan_for,
     job_splits,
@@ -59,11 +60,14 @@ class SerialExecutor(Executor):
                     result.serve_address = server.address
                 map_results.append(result)
 
+            fetch_results, node_combine = apply_node_combine(
+                job, map_results, self.host, server=server
+            )
             reduce_results: list[ReduceTaskResult] = []
             if not job.conf.get_bool(Keys.EXEC_MAP_ONLY):
                 for partition in range(job.num_reducers):
                     result, _ = run_reduce_with_retries(
-                        job, partition, map_results, self.host,
+                        job, partition, fetch_results, self.host,
                         attempts_out=self.task_attempts,
                     )
                     reduce_results.append(result)
@@ -78,4 +82,5 @@ class SerialExecutor(Executor):
             reduce_results,
             shuffle_hosts=shuffle_hosts,
             task_attempts=self.task_attempts,
+            node_combine=node_combine,
         )

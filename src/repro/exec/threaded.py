@@ -21,6 +21,7 @@ from ..engine.runner import JobResult
 from ..faults.runtime import installed
 from .base import (
     Executor,
+    apply_node_combine,
     assemble_job_result,
     fault_plan_for,
     job_splits,
@@ -73,6 +74,9 @@ class ThreadExecutor(Executor):
                         )
                         result.serve_address = server.address
 
+                fetch_results, node_combine = apply_node_combine(
+                    job, map_results, self.host, server=server
+                )
                 # Barrier: every reduce needs every map's output.
                 reduce_results: list[ReduceTaskResult] = []
                 if not job.conf.get_bool(Keys.EXEC_MAP_ONLY):
@@ -81,7 +85,7 @@ class ThreadExecutor(Executor):
                             run_reduce_with_retries,
                             job,
                             partition,
-                            map_results,
+                            fetch_results,
                             self.host,
                             attempts_out=self.task_attempts,
                         )
@@ -99,4 +103,5 @@ class ThreadExecutor(Executor):
             reduce_results,
             shuffle_hosts=shuffle_hosts,
             task_attempts=self.task_attempts,
+            node_combine=node_combine,
         )

@@ -75,21 +75,29 @@ def gate_job(job: JobSpec, report: LintReport) -> JobSpec:
     """Apply the report's verdicts to the job's optimization switches.
 
     Frequency-buffering eagerly re-applies the combiner inside the hash
-    buffer, so it is sound only for a verified fold-like combiner.  When
-    the job asks for it and the verdict is anything weaker, the returned
-    job runs with it forced off; the decision (either way) is appended
-    to ``report.gating``.  The input job is never mutated.
+    buffer, and in-node combining re-applies it across task boundaries
+    before reducers fetch — both are sound only for a verified fold-like
+    combiner.  When the job asks for either and the verdict is anything
+    weaker, the returned job runs with that switch forced off; every
+    decision (either way) is appended to ``report.gating``.  The input
+    job is never mutated.
     """
-    if not job.conf.get_bool(Keys.FREQBUF_ENABLED):
+    gated: list[tuple[str, str]] = []
+    if job.conf.get_bool(Keys.FREQBUF_ENABLED):
+        gated.append((Keys.FREQBUF_ENABLED, "freqbuf"))
+    if job.conf.get_bool(Keys.NODE_COMBINE):
+        gated.append((Keys.NODE_COMBINE, "node_combine"))
+    if not gated:
         return job
     if report.fold_like == FOLD_VERIFIED:
-        report.gating.append(
-            GatingDecision(
-                optimization="freqbuf",
-                action="kept",
-                reason="combiner statically verified fold-like",
+        for _key, optimization in gated:
+            report.gating.append(
+                GatingDecision(
+                    optimization=optimization,
+                    action="kept",
+                    reason="combiner statically verified fold-like",
+                )
             )
-        )
         return job
     combiner_rules = tuple(
         sorted({f.rule_id for f in report.findings_for(_COMBINER_PREFIX)})
@@ -99,14 +107,15 @@ def gate_job(job: JobSpec, report: LintReport) -> JobSpec:
         FOLD_UNVERIFIED: "combiner could not be statically verified",
         FOLD_NO_COMBINER: "job declares no combiner to buffer with",
     }
-    report.gating.append(
-        GatingDecision(
-            optimization="freqbuf",
-            action="disabled",
-            reason=reasons.get(report.fold_like, "combiner not verified"),
-            rule_ids=combiner_rules,
-        )
-    )
     conf = job.conf.copy()
-    conf.set(Keys.FREQBUF_ENABLED, False)
+    for key, optimization in gated:
+        report.gating.append(
+            GatingDecision(
+                optimization=optimization,
+                action="disabled",
+                reason=reasons.get(report.fold_like, "combiner not verified"),
+                rule_ids=combiner_rules,
+            )
+        )
+        conf.set(key, False)
     return dataclasses.replace(job, conf=conf)

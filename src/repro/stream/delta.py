@@ -45,7 +45,12 @@ from ..engine.job import JobSpec, semantic_conf_items, source_fingerprint
 from ..engine.maptask import MapTaskResult
 from ..engine.pipeline import PipelineResult
 from ..engine.runner import JobResult, lint_at_submit
-from ..exec.base import assemble_job_result, map_task_id, run_reduce_with_retries
+from ..exec.base import (
+    apply_node_combine,
+    assemble_job_result,
+    map_task_id,
+    run_reduce_with_retries,
+)
 from ..io.blockdisk import LocalDisk
 from ..io.linereader import FileSplit
 from ..io.spillfile import SegmentIndexEntry, SpillIndex, segment_payload
@@ -267,10 +272,14 @@ def delta_run_job(
     reduce_conf = job.conf.copy()
     reduce_conf.set(Keys.SHUFFLE_MODE, "mem")
     reduce_job = dataclasses.replace(job, conf=reduce_conf)
+    # In-node combining applies to the rebuilt (cached + fresh) outputs
+    # exactly as a full run would apply it to a node's map outputs; the
+    # per-split segments in the manifest stay untouched.
+    fetch_results, node_combine = apply_node_combine(reduce_job, map_results, host)
     reduce_results = []
     for partition in range(job.num_reducers):
         reduce_result, _ = run_reduce_with_retries(
-            reduce_job, partition, map_results, host, attempts_out=task_attempts
+            reduce_job, partition, fetch_results, host, attempts_out=task_attempts
         )
         reduce_results.append(reduce_result)
 
@@ -298,6 +307,7 @@ def delta_run_job(
         shuffle_hosts=[],
         task_attempts=task_attempts,
         events=events,
+        node_combine=node_combine,
     )
     job_result.lint_report = lint_report
     return DeltaOutcome(

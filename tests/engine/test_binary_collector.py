@@ -1,0 +1,218 @@
+"""Equivalence suite for the packed binary map-output collector.
+
+``repro.io.collector = binary`` swaps the per-record ``BufferedRecord``
+buffer for one contiguous kvbuffer plus a struct-packed kvindex, but the
+contract is strict: identical spill boundaries, identical spill files,
+identical counters, and identical modelled work charges — the collector
+is a hot-path representation change, never a semantic one.
+
+Ledger equality is asserted only where the work model is deterministic:
+the ``net`` shuffle mode charges measured wall-clock seconds for each
+fetch (see ``NetShuffleService``), so two *object*-collector runs
+already differ there; net-mode tests pin digests and counters instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import Keys
+from repro.engine.api import HashPartitioner
+from repro.engine.collector import BinaryStandardCollector, StandardCollector
+from repro.engine.combiner import CombinerRunner
+from repro.engine.costmodel import DEFAULT_COST_MODEL, UserCodeCosts
+from repro.engine.counters import Counter, Counters
+from repro.engine.instrumentation import Ledger, TaskInstruments
+from repro.engine.runner import JobResult, LocalJobRunner
+from repro.engine.spillpolicy import StaticSpillPolicy
+from repro.errors import ConfigError, SpillBufferError
+from repro.experiments.common import build_app
+from repro.io.blockdisk import LocalDisk
+from repro.io.spillfile import read_segment
+from repro.serde.numeric import VIntWritable
+from repro.serde.text import Text
+from tests.conftest import SumCombiner, make_wordcount_job
+
+PAPER_APPS = ("wordcount", "invertedindex", "wordpostag")
+
+COLLECTORS = {"object": StandardCollector, "binary": BinaryStandardCollector}
+
+
+def make_collector(
+    mode: str,
+    capacity: int = 512,
+    partitions: int = 2,
+    combiner: bool = True,
+    spill_percent: float = 0.8,
+    exact: bool = False,
+):
+    counters = Counters()
+    instruments = TaskInstruments(Ledger())
+    runner = None
+    if combiner:
+        runner = CombinerRunner(
+            SumCombiner(), Text, VIntWritable, UserCodeCosts(), counters
+        )
+    collector = COLLECTORS[mode](
+        task_id="t0",
+        disk=LocalDisk(),
+        num_partitions=partitions,
+        partitioner=HashPartitioner(),
+        policy=StaticSpillPolicy(spill_percent),
+        capacity_bytes=capacity,
+        cost_model=DEFAULT_COST_MODEL,
+        instruments=instruments,
+        counters=counters,
+        combiner_runner=runner,
+        exact_comparisons=exact,
+    )
+    return collector, counters, instruments
+
+
+def drive(mode: str, words, **kwargs):
+    collector, counters, instruments = make_collector(mode, **kwargs)
+    for word in words:
+        collector.collect(Text(word), VIntWritable(1))
+    index = collector.flush()
+    segments = [
+        list(read_segment(collector.disk, index, p))
+        for p in range(collector.num_partitions)
+    ]
+    return segments, counters, instruments.ledger
+
+
+WORDS = (["pear", "apple", "fig", "apple", "kiwi", "épée", ""] * 40) + [
+    f"word{i % 17}" for i in range(200)
+]
+
+
+class TestCollectorEquivalence:
+    """Unit-level: both collectors over the same emit stream."""
+
+    @pytest.mark.parametrize("combiner", (False, True), ids=("plain", "combine"))
+    @pytest.mark.parametrize("exact", (False, True), ids=("model", "exact"))
+    def test_segments_counters_ledger_identical(self, combiner, exact):
+        kwargs = dict(capacity=400, combiner=combiner, exact=exact)
+        obj_segments, obj_counters, obj_ledger = drive("object", WORDS, **kwargs)
+        bin_segments, bin_counters, bin_ledger = drive("binary", WORDS, **kwargs)
+        assert obj_counters.get(Counter.SPILLS) > 1, "want a multi-spill run"
+        assert bin_segments == obj_segments
+        assert bin_counters.values == obj_counters.values
+        assert bin_ledger.work == obj_ledger.work
+
+    def test_spill_boundaries_identical(self):
+        """Occupancy accounting (payload + per-record metadata) matches,
+        so both buffers cut spills after the same record."""
+        _, obj_counters, _ = drive("object", WORDS, capacity=300)
+        _, bin_counters, _ = drive("binary", WORDS, capacity=300)
+        assert bin_counters.get(Counter.SPILLS) == obj_counters.get(Counter.SPILLS)
+
+    def test_prefix_ties_settled_by_full_key(self):
+        """Keys sharing an 8-byte prefix (and short keys whose padding
+        collides with explicit trailing NULs) sort by full key bytes."""
+        tricky = ["prefix00aaa", "prefix00", "prefix00zzz", "a", "ab", "b"] * 20
+        obj_segments, _, _ = drive("object", tricky, capacity=256, combiner=False)
+        bin_segments, _, _ = drive("binary", tricky, capacity=256, combiner=False)
+        assert bin_segments == obj_segments
+
+
+class TestOversizedRecord:
+    """A single record that can never fit fails fast and identifies
+    itself, on both buffer implementations, before any useless spill."""
+
+    @pytest.mark.parametrize("mode", ("object", "binary"))
+    def test_oversized_record_identified(self, mode):
+        collector, counters, _ = make_collector(mode, capacity=256, combiner=False)
+        collector.collect(Text("small"), VIntWritable(1))
+        with pytest.raises(SpillBufferError) as excinfo:
+            collector.collect(Text("K" * 300), VIntWritable(1))
+        message = str(excinfo.value)
+        assert "single record" in message
+        assert "KKKK" in message, "message must preview the offending key"
+        assert "partition" in message
+        assert "repro.io.sort.buffer.bytes" in message
+        # Failed before spilling the records already buffered.
+        assert counters.get(Counter.SPILLS) == 0
+
+    @pytest.mark.parametrize("mode", ("object", "binary"))
+    def test_record_over_threshold_spills_cleanly(self, mode):
+        """Larger than the spill threshold but within capacity: the
+        record lands in its own clean single-record spill, no error."""
+        collector, counters, _ = make_collector(
+            mode, capacity=512, combiner=False, spill_percent=0.5
+        )
+        big = "B" * 400  # > 0.5 * 512 threshold, < 512 capacity
+        collector.collect(Text(big), VIntWritable(1))
+        index = collector.flush()
+        assert counters.get(Counter.SPILLS) >= 1
+        records = [
+            pair
+            for p in range(collector.num_partitions)
+            for pair in read_segment(collector.disk, index, p)
+        ]
+        assert len(records) == 1
+        assert Text.from_bytes(records[0][0]).value == big
+
+
+def run_app(app_name: str, collector: str, backend: str = "serial", **conf) -> JobResult:
+    extra = {
+        Keys.IO_COLLECTOR: collector,
+        Keys.EXEC_BACKEND: backend,
+        Keys.EXEC_WORKERS: 3,
+        Keys.SPILL_BUFFER_BYTES: 16 * 1024,  # force real multi-spill merges
+    }
+    extra.update(conf)
+    app = build_app(app_name, "baseline", scale=0.02, num_splits=3, extra_conf=extra)
+    return LocalJobRunner().run(app.job)
+
+
+class TestJobLevelByteIdentity:
+    """Whole-job: digests, counters, and (mem-mode) ledgers match the
+    object collector on the paper applications."""
+
+    @pytest.mark.parametrize("app_name", PAPER_APPS)
+    def test_apps_identical_serial_mem(self, app_name):
+        obj = run_app(app_name, "object")
+        packed = run_app(app_name, "binary")
+        assert packed.output_digest() == obj.output_digest()
+        assert packed.counters.values == obj.counters.values
+        assert packed.ledger.work == obj.ledger.work
+
+    def test_identical_with_compression_and_freqbuf(self):
+        conf = {Keys.SPILL_COMPRESSION: "zlib", Keys.FREQBUF_ENABLED: True}
+        obj = run_app("wordcount", "object", **conf)
+        packed = run_app("wordcount", "binary", **conf)
+        assert packed.output_digest() == obj.output_digest()
+        assert packed.counters.values == obj.counters.values
+        assert packed.ledger.work == obj.ledger.work
+
+    def test_identical_process_backend(self):
+        obj = run_app("wordcount", "object", backend="process")
+        packed = run_app("wordcount", "binary", backend="process")
+        assert packed.output_digest() == obj.output_digest()
+        assert packed.counters.values == obj.counters.values
+        assert packed.ledger.work == obj.ledger.work
+
+    @pytest.mark.network
+    def test_identical_net_shuffle(self):
+        conf = {Keys.SHUFFLE_MODE: "net"}
+        obj = run_app("wordcount", "object", **conf)
+        packed = run_app("wordcount", "binary", **conf)
+        assert packed.output_digest() == obj.output_digest()
+        # Net-mode SHUFFLE charges include measured seconds; compare
+        # counters (deterministic) but not the ledger.
+        assert packed.counters.values == obj.counters.values
+
+    def test_exact_comparison_counting_identical(self, tiny_text):
+        conf = {Keys.IO_COLLECTOR: "binary", Keys.EXACT_COMPARISON_COUNTING: True}
+        packed = LocalJobRunner().run(make_wordcount_job(tiny_text, conf))
+        conf[Keys.IO_COLLECTOR] = "object"
+        obj = LocalJobRunner().run(make_wordcount_job(tiny_text, conf))
+        assert packed.output_digest() == obj.output_digest()
+        assert packed.ledger.work == obj.ledger.work
+
+
+def test_unknown_collector_rejected(tiny_text):
+    job = make_wordcount_job(tiny_text, {Keys.IO_COLLECTOR: "vectorized"})
+    with pytest.raises(ConfigError, match="repro.io.collector"):
+        LocalJobRunner().run(job)
